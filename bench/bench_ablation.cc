@@ -1,0 +1,196 @@
+// Ablation studies for the design decisions called out in DESIGN.md §5:
+//
+//   A1  MSA backend: POA (paper's choice) vs. Barton–Sternberg profile —
+//       quality and compression on noisy campaigns (§II-D's comparison).
+//   A2  Consensus search: dichotomous (Algorithm 2) vs. exhaustive —
+//       identical results expected, fewer cost evaluations.
+//   A3  Candidate seeding: phrase-neighbor seeding vs. full scan —
+//       same quality, quasi-linear vs. quadratic fine stage.
+//   A4  Phrase eligibility: min n-gram length 2 vs. 1 — component
+//       structure of the coarse graph (percolation through shared rare
+//       words).
+//   A5  InfoShield vs. the Template Matching predecessor (Li et al.
+//       2018): comparable detection on near-duplicates, but no slots or
+//       templates (Table I's interpretability column).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/template_matching.h"
+#include "bench_util.h"
+#include "core/infoshield.h"
+#include "datagen/twitter_gen.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace infoshield;
+
+LabeledTweets MakeCorpus(size_t accounts, double edit_prob, uint64_t seed) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = accounts;
+  o.num_bot_accounts = accounts;
+  o.bot_edit_prob = edit_prob;
+  return TwitterGenerator(o).Generate(seed);
+}
+
+BinaryMetrics Score(const InfoShieldResult& r, const LabeledTweets& data) {
+  std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+  return bench::ScoreRun(r, truth);
+}
+
+void AblationMsaBackend() {
+  std::printf("\n--- A1: MSA backend (POA vs. profile) ---\n");
+  std::printf("%-10s %-12s %-8s %-8s %-8s %-10s\n", "backend", "edit_prob",
+              "prec", "rec", "f1", "templates");
+  for (double noise : {0.02, 0.10, 0.20}) {
+    LabeledTweets data = MakeCorpus(30, noise, 71);
+    for (MsaBackend backend : {MsaBackend::kPoa, MsaBackend::kProfile}) {
+      InfoShieldOptions options;
+      options.fine.msa_backend = backend;
+      InfoShield shield(options);
+      InfoShieldResult r = shield.Run(data.corpus);
+      BinaryMetrics m = Score(r, data);
+      std::printf("%-10s %-12.2f %-8.3f %-8.3f %-8.3f %-10zu\n",
+                  backend == MsaBackend::kPoa ? "poa" : "profile", noise,
+                  m.precision(), m.recall(), m.f1(), r.templates.size());
+    }
+  }
+  std::printf("expected: comparable at low noise; POA holds up better as\n"
+              "edits rise (profiles blur alternative branches, §II-D).\n");
+}
+
+void AblationConsensusSearch() {
+  std::printf("\n--- A2: consensus search (dichotomous vs. exhaustive) ---\n");
+  LabeledTweets data = MakeCorpus(30, 0.08, 73);
+  double costs[2];
+  double f1s[2];
+  int i = 0;
+  for (bool exhaustive : {false, true}) {
+    InfoShieldOptions options;
+    options.fine.exhaustive_consensus_search = exhaustive;
+    InfoShield shield(options);
+    WallTimer timer;
+    InfoShieldResult r = shield.Run(data.corpus);
+    double seconds = timer.ElapsedSeconds();
+    BinaryMetrics m = Score(r, data);
+    double total_cost = 0;
+    for (const ClusterStats& s : r.cluster_stats) total_cost += s.cost_after;
+    costs[i] = total_cost;
+    f1s[i] = m.f1();
+    ++i;
+    std::printf("%-12s f1=%.3f total_cost=%.0f bits time=%.2fs\n",
+                exhaustive ? "exhaustive" : "dichotomous", m.f1(),
+                total_cost, seconds);
+  }
+  std::printf("cost gap: %.2f bits (%.4f%%) — the dichotomous search\n"
+              "finds (near-)optimal thresholds at O(log n) probes.\n",
+              costs[0] - costs[1],
+              100.0 * (costs[0] - costs[1]) / std::max(costs[1], 1.0));
+  (void)f1s;
+}
+
+void AblationNeighborSeeding() {
+  std::printf("\n--- A3: candidate seeding (phrase neighbors vs. full scan) "
+              "---\n");
+  std::printf("%-8s %-14s %-14s %-10s %-10s\n", "tweets", "neighbors_s",
+              "fullscan_s", "nbr_f1", "full_f1");
+  for (size_t accounts : {40, 80, 160}) {
+    LabeledTweets data = MakeCorpus(accounts, 0.05, 79);
+    // Neighbor seeding (production path).
+    InfoShield shield;
+    WallTimer t1;
+    InfoShieldResult r1 = shield.Run(data.corpus);
+    double neighbors_s = t1.ElapsedSeconds();
+    // Full scan: run coarse + fine manually without the phrase index.
+    CoarseClustering coarse;
+    CoarseResult cr = coarse.Run(data.corpus);
+    const CostModel cm = CostModel::ForVocabulary(data.corpus.vocab());
+    FineClustering fine;
+    WallTimer t2;
+    std::vector<bool> suspicious(data.corpus.size(), false);
+    for (const auto& cluster : cr.clusters) {
+      FineResult fr = fine.RunOnCluster(data.corpus, cluster, cm);
+      for (const TemplateCluster& tc : fr.templates) {
+        for (DocId d : tc.members) suspicious[d] = true;
+      }
+    }
+    double fullscan_s = t2.ElapsedSeconds();
+    std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+    BinaryMetrics m1 = Score(r1, data);
+    BinaryMetrics m2 = ComputeBinaryMetrics(suspicious, truth);
+    std::printf("%-8zu %-14.2f %-14.2f %-10.3f %-10.3f\n",
+                data.corpus.size(), neighbors_s, fullscan_s, m1.f1(),
+                m2.f1());
+  }
+  std::printf("expected: matching F1; full-scan time grows quadratically\n"
+              "on over-merged components, neighbor seeding stays linear.\n");
+}
+
+void AblationMinNgram() {
+  std::printf("\n--- A4: phrase eligibility (min n-gram 2 vs. 1) ---\n");
+  LabeledTweets data = MakeCorpus(60, 0.05, 83);
+  std::printf("%-10s %-10s %-12s %-14s %-8s\n", "min_ngram", "clusters",
+              "largest", "singletons", "f1");
+  for (size_t min_n : {2, 1}) {
+    InfoShieldOptions options;
+    options.coarse.tfidf.min_ngram = min_n;
+    CoarseClustering coarse(options.coarse);
+    CoarseResult cr = coarse.Run(data.corpus);
+    size_t largest = 0;
+    for (const auto& c : cr.clusters) largest = std::max(largest, c.size());
+    InfoShield shield(options);
+    InfoShieldResult r = shield.Run(data.corpus);
+    BinaryMetrics m = Score(r, data);
+    std::printf("%-10zu %-10zu %-12zu %-14zu %-8.3f\n", min_n,
+                cr.clusters.size(), largest, cr.singletons.size(), m.f1());
+  }
+  std::printf("expected: min_ngram=1 percolates the coarse graph into one\n"
+              "giant component through shared rare words; the fine stage\n"
+              "recovers quality but the structure disappears.\n");
+}
+
+void AblationVsTemplateMatching() {
+  std::printf("\n--- A5: InfoShield vs. Template Matching (Li et al. 2018) "
+              "---\n");
+  std::printf("%-18s %-12s %-8s %-8s %-8s %-8s\n", "method", "edit_prob",
+              "prec", "rec", "f1", "slots");
+  for (double noise : {0.02, 0.10}) {
+    LabeledTweets data = MakeCorpus(40, noise, 89);
+    std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+    {
+      InfoShield shield;
+      InfoShieldResult r = shield.Run(data.corpus);
+      BinaryMetrics m = Score(r, data);
+      size_t slots = 0;
+      for (const TemplateCluster& tc : r.templates) {
+        slots += tc.tmpl.num_slots();
+      }
+      std::printf("%-18s %-12.2f %-8.3f %-8.3f %-8.3f %-8zu\n",
+                  "InfoShield", noise, m.precision(), m.recall(), m.f1(),
+                  slots);
+    }
+    {
+      TemplateMatchingResult r =
+          TemplateMatching(data.corpus, TemplateMatchingOptions{});
+      BinaryMetrics m = ComputeBinaryMetrics(r.suspicious, truth);
+      std::printf("%-18s %-12.2f %-8.3f %-8.3f %-8.3f %-8s\n",
+                  "TemplateMatching", noise, m.precision(), m.recall(),
+                  m.f1(), "n/a");
+    }
+  }
+  std::printf("expected: comparable detection on near-duplicates; only\n"
+              "InfoShield yields templates and slots (Table I).\n");
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Ablations (DESIGN.md design decisions)");
+  AblationMsaBackend();
+  AblationConsensusSearch();
+  AblationNeighborSeeding();
+  AblationMinNgram();
+  AblationVsTemplateMatching();
+  return 0;
+}

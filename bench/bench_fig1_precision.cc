@@ -1,0 +1,48 @@
+// Experiment E1 — Figure 1 (left): precision vs. percentage of
+// non-singleton clusters. The paper plots precision against how much of
+// the corpus ends up clustered, sweeping corpus composition; precision
+// stays near-ideal until the clustered share saturates the bot share.
+//
+// We sweep the bot-account share, measure (a) the percentage of
+// documents placed in non-singleton (template) clusters, and (b) the
+// precision of "clustered => bot".
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/infoshield.h"
+#include "datagen/twitter_gen.h"
+
+int main() {
+  using namespace infoshield;
+  bench::PrintHeader(
+      "Fig. 1 (left): precision vs. % of non-singleton clusters");
+
+  std::printf("%-12s %-16s %-12s %-10s %-10s\n", "bot_share",
+              "%non-singleton", "precision", "recall", "f1");
+
+  const size_t kTotalAccounts = 80;
+  for (double bot_share : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8}) {
+    TwitterGenOptions o;
+    o.num_bot_accounts =
+        static_cast<size_t>(bot_share * kTotalAccounts + 0.5);
+    o.num_genuine_accounts = kTotalAccounts - o.num_bot_accounts;
+    TwitterGenerator gen(o);
+    LabeledTweets data = gen.Generate(4242);
+
+    InfoShield shield;
+    InfoShieldResult r = shield.Run(data.corpus);
+
+    std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+    BinaryMetrics m = bench::ScoreRun(r, truth);
+    const double pct_clustered =
+        100.0 * static_cast<double>(r.num_suspicious()) /
+        static_cast<double>(data.corpus.size());
+    std::printf("%-12.2f %-16.1f %-12.3f %-10.3f %-10.3f\n", bot_share,
+                pct_clustered, m.precision(), m.recall(), m.f1());
+  }
+  std::printf(
+      "\npaper shape: precision stays high (near the ideal diagonal's\n"
+      "upper envelope) across the non-singleton share sweep.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Experiment E6 — Figure 3 (a-d): relative length vs. number of
+// documents per micro-cluster on a Cluster-Trafficking-style corpus.
+//
+//   (a) every cluster sits on or above the Lemma 1 lower bound t/n + 1/lgV
+//   (b) most mass concentrates near the bound (near-duplicates dominate)
+//   (c) spam clusters: small relative length, high document count
+//   (d) HT clusters: two regimes — near-duplicate (close to bound) and
+//       outlier (far above the bound)
+//
+// Micro-cluster granularity: a first InfoShield pass separates organized
+// activity from the benign background (benign documents connect the
+// coarse graph through shared rare words, which the fine stage correctly
+// rejects). The scatter is then computed on the suspicious documents
+// only, where coarse components correspond to campaigns — the
+// granularity the paper's Fig. 3 plots.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "coarse/coarse_clustering.h"
+#include "core/fine_clustering.h"
+#include "core/infoshield.h"
+#include "datagen/trafficking_gen.h"
+#include "mdl/cost_model.h"
+
+int main() {
+  using namespace infoshield;
+  bench::PrintHeader("Fig. 3: relative length vs. cluster size");
+
+  TraffickingGenOptions o;
+  o.num_benign = 600;
+  o.num_spam_clusters = 6;
+  o.spam_cluster_size_min = 50;
+  o.spam_cluster_size_max = 150;
+  o.num_ht_clusters = 40;
+  o.ht_outlier_fraction = 0.25;
+  TraffickingGenerator gen(o);
+  LabeledAds data = gen.Generate(33);
+
+  // Pass 1: find organized activity.
+  InfoShield shield;
+  InfoShieldResult result = shield.Run(data.corpus);
+  std::printf("pass 1: %zu of %zu ads in templates\n",
+              result.num_suspicious(), data.corpus.size());
+
+  // Pass 2 (reporting granularity): re-cluster the suspicious subset.
+  Corpus sub;
+  std::vector<DocId> original_id;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (result.IsSuspicious(static_cast<DocId>(i))) {
+      sub.Add(data.corpus.doc(static_cast<DocId>(i)).raw);
+      original_id.push_back(static_cast<DocId>(i));
+    }
+  }
+  CoarseClustering coarse;
+  CoarseResult components = coarse.Run(sub);
+  const CostModel cm = CostModel::ForVocabulary(sub.vocab());
+  FineClustering fine;
+
+  std::printf("\nlower bound curves (Lemma 1, lgV=%.2f):\n", cm.lg_vocab());
+  for (size_t t = 1; t <= 4; ++t) {
+    std::printf("  t=%zu: rl >= %zu/n + %.4f\n", t, t, 1.0 / cm.lg_vocab());
+  }
+
+  struct Point {
+    size_t n;
+    double rl;
+    size_t t;
+    double bound;
+    AdType type;
+  };
+  std::vector<Point> points;
+  for (const auto& cluster : components.clusters) {
+    FineResult fr = fine.RunOnCluster(sub, cluster, cm,
+                                      &components.doc_top_phrases);
+    if (fr.templates.empty()) continue;
+    // Majority truth type over the cluster.
+    size_t counts[3] = {0, 0, 0};
+    for (DocId d : cluster) {
+      ++counts[static_cast<size_t>(data.type[original_id[d]])];
+    }
+    size_t best = 0;
+    for (size_t k = 1; k < 3; ++k) {
+      if (counts[k] > counts[best]) best = k;
+    }
+    points.push_back(Point{
+        cluster.size(), fr.relative_length(), fr.templates.size(),
+        RelativeLengthLowerBound(fr.templates.size(), cluster.size(),
+                                 cm.lg_vocab()),
+        static_cast<AdType>(best)});
+  }
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.n > b.n; });
+
+  std::printf("\n%-6s %-10s %-4s %-10s %-10s %s\n", "n", "rel_len", "t",
+              "bound", "slack", "type");
+  const char* kNames[3] = {"benign", "spam", "HT"};
+  for (const Point& p : points) {
+    std::printf("%-6zu %-10.4f %-4zu %-10.4f %-10.4f %s\n", p.n, p.rl, p.t,
+                p.bound, p.rl - p.bound,
+                kNames[static_cast<size_t>(p.type)]);
+  }
+
+  // --- Numeric checks of the figure's claims ---
+  bool all_above_bound = true;
+  double spam_rl_sum = 0;
+  size_t spam_count = 0;
+  double spam_n_sum = 0;
+  double ht_rl_min = 1e9;
+  double ht_rl_max = -1e9;
+  double ht_slack_max = 0;
+  size_t near_bound = 0;
+  for (const Point& p : points) {
+    if (p.rl < p.bound * 0.999) all_above_bound = false;
+    if (p.rl - p.bound < 0.15) ++near_bound;
+    if (p.type == AdType::kSpam) {
+      spam_rl_sum += p.rl;
+      spam_n_sum += static_cast<double>(p.n);
+      ++spam_count;
+    }
+    if (p.type == AdType::kTrafficking) {
+      ht_rl_min = std::min(ht_rl_min, p.rl);
+      ht_rl_max = std::max(ht_rl_max, p.rl);
+      ht_slack_max = std::max(ht_slack_max, p.rl - p.bound);
+    }
+  }
+  std::printf("\n(a) all clusters respect the lower bound: %s\n",
+              all_above_bound ? "YES" : "NO (violation!)");
+  std::printf("(b) %zu of %zu clusters sit near the bound (slack < 0.15)\n",
+              near_bound, points.size());
+  if (spam_count > 0) {
+    std::printf(
+        "(c) spam clusters: mean n = %.1f, mean rel-length = %.4f "
+        "(low-RL / high-n corner)\n",
+        spam_n_sum / spam_count, spam_rl_sum / spam_count);
+  }
+  std::printf(
+      "(d) HT clusters span rel-length [%.4f, %.4f]; max slack above "
+      "bound %.4f\n    -> two regimes: near-duplicate (slack ~ 0) and "
+      "outlier (large slack)\n",
+      ht_rl_min, ht_rl_max, ht_slack_max);
+  return 0;
+}

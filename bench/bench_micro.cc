@@ -1,0 +1,239 @@
+// Experiment E10 — component microbenchmarks (google-benchmark):
+//   * Needleman-Wunsch alignment: O(l^2) per document pair (Lemma 2's
+//     MSA cost term)
+//   * POA AddSequence: sequence-vs-graph DP + fusion
+//   * tf-idf index construction: the O(N l) coarse-stage term
+//   * cost model evaluation: the inner loop of consensus search
+//   * union-find: the coarse-stage clustering backbone
+//   * consensus search: dichotomous (Algorithm 2) vs. exhaustive — the
+//     ablation for DESIGN.md decision #1.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/hdbscan.h"
+#include "baselines/template_matching.h"
+#include "coarse/coarse_clustering.h"
+#include "core/fine_clustering.h"
+#include "datagen/twitter_gen.h"
+#include "graph/union_find.h"
+#include "mdl/cost_model.h"
+#include "msa/pairwise.h"
+#include "msa/poa.h"
+#include "msa/profile_msa.h"
+#include "tfidf/tfidf_index.h"
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+std::vector<TokenId> RandomSeq(Rng& rng, size_t len, size_t vocab) {
+  std::vector<TokenId> s;
+  s.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<TokenId>(rng.NextIndex(vocab)));
+  }
+  return s;
+}
+
+std::vector<TokenId> Mutate(const std::vector<TokenId>& base, Rng& rng,
+                            double edit_prob, size_t vocab) {
+  std::vector<TokenId> out;
+  for (TokenId t : base) {
+    if (rng.NextBernoulli(edit_prob)) {
+      switch (rng.NextIndex(3)) {
+        case 0:
+          break;  // delete
+        case 1:
+          out.push_back(static_cast<TokenId>(rng.NextIndex(vocab)));
+          break;
+        default:
+          out.push_back(static_cast<TokenId>(rng.NextIndex(vocab)));
+          out.push_back(t);
+      }
+    } else {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+void BM_NeedlemanWunsch(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  auto a = RandomSeq(rng, len, 1000);
+  auto b = Mutate(a, rng, 0.1, 1000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NeedlemanWunsch(a, b));
+  }
+  state.SetComplexityN(static_cast<int64_t>(len));
+}
+BENCHMARK(BM_NeedlemanWunsch)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_PoaAddSequence(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  auto base = RandomSeq(rng, len, 1000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    PoaGraph graph(base);
+    std::vector<std::vector<TokenId>> variants;
+    for (int i = 0; i < 8; ++i) {
+      variants.push_back(Mutate(base, rng, 0.08, 1000));
+    }
+    state.ResumeTiming();
+    for (const auto& v : variants) graph.AddSequence(v);
+    benchmark::DoNotOptimize(graph.node_count());
+  }
+  state.SetComplexityN(static_cast<int64_t>(len));
+}
+BENCHMARK(BM_PoaAddSequence)->RangeMultiplier(2)->Range(8, 128)->Complexity();
+
+void BM_TfidfBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TwitterGenOptions o;
+  o.num_genuine_accounts = n / 25;
+  o.num_bot_accounts = n / 25;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(3);
+  for (auto _ : state) {
+    TfidfIndex index;
+    index.Build(data.corpus, TfidfOptions{});
+    benchmark::DoNotOptimize(index.num_phrases());
+  }
+  state.SetComplexityN(static_cast<int64_t>(data.corpus.size()));
+}
+BENCHMARK(BM_TfidfBuild)->RangeMultiplier(2)->Range(256, 4096)->Complexity();
+
+void BM_CoarseClustering(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  TwitterGenOptions o;
+  o.num_genuine_accounts = n / 25;
+  o.num_bot_accounts = n / 25;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(4);
+  CoarseClustering coarse;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(coarse.Run(data.corpus));
+  }
+  state.SetComplexityN(static_cast<int64_t>(data.corpus.size()));
+}
+BENCHMARK(BM_CoarseClustering)
+    ->RangeMultiplier(2)
+    ->Range(256, 4096)
+    ->Complexity();
+
+void BM_CostModelAlignment(benchmark::State& state) {
+  CostModel cm(14.0);
+  EncodingSummary s;
+  s.alignment_length = 30;
+  s.unmatched = 4;
+  s.inserted_or_substituted = 3;
+  s.slot_word_counts = {1, 2, 0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.EncodedDocCost(3, s));
+  }
+}
+BENCHMARK(BM_CostModelAlignment);
+
+void BM_UnionFind(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (size_t i = 0; i < n; ++i) {
+      uf.Union(static_cast<uint32_t>(rng.NextIndex(n)),
+               static_cast<uint32_t>(rng.NextIndex(n)));
+    }
+    benchmark::DoNotOptimize(uf.num_sets());
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_UnionFind)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)
+    ->Complexity();
+
+// Ablation (DESIGN.md decision #1): dichotomous vs. exhaustive consensus
+// search on a realistic candidate set.
+void ConsensusSearchBench(benchmark::State& state, bool exhaustive) {
+  const size_t num_docs = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  auto base = RandomSeq(rng, 20, 500);
+  std::vector<std::vector<TokenId>> docs;
+  PoaGraph graph(base);
+  docs.push_back(base);
+  for (size_t i = 1; i < num_docs; ++i) {
+    docs.push_back(Mutate(base, rng, 0.05, 500));
+    graph.AddSequence(docs.back());
+  }
+  CostModel cm(12.0);
+  FineOptions options;
+  options.exhaustive_consensus_search = exhaustive;
+  FineClustering fine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fine.ConsensusSearch(graph, docs, cm));
+  }
+}
+void BM_ConsensusSearchDichotomous(benchmark::State& state) {
+  ConsensusSearchBench(state, false);
+}
+void BM_ConsensusSearchExhaustive(benchmark::State& state) {
+  ConsensusSearchBench(state, true);
+}
+BENCHMARK(BM_ConsensusSearchDichotomous)->RangeMultiplier(2)->Range(4, 64);
+BENCHMARK(BM_ConsensusSearchExhaustive)->RangeMultiplier(2)->Range(4, 64);
+
+// MSA backend comparison (Ablation A1's runtime side).
+void BM_ProfileMsaAddSequence(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  auto base = RandomSeq(rng, len, 1000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ProfileMsa msa(base);
+    std::vector<std::vector<TokenId>> variants;
+    for (int i = 0; i < 8; ++i) {
+      variants.push_back(Mutate(base, rng, 0.08, 1000));
+    }
+    state.ResumeTiming();
+    for (const auto& v : variants) msa.AddSequence(v);
+    benchmark::DoNotOptimize(msa.column_count());
+  }
+  state.SetComplexityN(static_cast<int64_t>(len));
+}
+BENCHMARK(BM_ProfileMsaAddSequence)
+    ->RangeMultiplier(2)
+    ->Range(8, 128)
+    ->Complexity();
+
+void BM_MinHashSignature(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(8);
+  auto seq = RandomSeq(rng, len, 5000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        internal::MinHashSignature(seq, 3, 64, 0x5eed));
+  }
+  state.SetComplexityN(static_cast<int64_t>(len));
+}
+BENCHMARK(BM_MinHashSignature)->RangeMultiplier(4)->Range(16, 256)
+    ->Complexity();
+
+void BM_Hdbscan(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(9);
+  std::vector<Vec> pts;
+  for (size_t i = 0; i < n; ++i) {
+    Vec v(16);
+    for (float& x : v) x = static_cast<float>(rng.NextGaussian());
+    L2Normalize(v);
+    pts.push_back(std::move(v));
+  }
+  HdbscanOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Hdbscan(pts, opts));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Hdbscan)->RangeMultiplier(2)->Range(64, 512)->Complexity();
+
+}  // namespace
+}  // namespace infoshield

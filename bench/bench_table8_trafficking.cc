@@ -1,0 +1,139 @@
+// Experiment E5 — Table VIII (Human Trafficking half):
+//   * Trafficking10k-style corpus ("annotated" mode, noisy 0-6 expert
+//     scores, binarized at 4): precision / recall / F1.
+//   * Cluster-Trafficking-style corpus ("cluster" mode, expert cluster
+//     labels): precision / recall / F1 / ARI.
+//
+// Methods: InfoShield vs. the embedding-cl baselines the paper built
+// (Word2Vec-cl / Doc2Vec-cl / FastText-cl: embed, HDBSCAN min size 3).
+//
+// Expected shape (paper): InfoShield posts the highest precision by a
+// wide margin — the metric that matters for law enforcement — and the
+// best ARI on cluster labels; embedding baselines reach high recall on
+// near-duplicates but poor precision.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/doc2vec.h"
+#include "baselines/fasttext.h"
+#include "baselines/pipeline.h"
+#include "baselines/template_matching.h"
+#include "baselines/word2vec.h"
+#include "bench_util.h"
+#include "core/infoshield.h"
+#include "datagen/trafficking_gen.h"
+
+namespace {
+
+using namespace infoshield;
+
+void PrintRow(const char* name, const BinaryMetrics& m, double ari) {
+  char ari_buf[16];
+  if (ari < -1.5) {
+    std::snprintf(ari_buf, sizeof(ari_buf), "%6s", "n/a");
+  } else {
+    std::snprintf(ari_buf, sizeof(ari_buf), "%6.1f", 100 * ari);
+  }
+  std::printf("%-16s %6.1f %6.1f %6.1f %s\n", name, 100 * m.precision(),
+              100 * m.recall(), 100 * m.f1(), ari_buf);
+}
+
+// truth: per-doc "is organized activity / is HT".
+void RunAllMethods(LabeledAds& data, const std::vector<bool>& truth,
+                   bool with_ari, uint64_t seed) {
+  std::printf("%-16s %6s %6s %6s %6s\n", "method", "prec", "rec", "F1",
+              "ARI");
+  {
+    InfoShield shield;
+    InfoShieldResult r = shield.Run(data.corpus);
+    double ari = with_ari
+                     ? AdjustedRandIndex(data.cluster_label, r.doc_template)
+                     : -2.0;
+    PrintRow("InfoShield", bench::ScoreRun(r, truth), ari);
+  }
+  {
+    // The paper's unsupervised anti-HT predecessor ([10]); not a row of
+    // the original Table VIII but the natural fifth comparison point.
+    TemplateMatchingResult tm =
+        TemplateMatching(data.corpus, TemplateMatchingOptions{});
+    double ari =
+        with_ari ? AdjustedRandIndex(data.cluster_label, tm.labels) : -2.0;
+    PrintRow("TemplateMatch", ComputeBinaryMetrics(tm.suspicious, truth),
+             ari);
+  }
+  EmbedClusterOptions cluster_options;  // HDBSCAN, min cluster size 3
+  auto run_embedding = [&](const char* name, DocumentEmbedder& model) {
+    BaselineResult br =
+        EmbedAndCluster(model, data.corpus, cluster_options, seed);
+    double ari =
+        with_ari ? AdjustedRandIndex(data.cluster_label, br.labels) : -2.0;
+    PrintRow(name, ComputeBinaryMetrics(br.suspicious, truth), ari);
+  };
+  Word2VecOptions w2v_opts;
+  w2v_opts.epochs = 2;
+  Word2Vec w2v(w2v_opts);
+  run_embedding("Word2Vec-cl", w2v);
+  Doc2VecOptions d2v_opts;
+  d2v_opts.epochs = 4;
+  Doc2Vec d2v(d2v_opts);
+  run_embedding("Doc2Vec-cl", d2v);
+  FastTextOptions ft_opts;
+  ft_opts.epochs = 1;
+  ft_opts.num_buckets = 1 << 15;
+  FastText ft(ft_opts);
+  run_embedding("FastText-cl", ft);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Table VIII (Human Trafficking)");
+
+  {
+    std::printf("\nTrafficking10k-style (noisy expert labels, 0-3 = not "
+                "HT, 4-6 = HT)\n");
+    TraffickingGenOptions o;
+    o.num_benign = 1200;
+    o.num_spam_clusters = 0;
+    o.num_ht_clusters = 60;
+    o.label_noise = 0.15;
+    TraffickingGenerator gen(o);
+    LabeledAds data = gen.Generate(10265);
+    // Binarized noisy expert scores are the ground truth, as in the
+    // paper's Trafficking10k protocol.
+    std::vector<bool> truth;
+    for (int s : data.expert_score) truth.push_back(s >= 4);
+    std::printf("%zu ads, %zu scored as HT\n", data.corpus.size(),
+                static_cast<size_t>(
+                    std::count(truth.begin(), truth.end(), true)));
+    RunAllMethods(data, truth, /*with_ari=*/false, 10265);
+  }
+
+  {
+    std::printf("\nCluster-Trafficking-style (expert cluster labels)\n");
+    TraffickingGenOptions o;
+    o.num_benign = 800;
+    o.num_spam_clusters = 6;
+    o.spam_cluster_size_min = 40;
+    o.spam_cluster_size_max = 120;
+    o.num_ht_clusters = 40;
+    o.label_noise = 0.0;
+    TraffickingGenerator gen(o);
+    LabeledAds data = gen.Generate(157258);
+    std::vector<bool> truth;
+    for (AdType t : data.type) truth.push_back(t != AdType::kBenign);
+    std::printf("%zu ads (%zu spam, %zu HT, %zu benign)\n",
+                data.corpus.size(), data.CountType(AdType::kSpam),
+                data.CountType(AdType::kTrafficking),
+                data.CountType(AdType::kBenign));
+    RunAllMethods(data, truth, /*with_ari=*/true, 157258);
+  }
+
+  std::printf(
+      "\npaper shape: InfoShield precision ~85%% (highest of all methods\n"
+      "on Trafficking10k, where its recall is moderate due to label\n"
+      "noise) and ~85/99/92 with the best ARI on Cluster Trafficking;\n"
+      "embedding baselines reach high recall but much lower precision.\n");
+  return 0;
+}

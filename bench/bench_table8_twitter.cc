@@ -1,0 +1,129 @@
+// Experiment E4 — Table VIII (Twitter half): ARI / precision / recall /
+// F1 on the two synthetic test sets.
+//
+//   Test set #1 mirrors "social spambots #1" — heavy duplication, low
+//   edit noise. Test set #2 mirrors "social spambots #3" — fewer, noisier
+//   campaigns with more edits.
+//
+// Methods:
+//   InfoShield           (this paper, unsupervised)
+//   LogReg-BoW           (supervised stand-in for Yang/Ahmed/BotOrNot —
+//                         those use closed Twitter platform features)
+//   Word2Vec-cl          (embedding + HDBSCAN, as the paper built)
+//   FastText-cl
+//   Doc2Vec-cl
+//
+// Expected shape (paper Table VIII): InfoShield within ~10 points of the
+// best supervised method on both sets, with high ARI; embedding-cl
+// baselines trail.
+
+#include <cstdio>
+
+#include "baselines/doc2vec.h"
+#include "baselines/fasttext.h"
+#include "baselines/logreg.h"
+#include "baselines/pipeline.h"
+#include "baselines/word2vec.h"
+#include "bench_util.h"
+#include "core/infoshield.h"
+#include "datagen/twitter_gen.h"
+
+namespace {
+
+using namespace infoshield;
+
+struct Row {
+  const char* name;
+  bool supervised;
+  double ari;  // < 0 => n/a
+  BinaryMetrics metrics;
+};
+
+void PrintRow(const Row& row) {
+  char ari_buf[16];
+  if (row.ari < -1.5) {
+    std::snprintf(ari_buf, sizeof(ari_buf), "%6s", "n/a");
+  } else {
+    std::snprintf(ari_buf, sizeof(ari_buf), "%6.1f", 100 * row.ari);
+  }
+  std::printf("%-22s%-4s %s %6.1f %6.1f %6.1f\n", row.name,
+              row.supervised ? "[S]" : "", ari_buf,
+              100 * row.metrics.precision(), 100 * row.metrics.recall(),
+              100 * row.metrics.f1());
+}
+
+void RunTestSet(const char* title, double edit_prob, size_t slots_max,
+                uint64_t seed) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 60;
+  o.num_bot_accounts = 60;
+  o.bot_edit_prob = edit_prob;
+  o.template_slots_max = slots_max;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(seed);
+  std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+
+  std::printf("\n%s: %zu tweets, %zu from bots\n", title,
+              data.corpus.size(), data.num_bot_tweets());
+  std::printf("%-22s%-4s %6s %6s %6s %6s\n", "method", "", "ARI", "prec",
+              "rec", "F1");
+
+  // InfoShield.
+  {
+    InfoShield shield;
+    InfoShieldResult r = shield.Run(data.corpus);
+    Row row{"InfoShield", false,
+            AdjustedRandIndex(data.cluster_label, r.doc_template),
+            bench::ScoreRun(r, truth)};
+    PrintRow(row);
+  }
+
+  // Supervised stand-in.
+  {
+    LogisticRegression lr;
+    lr.Train(data.corpus, truth, seed);
+    std::vector<bool> pred;
+    for (const Document& d : data.corpus.docs()) pred.push_back(lr.Predict(d));
+    Row row{"LogReg-BoW", true, -2.0, ComputeBinaryMetrics(pred, truth)};
+    PrintRow(row);
+  }
+
+  // Embedding + HDBSCAN baselines.
+  EmbedClusterOptions cluster_options;  // HDBSCAN, min size 3
+  auto run_embedding = [&](const char* name, DocumentEmbedder& model) {
+    BaselineResult br =
+        EmbedAndCluster(model, data.corpus, cluster_options, seed);
+    Row row{name, false, AdjustedRandIndex(data.cluster_label, br.labels),
+            ComputeBinaryMetrics(br.suspicious, truth)};
+    PrintRow(row);
+  };
+  Word2VecOptions w2v_opts;
+  w2v_opts.epochs = 2;
+  Word2Vec w2v(w2v_opts);
+  run_embedding("Word2Vec-cl", w2v);
+  FastTextOptions ft_opts;
+  ft_opts.epochs = 1;
+  ft_opts.num_buckets = 1 << 15;
+  FastText ft(ft_opts);
+  run_embedding("FastText-cl", ft);
+  Doc2VecOptions d2v_opts;
+  d2v_opts.epochs = 4;
+  Doc2Vec d2v(d2v_opts);
+  run_embedding("Doc2Vec-cl", d2v);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table VIII (Twitter): ARI/prec/rec/F1, [S] = supervised");
+  RunTestSet("Test set #1 (spambots-1 style: near-exact duplication)",
+             /*edit_prob=*/0.02, /*slots_max=*/2, /*seed=*/20210401);
+  RunTestSet("Test set #2 (spambots-3 style: noisier campaigns)",
+             /*edit_prob=*/0.10, /*slots_max=*/3, /*seed=*/20210402);
+  std::printf(
+      "\npaper shape: InfoShield F1 > 90 on both sets, within ~10 points\n"
+      "of the best supervised method, and the best ARI by construction\n"
+      "(baselines do not produce per-campaign clusters as cleanly).\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Experiment E8 — Tables IX, X, XI: template visualizations on realistic
+// clusters.
+//
+//   Table IX  — a Spanish near-duplicate campaign (seismology bot); most
+//               tweets identical, one divergent member rendered with
+//               unmatched-word markers rather than slots.
+//   Table X   — an English campaign whose tail differs per tweet; the
+//               differing tail becomes a slot.
+//   Table XI  — an HT-style ad cluster with structured slots (name /
+//               time / price / contact), censored-from-birth: the
+//               generator uses neutral spa vocabulary.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/infoshield.h"
+#include "core/slot_analysis.h"
+#include "core/visualize.h"
+#include "datagen/trafficking_gen.h"
+
+namespace {
+
+using namespace infoshield;
+
+void Render(const std::vector<TemplateCluster>& templates,
+            const Corpus& corpus) {
+  VisualizeOptions viz;
+  viz.use_color = false;
+  viz.max_docs = 6;
+  if (templates.empty()) {
+    std::printf("(no templates found — unexpected)\n");
+    return;
+  }
+  for (const TemplateCluster& tc : templates) {
+    std::fputs(RenderTemplateAnsi(tc, corpus, viz).c_str(), stdout);
+    std::printf("  template string: %s\n",
+                tc.tmpl.ToString(corpus.vocab()).c_str());
+    // §V-D2 follow-up: what kind of information does each slot hold?
+    std::fputs(RenderSlotProfiles(AnalyzeSlots(tc, corpus)).c_str(),
+               stdout);
+  }
+}
+
+void RunAndRender(const char* title, Corpus& corpus) {
+  std::printf("\n--- %s ---\n", title);
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(corpus);
+  Render(r.templates, corpus);
+}
+
+// Tables IX and X illustrate the fine stage's *representation* of one
+// known cluster; drive FineClustering directly on it, with vocabulary
+// padding standing in for the surrounding realistic corpus.
+void RunFineAndRender(const char* title, Corpus& corpus,
+                      const std::vector<DocId>& cluster) {
+  std::printf("\n--- %s ---\n", title);
+  std::string filler;
+  for (int i = 0; i < 400; ++i) {
+    filler += "vocabpad" + std::to_string(i) + " ";
+    if (filler.size() > 200) {
+      corpus.Add(filler);
+      filler.clear();
+    }
+  }
+  if (!filler.empty()) corpus.Add(filler);
+  FineClustering fine;
+  const CostModel cm = CostModel::ForVocabulary(corpus.vocab());
+  FineResult fr = fine.RunOnCluster(corpus, cluster, cm);
+  Render(fr.templates, corpus);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("Tables IX-XI: template visualizations");
+
+  {
+    // Table IX: Spanish seismology campaign — 22 exact duplicates plus
+    // one divergent tweet (as in the paper). The fine stage represents
+    // the divergent member with unmatched-word markers, not a slot.
+    Corpus c;
+    std::vector<DocId> cluster;
+    for (int i = 0; i < 22; ++i) {
+      cluster.push_back(
+          c.Add("sismo richter 40 km al sureste de puerto escondido oax "
+                "lat lon pf km"));
+    }
+    cluster.push_back(
+        c.Add("sismo magnitud loc km al sureste de puerto escondido oax "
+              "lat lon pf km"));
+    RunFineAndRender("Table IX: Spanish campaign (language-independent)",
+                     c, cluster);
+  }
+
+  {
+    // Table X: "most popular stories on pr daily this week from ..."
+    // campaign — shared head, differing tail => tail slot.
+    Corpus c;
+    std::vector<DocId> cluster;
+    const char* tails[] = {
+        "instagram to mr t and perhaps even your grocers produce",
+        "new cover photo rules on facebook and a battle of the soci",
+        "whimsical words to hillarys texts here are this weeks mos",
+        "understanding sopa to dating a pr professional here are the",
+        "press release myths to facebook tips the top stories this",
+        "grammar goofs to google glass the most read stories of the",
+    };
+    for (const char* tail : tails) {
+      cluster.push_back(
+          c.Add(std::string("the most popular stories on pr daily this "
+                            "week from ") +
+                tail));
+    }
+    RunFineAndRender("Table X: trailing-slot campaign", c, cluster);
+  }
+
+  {
+    // Table XI: HT-style structured-slot cluster from the generator.
+    TraffickingGenOptions o;
+    o.num_benign = 30;
+    o.num_spam_clusters = 0;
+    o.num_ht_clusters = 1;
+    o.ht_cluster_size_min = 8;
+    o.ht_cluster_size_max = 8;
+    o.ht_edit_prob = 0.02;
+    TraffickingGenerator gen(o);
+    LabeledAds data = gen.Generate(2021);
+    RunAndRender("Table XI: HT-style cluster (structured slots)",
+                 data.corpus);
+    std::printf(
+        "\nSlots capture user-specific information (name / time / price "
+        "/ contact),\nas in the paper's Table XI.\n");
+  }
+  return 0;
+}

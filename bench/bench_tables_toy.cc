@@ -1,0 +1,132 @@
+// Experiment E3 — Tables II–V and the arithmetic examples (§III):
+// regenerate the paper's running example end-to-end: the discovered
+// templates (Table IV), the per-document encodings (Table V), and the
+// arithmetic example costs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/infoshield.h"
+#include "core/visualize.h"
+#include "mdl/cost_model.h"
+
+int main() {
+  using namespace infoshield;
+  bench::PrintHeader("Tables II-V: the paper's toy example, regenerated");
+
+  Corpus corpus;
+  corpus.Add("This is a great soap, and the 5 dollar price is great");
+  corpus.Add("This is a great chair, and the 10 dollar price is great");
+  corpus.Add("This is a great hat, and the 3 dollar price is great");
+  corpus.Add("This is great blue pen, and the 3 dollar price is so good");
+  corpus.Add(
+      "I made 30K working on this job - call 123-456.7890 or visit "
+      "scam.com");
+  corpus.Add(
+      "I made 30K working from home - call 123-456.7890 or visit "
+      "fraud.com");
+  corpus.Add("Happy birthday to my dear friend Mike");
+  // Background documents give the toy a realistic vocabulary (see
+  // examples/quickstart.cpp for the rationale).
+  const char* kBackground[] = {
+      "quarterly earnings beat analyst expectations across retail sector",
+      "heavy rainfall expected over coastal regions through friday night",
+      "local library announces extended weekend opening schedule soon",
+      "championship match ended in dramatic penalty shootout yesterday",
+      "researchers publish findings about deep ocean microbial life",
+      "city council approves funding for downtown bicycle lanes project",
+      "new bakery on elm street sells sourdough every sunny morning",
+      "museum exhibit features ancient pottery from river valleys",
+      "volunteers planted hundreds of oak saplings along the highway",
+      "startup launches app connecting farmers with nearby restaurants",
+      "observatory spots unusually bright comet near southern horizon",
+      "orchestra premieres symphony inspired by mountain railways",
+  };
+  for (const char* text : kBackground) corpus.Add(text);
+  for (int i = 0; i < 60; ++i) {
+    std::string filler;
+    for (int j = 0; j < 10; ++j) {
+      filler += "backgroundword" + std::to_string(i * 10 + j) + " ";
+    }
+    corpus.Add(filler);
+  }
+  const size_t kToyDocs = 7;
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(corpus);
+
+  std::printf("\n--- Table IV: templates (slots as '*') ---\n");
+  VisualizeOptions viz;
+  viz.use_color = false;
+  for (const TemplateCluster& tc : r.templates) {
+    std::fputs(RenderTemplateAnsi(tc, corpus, viz).c_str(), stdout);
+  }
+
+  std::printf("\n--- Table V: per-document encodings ---\n");
+  std::printf("%-5s %-6s %s\n", "doc", "tmpl", "slots / edits");
+  for (size_t d = 0; d < kToyDocs; ++d) {
+    const int64_t t = r.doc_template[d];
+    if (t < 0) {
+      std::printf("#%-4zu %-6s \"%s\"\n", d + 1, "N/A",
+                  corpus.doc(static_cast<DocId>(d)).raw.c_str());
+      continue;
+    }
+    const TemplateCluster& tc = r.templates[static_cast<size_t>(t)];
+    size_t member_index = 0;
+    for (size_t m = 0; m < tc.members.size(); ++m) {
+      if (tc.members[m] == d) member_index = m;
+    }
+    const DocEncoding& enc = tc.encodings[member_index];
+    std::string detail = "slots={";
+    for (size_t s = 0; s < enc.slot_words.size(); ++s) {
+      if (s > 0) detail += ", ";
+      detail += "\"";
+      for (size_t w = 0; w < enc.slot_words[s].size(); ++w) {
+        if (w > 0) detail += " ";
+        detail += corpus.vocab().Word(enc.slot_words[s][w]);
+      }
+      detail += "\"";
+    }
+    detail += "}";
+    for (const AnnotatedColumn& col : enc.columns) {
+      switch (col.kind) {
+        case ColumnKind::kInsertion:
+          detail += " ins:" + corpus.vocab().Word(col.doc_token);
+          break;
+        case ColumnKind::kDeletion:
+          detail += " del:" + corpus.vocab().Word(col.template_token);
+          break;
+        case ColumnKind::kSubstitution:
+          detail += " sub:" + corpus.vocab().Word(col.template_token) +
+                    "->" + corpus.vocab().Word(col.doc_token);
+          break;
+        default:
+          break;
+      }
+    }
+    std::printf("#%-4zu T%-5lld %s\n", d + 1, static_cast<long long>(t + 1),
+                detail.c_str());
+  }
+
+  std::printf("\n--- Arithmetic examples (§III-B) ---\n");
+  const CostModel cm = CostModel::ForVocabulary(corpus.vocab());
+  std::printf("lg V = %.3f bits (V = %zu words)\n", cm.lg_vocab(),
+              corpus.vocab().size());
+  std::printf("Example 1: template of 10 tokens, 2 slots costs %.2f bits\n",
+              cm.TemplateCost(10, 2));
+  EncodingSummary ex2;
+  ex2.alignment_length = 14;
+  ex2.unmatched = 3;
+  ex2.inserted_or_substituted = 2;
+  ex2.slot_word_counts = {1, 1};
+  std::printf("Example 2: doc#4-style alignment costs %.2f bits\n",
+              cm.EncodedDocCost(1, ex2));
+
+  std::printf("\n--- Compression summary ---\n");
+  for (const ClusterStats& s : r.cluster_stats) {
+    std::printf("cluster %zu: before=%.1f bits after=%.1f bits (rel=%.3f)\n",
+                s.coarse_cluster_index, s.cost_before, s.cost_after,
+                s.relative_length);
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Language independence (paper §V-F, Advantage 1; Table IX): run
+// InfoShield on a corpus mixing English, Spanish, Italian, and romanized
+// Japanese tweets — including a Spanish seismology-bot campaign modeled
+// on the paper's Table IX — with zero language-specific configuration.
+//
+//   ./multilingual [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/infoshield.h"
+#include "core/visualize.h"
+#include "datagen/twitter_gen.h"
+#include "eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace infoshield;
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3;
+
+  // A four-language account mix.
+  TwitterGenOptions options;
+  options.num_genuine_accounts = 40;
+  options.num_bot_accounts = 24;
+  options.english_fraction = 0.4;
+  options.spanish_fraction = 0.3;
+  options.italian_fraction = 0.2;
+  options.japanese_fraction = 0.1;
+  TwitterGenerator generator(options);
+  LabeledTweets data = generator.Generate(seed);
+
+  // Add the paper's Table IX-style Spanish campaign verbatim: a
+  // seismology bot whose tweets differ only in magnitude/distance.
+  struct Extra {
+    const char* text;
+  };
+  const Extra campaign[] = {
+      {"sismo magnitud 42 richter 23 km al sureste de puerto escondido oax "
+       "lat lon pf km"},
+      {"sismo magnitud 38 richter 24 km al sureste de puerto escondido oax "
+       "lat lon pf km"},
+      {"sismo magnitud 39 richter 25 km al sureste de puerto escondido oax "
+       "lat lon pf km"},
+      {"sismo magnitud 45 richter 21 km al sureste de puerto escondido oax "
+       "lat lon pf km"},
+      {"sismo magnitud 41 richter 26 km al sureste de puerto escondido oax "
+       "lat lon pf km"},
+  };
+  std::vector<DocId> campaign_ids;
+  for (const Extra& e : campaign) {
+    campaign_ids.push_back(data.corpus.Add(e.text));
+    data.is_bot.push_back(true);
+    data.account_id.push_back(999);
+    data.cluster_label.push_back(999);
+  }
+
+  InfoShield shield;
+  InfoShieldResult result = shield.Run(data.corpus);
+
+  std::vector<bool> predicted;
+  std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    predicted.push_back(result.IsSuspicious(static_cast<DocId>(i)));
+  }
+  BinaryMetrics m = ComputeBinaryMetrics(predicted, truth);
+  std::printf(
+      "four-language corpus: %zu tweets | precision %.1f%% recall %.1f%% "
+      "F1 %.1f%%\n\n",
+      data.corpus.size(), 100 * m.precision(), 100 * m.recall(),
+      100 * m.f1());
+
+  // Show the Spanish campaign's template (all campaign docs must share
+  // one template).
+  int64_t campaign_template = result.doc_template[campaign_ids[0]];
+  if (campaign_template >= 0) {
+    std::printf("Spanish seismology campaign detected as template %lld:\n",
+                static_cast<long long>(campaign_template));
+    std::fputs(
+        RenderTemplateAnsi(
+            result.templates[static_cast<size_t>(campaign_template)],
+            data.corpus)
+            .c_str(),
+        stdout);
+  } else {
+    std::printf("Spanish campaign NOT detected (unexpected)\n");
+  }
+
+  // Language coverage of detected templates: count templates whose first
+  // member is in each language bucket by checking vocabulary membership.
+  std::printf("\ntemplates found: %zu across languages\n",
+              result.templates.size());
+  return 0;
+}

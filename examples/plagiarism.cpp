@@ -1,0 +1,83 @@
+// Plagiarism detection (paper §I's motivating application list): essays
+// that copy a passage from a source essay form a micro-cluster with that
+// source — the shared passage becomes the template's constant backbone
+// and each author's own writing lands in the unmatched margins.
+//
+//   ./plagiarism [seed]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/infoshield.h"
+#include "core/visualize.h"
+#include "datagen/plagiarism_gen.h"
+#include "eval/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace infoshield;
+  const uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  // Heavy-plagiarism regime: the copied passage dominates the essay
+  // (whole-document near-duplicate detection is the right tool here; for
+  // a short passage buried in a long original essay, chunk documents
+  // into passages first).
+  PlagiarismGenOptions options;
+  options.num_original_essays = 60;
+  options.num_plagiarized = 15;
+  options.passage_length_min = 30;
+  options.passage_length_max = 50;
+  options.margin_length_min = 5;
+  options.margin_length_max = 12;
+  PlagiarismGenerator generator(options);
+  PlagiarismCorpus data = generator.Generate(seed);
+  std::printf("%zu essays (%zu contain plagiarized passages)\n\n",
+              data.corpus.size(), options.num_plagiarized);
+
+  InfoShield shield;
+  InfoShieldResult result = shield.Run(data.corpus);
+
+  // An essay is implicated iff it shares a template with another essay.
+  // Ground truth: the plagiarized essays and their sources.
+  std::vector<bool> truth(data.corpus.size(), false);
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (data.IsPlagiarized(static_cast<DocId>(i))) {
+      truth[i] = true;
+      truth[static_cast<size_t>(data.source_of[i])] = true;
+    }
+  }
+  std::vector<bool> predicted;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    predicted.push_back(result.IsSuspicious(static_cast<DocId>(i)));
+  }
+  BinaryMetrics m = ComputeBinaryMetrics(predicted, truth);
+  std::printf("implicated-essay detection: precision %.1f%%  recall "
+              "%.1f%%  F1 %.1f%%\n\n",
+              100 * m.precision(), 100 * m.recall(), 100 * m.f1());
+
+  // Verify pairings: each detected cluster should contain an essay and
+  // its true source.
+  size_t correctly_paired = 0;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (!data.IsPlagiarized(static_cast<DocId>(i))) continue;
+    const int64_t t = result.doc_template[i];
+    if (t >= 0 &&
+        t == result.doc_template[static_cast<size_t>(data.source_of[i])]) {
+      ++correctly_paired;
+    }
+  }
+  std::printf("%zu of %zu plagiarized essays clustered with their true "
+              "source\n\n",
+              correctly_paired, options.num_plagiarized);
+
+  // Show one detected case: the copied passage is the template backbone.
+  VisualizeOptions viz;
+  viz.max_docs = 3;
+  if (!result.templates.empty()) {
+    std::printf("example detected cluster (shared passage = constants):\n");
+    std::fputs(
+        RenderTemplateAnsi(result.templates[0], data.corpus, viz).c_str(),
+        stdout);
+  }
+  return 0;
+}

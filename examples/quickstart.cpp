@@ -1,0 +1,91 @@
+// Quickstart: run InfoShield end-to-end on the paper's toy corpus
+// (§III-A, Tables II–V) and print the discovered templates with their
+// slot-highlighted member documents.
+//
+//   ./quickstart
+//
+// Expected outcome: two templates — T1 covering the four "great product"
+// ads with product/price slots, T2 covering the two scam messages — and
+// the birthday message left unclustered.
+
+#include <cstdio>
+
+#include "core/infoshield.h"
+#include "core/visualize.h"
+#include "io/json_writer.h"
+
+int main() {
+  using namespace infoshield;
+
+  // 1. Build a corpus. Corpus::Add tokenizes and interns for you.
+  Corpus corpus;
+  corpus.Add("This is a great soap, and the 5 dollar price is great");
+  corpus.Add("This is a great chair, and the 10 dollar price is great");
+  corpus.Add("This is a great hat, and the 3 dollar price is great");
+  corpus.Add("This is great blue pen, and the 3 dollar price is so good");
+  corpus.Add(
+      "I made 30K working on this job - call 123-456.7890 or visit "
+      "scam.com");
+  corpus.Add(
+      "I made 30K working from home - call 123-456.7890 or visit "
+      "fraud.com");
+  corpus.Add("Happy birthday to my dear friend Mike");
+
+  // InfoShield hunts micro-clusters *within a large corpus*; a handful
+  // of unrelated background documents restores realistic vocabulary
+  // size and idf weights (with 7 documents alone, MDL rightly finds
+  // templates unprofitable — raw docs are cheap when lg V is tiny).
+  const char* kBackground[] = {
+      "quarterly earnings beat analyst expectations across retail sector",
+      "heavy rainfall expected over coastal regions through friday night",
+      "local library announces extended weekend opening schedule soon",
+      "championship match ended in dramatic penalty shootout yesterday",
+      "researchers publish findings about deep ocean microbial life",
+      "city council approves funding for downtown bicycle lanes project",
+      "new bakery on elm street sells sourdough every sunny morning",
+      "museum exhibit features ancient pottery from river valleys",
+      "volunteers planted hundreds of oak saplings along the highway",
+      "startup launches app connecting farmers with nearby restaurants",
+      "observatory spots unusually bright comet near southern horizon",
+      "orchestra premieres symphony inspired by mountain railways",
+  };
+  for (const char* text : kBackground) corpus.Add(text);
+  // More background singletons: the paper's corpora have vocabularies in
+  // the tens of thousands of words; MDL trade-offs at V ~ 100 would be
+  // artificially borderline.
+  for (int i = 0; i < 60; ++i) {
+    std::string filler;
+    for (int j = 0; j < 10; ++j) {
+      filler += "backgroundword" + std::to_string(i * 10 + j) + " ";
+    }
+    corpus.Add(filler);
+  }
+
+  // 2. Run the pipeline. All options have paper defaults; the method is
+  //    parameter-free (MDL picks everything else).
+  InfoShield shield;
+  InfoShieldResult result = shield.Run(corpus);
+
+  // 3. Inspect the results.
+  std::printf("documents:        %zu\n", corpus.size());
+  std::printf("coarse clusters:  %zu\n", result.num_coarse_clusters);
+  std::printf("templates found:  %zu\n", result.templates.size());
+  std::printf("suspicious docs:  %zu\n\n", result.num_suspicious());
+
+  for (const TemplateCluster& cluster : result.templates) {
+    std::fputs(RenderTemplateAnsi(cluster, corpus).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+
+  for (const ClusterStats& s : result.cluster_stats) {
+    std::printf(
+        "cluster %zu: n=%zu t=%zu relative_length=%.3f (lower bound "
+        "%.3f)\n",
+        s.coarse_cluster_index, s.num_docs, s.num_templates,
+        s.relative_length, s.lower_bound);
+  }
+
+  // 4. Machine-readable output for downstream tooling.
+  std::printf("\nJSON summary:\n%s\n", ResultToJson(result, corpus).c_str());
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/dbscan.h"
+
+#include <deque>
+
+namespace infoshield {
+
+namespace {
+
+std::vector<uint32_t> Neighbors(const std::vector<Vec>& points, size_t i,
+                                double eps) {
+  std::vector<uint32_t> out;
+  for (size_t j = 0; j < points.size(); ++j) {
+    if (CosineDistance(points[i], points[j]) <= eps) {
+      out.push_back(static_cast<uint32_t>(j));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<int64_t> Dbscan(const std::vector<Vec>& points,
+                            const DbscanOptions& options) {
+  const size_t n = points.size();
+  constexpr int64_t kUnvisited = -2;
+  constexpr int64_t kNoise = -1;
+  std::vector<int64_t> labels(n, kUnvisited);
+  int64_t next_cluster = 0;
+
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != kUnvisited) continue;
+    std::vector<uint32_t> seeds = Neighbors(points, i, options.eps);
+    if (seeds.size() < options.min_pts) {
+      labels[i] = kNoise;
+      continue;
+    }
+    const int64_t cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<uint32_t> queue(seeds.begin(), seeds.end());
+    while (!queue.empty()) {
+      uint32_t q = queue.front();
+      queue.pop_front();
+      if (labels[q] == kNoise) labels[q] = cluster;  // border point
+      if (labels[q] != kUnvisited) continue;
+      labels[q] = cluster;
+      std::vector<uint32_t> q_neighbors = Neighbors(points, q, options.eps);
+      if (q_neighbors.size() >= options.min_pts) {
+        for (uint32_t w : q_neighbors) queue.push_back(w);
+      }
+    }
+  }
+  return labels;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,28 @@
+// DBSCAN (Ester et al. 1996) over embedded documents, brute-force
+// neighborhoods. Used as a density-clustering baseline component.
+
+#ifndef INFOSHIELD_BASELINES_DBSCAN_H_
+#define INFOSHIELD_BASELINES_DBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct DbscanOptions {
+  // Neighborhood radius (cosine distance on normalized vectors).
+  double eps = 0.2;
+  // Minimum neighborhood size (including the point itself) for a core
+  // point.
+  size_t min_pts = 3;
+};
+
+// Returns a label per point: cluster ids from 0 upward, -1 for noise.
+std::vector<int64_t> Dbscan(const std::vector<Vec>& points,
+                            const DbscanOptions& options);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_DBSCAN_H_

@@ -1,0 +1,67 @@
+#include "baselines/doc2vec.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+void Doc2Vec::Train(const Corpus& corpus, uint64_t seed) {
+  const size_t dim = options_.dim;
+  const size_t vocab = std::max<size_t>(corpus.vocab().size(), 1);
+  num_docs_ = corpus.size();
+  Rng rng(seed);
+
+  doc_vecs_.assign(num_docs_ * dim, 0.0f);
+  word_out_.assign(vocab * dim, 0.0f);
+  for (float& x : doc_vecs_) {
+    x = static_cast<float>((rng.NextDouble() - 0.5) / dim);
+  }
+
+  std::vector<size_t> counts(vocab, 0);
+  for (const Document& doc : corpus.docs()) {
+    for (TokenId t : doc.tokens) ++counts[t];
+  }
+  NegativeSampler sampler(counts);
+
+  std::vector<float> grad(dim);
+  const float lr = static_cast<float>(options_.learning_rate);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const Document& doc : corpus.docs()) {
+      float* dv = &doc_vecs_[static_cast<size_t>(doc.id) * dim];
+      for (TokenId word : doc.tokens) {
+        std::fill(grad.begin(), grad.end(), 0.0f);
+        for (size_t k = 0; k <= options_.negative_samples; ++k) {
+          TokenId target;
+          float label;
+          if (k == 0) {
+            target = word;
+            label = 1.0f;
+          } else {
+            target = sampler.Sample(rng, word);
+            label = 0.0f;
+          }
+          float* out = &word_out_[target * dim];
+          float score = 0.0f;
+          for (size_t d = 0; d < dim; ++d) score += dv[d] * out[d];
+          const float g = (label - FastSigmoid(score)) * lr;
+          for (size_t d = 0; d < dim; ++d) {
+            grad[d] += g * out[d];
+            out[d] += g * dv[d];
+          }
+        }
+        for (size_t d = 0; d < dim; ++d) dv[d] += grad[d];
+      }
+    }
+  }
+}
+
+Vec Doc2Vec::Embed(const Document& doc) const {
+  CHECK_LT(static_cast<size_t>(doc.id), num_docs_);
+  const float* dv = &doc_vecs_[static_cast<size_t>(doc.id) * options_.dim];
+  return Vec(dv, dv + options_.dim);
+}
+
+}  // namespace infoshield

@@ -1,0 +1,43 @@
+// Doc2Vec in the PV-DBOW flavor (Le & Mikolov 2014): each document owns a
+// trainable vector optimized to predict the document's words via negative
+// sampling. The paper's Doc2Vec-cl baseline clusters these document
+// vectors directly.
+
+#ifndef INFOSHIELD_BASELINES_DOC2VEC_H_
+#define INFOSHIELD_BASELINES_DOC2VEC_H_
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct Doc2VecOptions {
+  size_t dim = 64;
+  size_t negative_samples = 5;
+  double learning_rate = 0.025;
+  size_t epochs = 5;
+};
+
+class Doc2Vec : public DocumentEmbedder {
+ public:
+  Doc2Vec() = default;
+  explicit Doc2Vec(Doc2VecOptions options) : options_(options) {}
+
+  void Train(const Corpus& corpus, uint64_t seed) override;
+
+  // Returns the trained vector of a corpus document (doc.id indexes the
+  // training corpus; embedding unseen documents requires retraining, as
+  // with classic PV-DBOW inference).
+  Vec Embed(const Document& doc) const override;
+
+  size_t dim() const override { return options_.dim; }
+
+ private:
+  Doc2VecOptions options_;
+  size_t num_docs_ = 0;
+  std::vector<float> doc_vecs_;   // num_docs x dim
+  std::vector<float> word_out_;   // vocab x dim
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_DOC2VEC_H_

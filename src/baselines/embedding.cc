@@ -1,0 +1,94 @@
+#include "baselines/embedding.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+float Dot(const Vec& a, const Vec& b) {
+  CHECK_EQ(a.size(), b.size());
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+float L2Norm(const Vec& a) { return std::sqrt(Dot(a, a)); }
+
+void L2Normalize(Vec& a) {
+  float n = L2Norm(a);
+  if (n <= 0.0f) return;
+  for (float& x : a) x /= n;
+}
+
+float CosineDistance(const Vec& a, const Vec& b) {
+  float na = L2Norm(a);
+  float nb = L2Norm(b);
+  if (na <= 0.0f || nb <= 0.0f) return 2.0f;
+  return 1.0f - Dot(a, b) / (na * nb);
+}
+
+float EuclideanDistance(const Vec& a, const Vec& b) {
+  CHECK_EQ(a.size(), b.size());
+  float s = 0.0f;
+  for (size_t i = 0; i < a.size(); ++i) {
+    float d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+std::vector<Vec> EmbedCorpus(const DocumentEmbedder& embedder,
+                             const Corpus& corpus) {
+  std::vector<Vec> out;
+  out.reserve(corpus.size());
+  for (const Document& doc : corpus.docs()) {
+    Vec v = embedder.Embed(doc);
+    L2Normalize(v);
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+NegativeSampler::NegativeSampler(const std::vector<size_t>& counts) {
+  // Fixed-size alias-free table, as in the original word2vec: token i
+  // occupies a share of slots proportional to counts[i]^0.75.
+  constexpr size_t kTableSize = 1 << 20;
+  table_.reserve(kTableSize);
+  double total = 0.0;
+  for (size_t c : counts) total += std::pow(static_cast<double>(c), 0.75);
+  if (total <= 0.0 || counts.empty()) {
+    table_.push_back(0);
+    return;
+  }
+  double cumulative = 0.0;
+  size_t token = 0;
+  double share =
+      std::pow(static_cast<double>(counts[0]), 0.75) / total;
+  for (size_t slot = 0; slot < kTableSize; ++slot) {
+    table_.push_back(static_cast<uint32_t>(token));
+    if (static_cast<double>(slot) / kTableSize > cumulative + share &&
+        token + 1 < counts.size()) {
+      cumulative += share;
+      ++token;
+      share = std::pow(static_cast<double>(counts[token]), 0.75) / total;
+    }
+  }
+}
+
+TokenId NegativeSampler::Sample(Rng& rng, TokenId exclude) const {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    TokenId t = table_[rng.NextIndex(table_.size())];
+    if (t != exclude) return t;
+  }
+  return table_[rng.NextIndex(table_.size())];
+}
+
+float FastSigmoid(float x) {
+  if (x > 6.0f) return 1.0f;
+  if (x < -6.0f) return 0.0f;
+  return 1.0f / (1.0f + std::exp(-x));
+}
+
+}  // namespace infoshield

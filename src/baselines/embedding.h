@@ -1,0 +1,62 @@
+// Document-embedding interface and vector math shared by the baselines
+// (paper §V-A4: Word2Vec-cl, Doc2Vec-cl, FastText-cl are embedding models
+// trained from scratch on the ad corpus, then clustered with HDBSCAN with
+// minimum cluster size 3).
+
+#ifndef INFOSHIELD_BASELINES_EMBEDDING_H_
+#define INFOSHIELD_BASELINES_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace infoshield {
+
+using Vec = std::vector<float>;
+
+float Dot(const Vec& a, const Vec& b);
+float L2Norm(const Vec& a);
+void L2Normalize(Vec& a);
+// 1 - cosine similarity, in [0, 2]; zero vectors are maximally distant.
+float CosineDistance(const Vec& a, const Vec& b);
+float EuclideanDistance(const Vec& a, const Vec& b);
+
+// Interface for trainable document embedders.
+class DocumentEmbedder {
+ public:
+  virtual ~DocumentEmbedder() = default;
+
+  // Trains on the corpus. Must be called before Embed.
+  virtual void Train(const Corpus& corpus, uint64_t seed) = 0;
+
+  // Embeds one (corpus) document.
+  virtual Vec Embed(const Document& doc) const = 0;
+
+  virtual size_t dim() const = 0;
+};
+
+// Embeds every corpus document and L2-normalizes the vectors.
+std::vector<Vec> EmbedCorpus(const DocumentEmbedder& embedder,
+                             const Corpus& corpus);
+
+// Shared machinery for negative-sampling training: a unigram^0.75 noise
+// distribution over token ids (Mikolov et al. 2013).
+class NegativeSampler {
+ public:
+  // counts[i] = frequency of token i.
+  explicit NegativeSampler(const std::vector<size_t>& counts);
+
+  // Draws a token id; never returns `exclude`.
+  TokenId Sample(class Rng& rng, TokenId exclude) const;
+
+ private:
+  std::vector<uint32_t> table_;
+};
+
+// Fast approximate logistic sigmoid (table-based, as in word2vec.c).
+float FastSigmoid(float x);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_EMBEDDING_H_

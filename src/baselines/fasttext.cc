@@ -1,0 +1,148 @@
+#include "baselines/fasttext.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+namespace {
+
+uint32_t HashSubword(const std::string& s, size_t begin, size_t len,
+                     size_t num_buckets) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = begin; i < begin + len; ++i) {
+    h ^= static_cast<unsigned char>(s[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return static_cast<uint32_t>(h % num_buckets);
+}
+
+}  // namespace
+
+std::vector<uint32_t> FastText::Buckets(const std::string& word) const {
+  const std::string padded = "<" + word + ">";
+  std::vector<uint32_t> buckets;
+  // The whole padded word is always a bucket.
+  buckets.push_back(
+      HashSubword(padded, 0, padded.size(), options_.num_buckets));
+  for (size_t n = options_.min_char_ngram;
+       n <= options_.max_char_ngram && n < padded.size(); ++n) {
+    for (size_t b = 0; b + n <= padded.size(); ++b) {
+      buckets.push_back(HashSubword(padded, b, n, options_.num_buckets));
+    }
+  }
+  return buckets;
+}
+
+Vec FastText::ComposeFromBuckets(const std::vector<uint32_t>& buckets) const {
+  Vec v(options_.dim, 0.0f);
+  if (buckets.empty() || input_.empty()) return v;
+  for (uint32_t b : buckets) {
+    const float* in = &input_[static_cast<size_t>(b) * options_.dim];
+    for (size_t d = 0; d < options_.dim; ++d) v[d] += in[d];
+  }
+  const float inv = 1.0f / static_cast<float>(buckets.size());
+  for (float& x : v) x *= inv;
+  return v;
+}
+
+void FastText::Train(const Corpus& corpus, uint64_t seed) {
+  const size_t dim = options_.dim;
+  vocab_size_ = std::max<size_t>(corpus.vocab().size(), 1);
+  Rng rng(seed);
+
+  token_buckets_.clear();
+  token_buckets_.reserve(vocab_size_);
+  for (size_t t = 0; t < corpus.vocab().size(); ++t) {
+    token_buckets_.push_back(
+        Buckets(corpus.vocab().Word(static_cast<TokenId>(t))));
+  }
+  if (token_buckets_.empty()) token_buckets_.push_back({0});
+
+  input_.assign(options_.num_buckets * dim, 0.0f);
+  output_.assign(vocab_size_ * dim, 0.0f);
+  for (float& x : input_) {
+    x = static_cast<float>((rng.NextDouble() - 0.5) / dim);
+  }
+
+  std::vector<size_t> counts(vocab_size_, 0);
+  for (const Document& doc : corpus.docs()) {
+    for (TokenId t : doc.tokens) ++counts[t];
+  }
+  NegativeSampler sampler(counts);
+
+  std::vector<float> in_vec(dim);
+  std::vector<float> grad(dim);
+  const float lr = static_cast<float>(options_.learning_rate);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const Document& doc : corpus.docs()) {
+      const auto& toks = doc.tokens;
+      for (size_t center = 0; center < toks.size(); ++center) {
+        const size_t reduced =
+            1 + rng.NextIndex(std::max<size_t>(options_.window, 1));
+        const size_t lo = center >= reduced ? center - reduced : 0;
+        const size_t hi = std::min(center + reduced, toks.size() - 1);
+        for (size_t ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == center) continue;
+          const auto& buckets = token_buckets_[toks[ctx]];
+          // Compose the context word's input vector from its buckets.
+          std::fill(in_vec.begin(), in_vec.end(), 0.0f);
+          for (uint32_t b : buckets) {
+            const float* in = &input_[static_cast<size_t>(b) * dim];
+            for (size_t d = 0; d < dim; ++d) in_vec[d] += in[d];
+          }
+          const float inv = 1.0f / static_cast<float>(buckets.size());
+          for (float& x : in_vec) x *= inv;
+
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          for (size_t k = 0; k <= options_.negative_samples; ++k) {
+            TokenId target;
+            float label;
+            if (k == 0) {
+              target = toks[center];
+              label = 1.0f;
+            } else {
+              target = sampler.Sample(rng, toks[center]);
+              label = 0.0f;
+            }
+            float* out = &output_[target * dim];
+            float score = 0.0f;
+            for (size_t d = 0; d < dim; ++d) score += in_vec[d] * out[d];
+            const float g = (label - FastSigmoid(score)) * lr;
+            for (size_t d = 0; d < dim; ++d) {
+              grad[d] += g * out[d];
+              out[d] += g * in_vec[d];
+            }
+          }
+          // Distribute the gradient across the buckets.
+          for (uint32_t b : buckets) {
+            float* in = &input_[static_cast<size_t>(b) * dim];
+            for (size_t d = 0; d < dim; ++d) in[d] += grad[d] * inv;
+          }
+        }
+      }
+    }
+  }
+}
+
+Vec FastText::Embed(const Document& doc) const {
+  Vec v(options_.dim, 0.0f);
+  if (doc.tokens.empty() || input_.empty()) return v;
+  for (TokenId t : doc.tokens) {
+    CHECK_LT(static_cast<size_t>(t), token_buckets_.size());
+    Vec w = ComposeFromBuckets(token_buckets_[t]);
+    for (size_t d = 0; d < options_.dim; ++d) v[d] += w[d];
+  }
+  const float inv = 1.0f / static_cast<float>(doc.tokens.size());
+  for (float& x : v) x *= inv;
+  return v;
+}
+
+Vec FastText::WordVectorFromString(const std::string& word) const {
+  return ComposeFromBuckets(Buckets(word));
+}
+
+}  // namespace infoshield

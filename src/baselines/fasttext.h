@@ -1,0 +1,57 @@
+// FastText-style subword embeddings (Bojanowski et al. 2017): a word's
+// input vector is the mean of hashed character-n-gram bucket vectors
+// (plus the whole word), trained with skip-gram negative sampling. The
+// subword buckets make the model robust to the misspellings that pervade
+// escort ads and tweets — the property the paper's FastText-cl baseline
+// relies on.
+
+#ifndef INFOSHIELD_BASELINES_FASTTEXT_H_
+#define INFOSHIELD_BASELINES_FASTTEXT_H_
+
+#include <string>
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct FastTextOptions {
+  size_t dim = 64;
+  size_t window = 5;
+  size_t negative_samples = 5;
+  double learning_rate = 0.025;
+  size_t epochs = 3;
+  size_t min_char_ngram = 3;
+  size_t max_char_ngram = 5;
+  size_t num_buckets = 1 << 17;
+};
+
+class FastText : public DocumentEmbedder {
+ public:
+  FastText() = default;
+  explicit FastText(FastTextOptions options) : options_(options) {}
+
+  void Train(const Corpus& corpus, uint64_t seed) override;
+
+  Vec Embed(const Document& doc) const override;
+
+  size_t dim() const override { return options_.dim; }
+
+  // Composes a word vector from its subword buckets — works for words
+  // never seen in training (out-of-vocabulary generalization).
+  Vec WordVectorFromString(const std::string& word) const;
+
+ private:
+  // Bucket ids for a word: hashed char n-grams of "<word>".
+  std::vector<uint32_t> Buckets(const std::string& word) const;
+  Vec ComposeFromBuckets(const std::vector<uint32_t>& buckets) const;
+
+  FastTextOptions options_;
+  size_t vocab_size_ = 0;
+  std::vector<std::vector<uint32_t>> token_buckets_;  // per vocab token
+  std::vector<float> input_;   // num_buckets x dim
+  std::vector<float> output_;  // vocab_size x dim
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_FASTTEXT_H_

@@ -1,0 +1,180 @@
+#include "baselines/gmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baselines/kmeans.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+namespace internal {
+
+double AndersonDarlingStatistic(std::vector<double> samples) {
+  const size_t n = samples.size();
+  if (n < 2) return 0.0;
+  // z-score the samples.
+  double mean = 0.0;
+  for (double x : samples) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(n - 1);
+  if (var <= 0.0) return 0.0;
+  const double sd = std::sqrt(var);
+  for (double& x : samples) x = (x - mean) / sd;
+  std::sort(samples.begin(), samples.end());
+
+  auto normal_cdf = [](double z) {
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+  };
+  double a2 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double phi = normal_cdf(samples[i]);
+    double phi_rev = normal_cdf(samples[n - 1 - i]);
+    phi = std::clamp(phi, 1e-12, 1.0 - 1e-12);
+    phi_rev = std::clamp(phi_rev, 1e-12, 1.0 - 1e-12);
+    a2 += (2.0 * static_cast<double>(i) + 1.0) *
+          (std::log(phi) + std::log(1.0 - phi_rev));
+  }
+  a2 = -static_cast<double>(n) - a2 / static_cast<double>(n);
+  // Small-sample correction for estimated mean/variance (case 3).
+  const double nn = static_cast<double>(n);
+  return a2 * (1.0 + 4.0 / nn - 25.0 / (nn * nn));
+}
+
+}  // namespace internal
+
+namespace {
+
+// Splits one cluster's points with 2-means and reports whether the
+// Anderson–Darling test rejects normality along the split direction.
+bool ShouldSplit(const std::vector<Vec>& points,
+                 const std::vector<uint32_t>& member_ids,
+                 const GmeansOptions& options, uint64_t seed,
+                 std::vector<Vec>* children) {
+  if (member_ids.size() < 8) return false;  // too small to test
+  std::vector<Vec> members;
+  members.reserve(member_ids.size());
+  for (uint32_t id : member_ids) members.push_back(points[id]);
+
+  KmeansOptions ko;
+  ko.k = 2;
+  ko.max_iterations = options.kmeans_iterations;
+  KmeansResult split = Kmeans(members, ko, seed);
+  if (split.centroids.size() < 2) return false;
+
+  // Project members onto the axis connecting the two child centroids.
+  const Vec& c0 = split.centroids[0];
+  const Vec& c1 = split.centroids[1];
+  Vec axis(c0.size());
+  double norm_sq = 0.0;
+  for (size_t d = 0; d < axis.size(); ++d) {
+    axis[d] = c0[d] - c1[d];
+    norm_sq += static_cast<double>(axis[d]) * axis[d];
+  }
+  if (norm_sq <= 0.0) return false;
+  std::vector<double> projected;
+  projected.reserve(members.size());
+  for (const Vec& m : members) {
+    double dot = 0.0;
+    for (size_t d = 0; d < axis.size(); ++d) {
+      dot += static_cast<double>(m[d]) * axis[d];
+    }
+    projected.push_back(dot / norm_sq);
+  }
+
+  const double a2 = internal::AndersonDarlingStatistic(std::move(projected));
+  if (a2 <= options.critical_value) return false;  // looks Gaussian: keep
+  *children = {c0, c1};
+  return true;
+}
+
+}  // namespace
+
+GmeansResult Gmeans(const std::vector<Vec>& points,
+                    const GmeansOptions& options, uint64_t seed) {
+  GmeansResult result;
+  const size_t n = points.size();
+  if (n == 0) return result;
+  Rng rng(seed);
+
+  // Start with one cluster: the global centroid.
+  const size_t dim = points[0].size();
+  Vec global(dim, 0.0f);
+  for (const Vec& p : points) {
+    for (size_t d = 0; d < dim; ++d) global[d] += p[d];
+  }
+  for (float& x : global) x /= static_cast<float>(n);
+  std::vector<Vec> centroids{global};
+
+  bool changed = true;
+  while (changed && centroids.size() < options.max_clusters) {
+    // Lloyd assignment against the current centroid set.
+    std::vector<std::vector<uint32_t>> members(centroids.size());
+    std::vector<int64_t> labels(n, 0);
+    for (size_t iter = 0; iter < options.kmeans_iterations; ++iter) {
+      for (auto& m : members) m.clear();
+      for (size_t i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::infinity();
+        int64_t best_c = 0;
+        for (size_t c = 0; c < centroids.size(); ++c) {
+          double d = EuclideanDistance(points[i], centroids[c]);
+          if (d < best) {
+            best = d;
+            best_c = static_cast<int64_t>(c);
+          }
+        }
+        labels[i] = best_c;
+        members[static_cast<size_t>(best_c)].push_back(
+            static_cast<uint32_t>(i));
+      }
+      for (size_t c = 0; c < centroids.size(); ++c) {
+        if (members[c].empty()) continue;
+        Vec sum(dim, 0.0f);
+        for (uint32_t id : members[c]) {
+          for (size_t d = 0; d < dim; ++d) sum[d] += points[id][d];
+        }
+        for (float& x : sum) x /= static_cast<float>(members[c].size());
+        centroids[c] = std::move(sum);
+      }
+    }
+
+    // Test every cluster; split the non-Gaussian ones.
+    changed = false;
+    std::vector<Vec> next_centroids;
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      std::vector<Vec> children;
+      if (next_centroids.size() + 2 <= options.max_clusters &&
+          ShouldSplit(points, members[c], options, rng.NextUint64(),
+                      &children)) {
+        next_centroids.push_back(std::move(children[0]));
+        next_centroids.push_back(std::move(children[1]));
+        changed = true;
+      } else {
+        next_centroids.push_back(centroids[c]);
+      }
+    }
+    centroids = std::move(next_centroids);
+    result.labels = std::move(labels);
+  }
+
+  // Final assignment against the final centroids.
+  result.labels.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < centroids.size(); ++c) {
+      double d = EuclideanDistance(points[i], centroids[c]);
+      if (d < best) {
+        best = d;
+        result.labels[i] = static_cast<int64_t>(c);
+      }
+    }
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,44 @@
+// G-means (Hamerly & Elkan 2003) — k-means with k chosen automatically
+// by statistical testing: each cluster is split in two and kept split
+// iff the data projected onto the split direction fails an
+// Anderson–Darling normality test. The paper's Table I discussion names
+// G-means as the parameter-free member of the centroid-clustering
+// family, so it is the fair parameter-free centroid baseline.
+
+#ifndef INFOSHIELD_BASELINES_GMEANS_H_
+#define INFOSHIELD_BASELINES_GMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct GmeansOptions {
+  // Anderson–Darling critical value; 1.8692 ~ significance level 0.0001
+  // (Hamerly & Elkan's recommended strict setting — conservative
+  // splitting).
+  double critical_value = 1.8692;
+  size_t max_clusters = 256;
+  size_t kmeans_iterations = 30;
+};
+
+struct GmeansResult {
+  std::vector<int64_t> labels;
+  std::vector<Vec> centroids;
+  size_t num_clusters() const { return centroids.size(); }
+};
+
+GmeansResult Gmeans(const std::vector<Vec>& points,
+                    const GmeansOptions& options, uint64_t seed);
+
+namespace internal {
+// Anderson–Darling A*^2 statistic against a standard normal, applied to
+// z-scored samples. Exposed for tests.
+double AndersonDarlingStatistic(std::vector<double> samples);
+}  // namespace internal
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_GMEANS_H_

@@ -1,0 +1,266 @@
+#include "baselines/hdbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/union_find.h"
+#include "util/logging.h"
+
+namespace infoshield {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lambda = 1/distance with a floor so exact duplicates stay finite.
+double LambdaOf(double distance) {
+  return 1.0 / std::max(distance, 1e-9);
+}
+
+struct MstEdge {
+  uint32_t a;
+  uint32_t b;
+  double weight;
+};
+
+// Prim's algorithm over the implicit complete mutual-reachability graph.
+std::vector<MstEdge> MutualReachabilityMst(const std::vector<Vec>& points,
+                                           const std::vector<double>& core) {
+  const size_t n = points.size();
+  std::vector<MstEdge> mst;
+  if (n <= 1) return mst;
+  std::vector<bool> in_tree(n, false);
+  std::vector<double> best(n, kInf);
+  std::vector<uint32_t> from(n, 0);
+  uint32_t current = 0;
+  in_tree[0] = true;
+  for (size_t added = 1; added < n; ++added) {
+    // Relax edges out of `current`.
+    for (uint32_t j = 0; j < n; ++j) {
+      if (in_tree[j]) continue;
+      double d = CosineDistance(points[current], points[j]);
+      double mrd = std::max({core[current], core[j], d});
+      if (mrd < best[j]) {
+        best[j] = mrd;
+        from[j] = current;
+      }
+    }
+    // Pick the closest outside vertex.
+    double min_w = kInf;
+    uint32_t pick = 0;
+    for (uint32_t j = 0; j < n; ++j) {
+      if (!in_tree[j] && best[j] < min_w) {
+        min_w = best[j];
+        pick = j;
+      }
+    }
+    mst.push_back(MstEdge{from[pick], pick, best[pick]});
+    in_tree[pick] = true;
+    current = pick;
+  }
+  return mst;
+}
+
+// Single-linkage dendrogram node (points are leaves 0..n-1).
+struct DendroNode {
+  int left = -1;
+  int right = -1;
+  double distance = 0.0;
+  uint32_t size = 1;
+};
+
+// Rows of the condensed tree: child (point id < n, or cluster id >= n)
+// leaves `parent` at `lambda`; `size` = 1 for points.
+struct CondensedRow {
+  int parent;
+  int child;
+  double lambda;
+  uint32_t size;
+};
+
+}  // namespace
+
+std::vector<int64_t> Hdbscan(const std::vector<Vec>& points,
+                             const HdbscanOptions& options) {
+  const size_t n = points.size();
+  std::vector<int64_t> labels(n, -1);
+  const size_t mcs = std::max<size_t>(options.min_cluster_size, 2);
+  if (n < mcs) return labels;
+  const size_t k =
+      options.min_samples > 0 ? options.min_samples : mcs;
+
+  // --- Core distances: distance to the k-th nearest neighbor (self
+  // counts as the first, at distance 0). ---
+  std::vector<double> core(n, 0.0);
+  {
+    std::vector<double> dists(n);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        dists[j] = CosineDistance(points[i], points[j]);
+      }
+      size_t kth = std::min(k - 1, n - 1);
+      std::nth_element(dists.begin(), dists.begin() + kth, dists.end());
+      core[i] = dists[kth];
+    }
+  }
+
+  // --- MST of the mutual-reachability graph. ---
+  std::vector<MstEdge> mst = MutualReachabilityMst(points, core);
+  std::sort(mst.begin(), mst.end(),
+            [](const MstEdge& x, const MstEdge& y) {
+              return x.weight < y.weight;
+            });
+
+  // --- Single-linkage dendrogram via union-find. ---
+  std::vector<DendroNode> dendro(n);  // leaves first
+  std::vector<int> component_node(n);
+  std::iota(component_node.begin(), component_node.end(), 0);
+  UnionFind uf(n);
+  for (const MstEdge& e : mst) {
+    uint32_t ra = uf.Find(e.a);
+    uint32_t rb = uf.Find(e.b);
+    CHECK_NE(ra, rb);
+    DendroNode node;
+    node.left = component_node[ra];
+    node.right = component_node[rb];
+    node.distance = e.weight;
+    node.size = dendro[node.left].size + dendro[node.right].size;
+    dendro.push_back(node);
+    uf.Union(ra, rb);
+    component_node[uf.Find(ra)] = static_cast<int>(dendro.size()) - 1;
+  }
+  const int root = static_cast<int>(dendro.size()) - 1;
+
+  // --- Condense the dendrogram at min_cluster_size. ---
+  // Cluster ids are assigned from n upward (n = root cluster).
+  std::vector<CondensedRow> condensed;
+  int next_cluster = static_cast<int>(n) + 1;
+  struct Work {
+    int node;
+    int cluster;
+  };
+  std::vector<Work> stack{{root, static_cast<int>(n)}};
+
+  // Drops every leaf under `node` out of `cluster` at `lambda`.
+  auto spill_points = [&](int node, int cluster, double lambda) {
+    std::vector<int> s{node};
+    while (!s.empty()) {
+      int v = s.back();
+      s.pop_back();
+      if (v < static_cast<int>(n)) {
+        condensed.push_back(CondensedRow{cluster, v, lambda, 1});
+      } else {
+        s.push_back(dendro[v].left);
+        s.push_back(dendro[v].right);
+      }
+    }
+  };
+
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    if (w.node < static_cast<int>(n)) {
+      // A bare point reached directly: it exits its cluster last.
+      condensed.push_back(
+          CondensedRow{w.cluster, w.node, LambdaOf(0.0), 1});
+      continue;
+    }
+    const DendroNode& v = dendro[w.node];
+    const double lambda = LambdaOf(v.distance);
+    const uint32_t left_size =
+        v.left >= 0 ? dendro[v.left].size : 0;
+    const uint32_t right_size =
+        v.right >= 0 ? dendro[v.right].size : 0;
+    const bool left_big = left_size >= mcs;
+    const bool right_big = right_size >= mcs;
+    if (left_big && right_big) {
+      // True split: two new clusters are born.
+      int lc = next_cluster++;
+      int rc = next_cluster++;
+      condensed.push_back(CondensedRow{w.cluster, lc, lambda, left_size});
+      condensed.push_back(CondensedRow{w.cluster, rc, lambda, right_size});
+      stack.push_back({v.left, lc});
+      stack.push_back({v.right, rc});
+    } else if (left_big) {
+      spill_points(v.right, w.cluster, lambda);
+      stack.push_back({v.left, w.cluster});
+    } else if (right_big) {
+      spill_points(v.left, w.cluster, lambda);
+      stack.push_back({v.right, w.cluster});
+    } else {
+      spill_points(v.left, w.cluster, lambda);
+      spill_points(v.right, w.cluster, lambda);
+    }
+  }
+
+  const int num_clusters = next_cluster - static_cast<int>(n);
+
+  // --- Stabilities. ---
+  std::vector<double> birth_lambda(num_clusters, 0.0);
+  std::vector<int> parent_of(num_clusters, -1);
+  for (const CondensedRow& row : condensed) {
+    if (row.child >= static_cast<int>(n)) {
+      const int c = row.child - static_cast<int>(n);
+      birth_lambda[c] = row.lambda;
+      parent_of[c] = row.parent - static_cast<int>(n);
+    }
+  }
+  std::vector<double> stability(num_clusters, 0.0);
+  for (const CondensedRow& row : condensed) {
+    const int p = row.parent - static_cast<int>(n);
+    stability[p] += (row.lambda - birth_lambda[p]) *
+                    static_cast<double>(row.size);
+  }
+
+  // --- Excess-of-mass cluster selection (children before parents:
+  // cluster ids increase downward, so reverse id order works). ---
+  std::vector<double> subtree_stability(stability);
+  std::vector<bool> selected(num_clusters, false);
+  std::vector<std::vector<int>> children(num_clusters);
+  for (int c = 1; c < num_clusters; ++c) {
+    children[parent_of[c]].push_back(c);
+  }
+  for (int c = num_clusters - 1; c >= 1; --c) {
+    double child_sum = 0.0;
+    for (int ch : children[c]) child_sum += subtree_stability[ch];
+    if (children[c].empty() || stability[c] >= child_sum) {
+      selected[c] = true;
+      subtree_stability[c] = stability[c];
+      // Deselect all descendants.
+      std::vector<int> s(children[c]);
+      while (!s.empty()) {
+        int v = s.back();
+        s.pop_back();
+        selected[v] = false;
+        for (int ch : children[v]) s.push_back(ch);
+      }
+    } else {
+      subtree_stability[c] = child_sum;
+    }
+  }
+  // The root (c == 0, "everything") is never a cluster.
+
+  // --- Labels: each point belongs to its nearest selected ancestor. ---
+  std::vector<int> point_cluster(n, -1);
+  for (const CondensedRow& row : condensed) {
+    if (row.child < static_cast<int>(n)) {
+      point_cluster[static_cast<size_t>(row.child)] =
+          row.parent - static_cast<int>(n);
+    }
+  }
+  std::vector<int64_t> cluster_label(num_clusters, -1);
+  int64_t next_label = 0;
+  for (int c = 1; c < num_clusters; ++c) {
+    if (selected[c]) cluster_label[c] = next_label++;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    int c = point_cluster[i];
+    while (c >= 0 && !selected[c]) c = parent_of[c];
+    labels[i] = (c >= 1 && selected[c]) ? cluster_label[c] : -1;
+  }
+  return labels;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,34 @@
+// HDBSCAN* (Campello, Moulavi & Sander 2013; McInnes et al. 2017) —
+// hierarchical density-based clustering, the clusterer the paper's
+// *-cl baselines use with minimum cluster size 3.
+//
+// Pipeline: core distances (k-NN) -> mutual-reachability distances ->
+// minimum spanning tree (Prim) -> single-linkage dendrogram -> condensed
+// tree at min_cluster_size -> stability-based (excess-of-mass) flat
+// cluster extraction. Brute-force distances: O(n^2), adequate at the
+// corpus sizes the baseline benchmarks use.
+
+#ifndef INFOSHIELD_BASELINES_HDBSCAN_H_
+#define INFOSHIELD_BASELINES_HDBSCAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct HdbscanOptions {
+  // Smallest grouping considered a cluster (paper baseline: 3).
+  size_t min_cluster_size = 3;
+  // k for core distances; 0 = use min_cluster_size.
+  size_t min_samples = 0;
+};
+
+// Returns a label per point: cluster ids from 0 upward, -1 for noise.
+std::vector<int64_t> Hdbscan(const std::vector<Vec>& points,
+                             const HdbscanOptions& options);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_HDBSCAN_H_

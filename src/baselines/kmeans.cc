@@ -1,0 +1,101 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+KmeansResult Kmeans(const std::vector<Vec>& points,
+                    const KmeansOptions& options, uint64_t seed) {
+  KmeansResult result;
+  const size_t n = points.size();
+  if (n == 0) return result;
+  const size_t dim = points[0].size();
+  const size_t k = std::min(options.k, n);
+  Rng rng(seed);
+
+  // k-means++ seeding.
+  result.centroids.push_back(points[rng.NextIndex(n)]);
+  std::vector<double> min_sq(n, 0.0);
+  while (result.centroids.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vec& c : result.centroids) {
+        double d = EuclideanDistance(points[i], c);
+        best = std::min(best, static_cast<double>(d) * d);
+      }
+      min_sq[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      result.centroids.push_back(points[rng.NextIndex(n)]);
+      continue;
+    }
+    double r = rng.NextDouble() * total;
+    size_t pick = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      r -= min_sq[i];
+      if (r <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    result.centroids.push_back(points[pick]);
+  }
+
+  result.labels.assign(n, 0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment.
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int64_t best_c = 0;
+      for (size_t c = 0; c < result.centroids.size(); ++c) {
+        double d = EuclideanDistance(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int64_t>(c);
+        }
+      }
+      if (result.labels[i] != best_c) {
+        result.labels[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<Vec> sums(result.centroids.size(), Vec(dim, 0.0f));
+    std::vector<size_t> counts(result.centroids.size(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      Vec& s = sums[static_cast<size_t>(result.labels[i])];
+      for (size_t d = 0; d < dim; ++d) s[d] += points[i][d];
+      ++counts[static_cast<size_t>(result.labels[i])];
+    }
+    for (size_t c = 0; c < sums.size(); ++c) {
+      if (counts[c] == 0) {
+        // Re-seed empty cluster at a random point.
+        result.centroids[c] = points[rng.NextIndex(n)];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        sums[c][d] /= static_cast<float>(counts[c]);
+      }
+      result.centroids[c] = std::move(sums[c]);
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = EuclideanDistance(
+        points[i], result.centroids[static_cast<size_t>(result.labels[i])]);
+    result.inertia += d * d;
+  }
+  return result;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,31 @@
+// Lloyd's k-means with k-means++ initialization — the classic centroid
+// baseline contrasted in the paper's related work (§II-C).
+
+#ifndef INFOSHIELD_BASELINES_KMEANS_H_
+#define INFOSHIELD_BASELINES_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct KmeansOptions {
+  size_t k = 8;
+  size_t max_iterations = 50;
+};
+
+struct KmeansResult {
+  std::vector<int64_t> labels;  // cluster per point, 0..k-1
+  std::vector<Vec> centroids;
+  double inertia = 0.0;  // sum of squared distances to assigned centroid
+  size_t iterations = 0;
+};
+
+KmeansResult Kmeans(const std::vector<Vec>& points,
+                    const KmeansOptions& options, uint64_t seed);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_KMEANS_H_

@@ -1,0 +1,80 @@
+#include "baselines/logreg.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+namespace {
+
+uint32_t HashFeature(uint64_t a, uint64_t b, size_t space) {
+  uint64_t h = a * 0x9e3779b97f4a7c15ULL ^ (b + 0xbf58476d1ce4e5b9ULL);
+  h ^= h >> 29;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 32;
+  return static_cast<uint32_t>(h % space);
+}
+
+double Sigmoid(double x) {
+  if (x > 30) return 1.0;
+  if (x < -30) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+std::vector<uint32_t> LogisticRegression::Features(const Document& doc) const {
+  std::vector<uint32_t> feats;
+  feats.reserve(doc.tokens.size() * 2);
+  for (size_t i = 0; i < doc.tokens.size(); ++i) {
+    feats.push_back(HashFeature(doc.tokens[i], 0, options_.num_features));
+    if (i + 1 < doc.tokens.size()) {
+      feats.push_back(HashFeature(doc.tokens[i],
+                                  static_cast<uint64_t>(doc.tokens[i + 1]) + 1,
+                                  options_.num_features));
+    }
+  }
+  return feats;
+}
+
+void LogisticRegression::Train(const Corpus& corpus,
+                               const std::vector<bool>& labels,
+                               uint64_t seed) {
+  CHECK_EQ(corpus.size(), labels.size());
+  weights_.assign(options_.num_features, 0.0f);
+  bias_ = 0.0f;
+  Rng rng(seed);
+
+  std::vector<uint32_t> order(corpus.size());
+  std::iota(order.begin(), order.end(), 0u);
+
+  const float lr = static_cast<float>(options_.learning_rate);
+  const float decay = 1.0f - static_cast<float>(options_.l2 *
+                                                options_.learning_rate);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (uint32_t idx : order) {
+      const Document& doc = corpus.doc(idx);
+      std::vector<uint32_t> feats = Features(doc);
+      double score = bias_;
+      for (uint32_t f : feats) score += weights_[f];
+      const double y = labels[idx] ? 1.0 : 0.0;
+      const float g = static_cast<float>(y - Sigmoid(score)) * lr;
+      for (uint32_t f : feats) {
+        weights_[f] = weights_[f] * decay + g;
+      }
+      bias_ += g;
+    }
+  }
+}
+
+double LogisticRegression::PredictProbability(const Document& doc) const {
+  double score = bias_;
+  for (uint32_t f : Features(doc)) score += weights_[f];
+  return Sigmoid(score);
+}
+
+}  // namespace infoshield

@@ -1,0 +1,52 @@
+// Logistic regression over hashed bag-of-words features, trained with
+// SGD. Stand-in for the paper's supervised Twitter baselines (Yang,
+// Ahmed, BotOrNot), which rely on platform features and closed data: it
+// marks the "supervised" rows of Table VIII with a method that consumes
+// the same text the unsupervised methods see.
+
+#ifndef INFOSHIELD_BASELINES_LOGREG_H_
+#define INFOSHIELD_BASELINES_LOGREG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace infoshield {
+
+struct LogRegOptions {
+  size_t num_features = 1 << 18;  // hashed feature space
+  double learning_rate = 0.1;
+  double l2 = 1e-6;
+  size_t epochs = 5;
+};
+
+class LogisticRegression {
+ public:
+  LogisticRegression() = default;
+  explicit LogisticRegression(LogRegOptions options) : options_(options) {}
+
+  // labels[i]: whether corpus document i is positive. Trains with SGD in
+  // a seeded random order.
+  void Train(const Corpus& corpus, const std::vector<bool>& labels,
+             uint64_t seed);
+
+  // P(positive | doc).
+  double PredictProbability(const Document& doc) const;
+
+  bool Predict(const Document& doc, double threshold = 0.5) const {
+    return PredictProbability(doc) >= threshold;
+  }
+
+ private:
+  // Hashed unigram + bigram feature ids of a document.
+  std::vector<uint32_t> Features(const Document& doc) const;
+
+  LogRegOptions options_;
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_LOGREG_H_

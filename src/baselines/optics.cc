@@ -1,0 +1,116 @@
+#include "baselines/optics.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace infoshield {
+
+namespace {
+
+constexpr double kUndef = OpticsResult::kUndefinedReachability;
+
+}  // namespace
+
+std::vector<int64_t> OpticsResult::ExtractDbscan(double eps) const {
+  std::vector<int64_t> labels(ordering.size(), -1);
+  int64_t cluster = -1;
+  for (uint32_t p : ordering) {
+    const double r = reachability[p];
+    if (r == kUndef || r > eps) {
+      const double core = core_distance[p];
+      if (core != kUndef && core <= eps) {
+        ++cluster;  // p starts a new cluster
+        labels[p] = cluster;
+      } else {
+        labels[p] = -1;  // noise
+      }
+    } else {
+      labels[p] = cluster;
+    }
+  }
+  return labels;
+}
+
+OpticsResult Optics(const std::vector<Vec>& points,
+                    const OpticsOptions& options) {
+  const size_t n = points.size();
+  OpticsResult result;
+  result.reachability.assign(n, kUndef);
+  result.core_distance.assign(n, kUndef);
+  result.ordering.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<bool> processed(n, false);
+  std::vector<double> dist(n);
+
+  // Distances from one point to all others; also derives core distance.
+  auto scan = [&](size_t p) {
+    size_t within = 0;
+    for (size_t j = 0; j < n; ++j) {
+      dist[j] = CosineDistance(points[p], points[j]);
+      if (dist[j] <= options.max_eps) ++within;
+    }
+    if (within >= options.min_pts) {
+      std::vector<double> sorted(dist);
+      std::nth_element(sorted.begin(),
+                       sorted.begin() + (options.min_pts - 1),
+                       sorted.end());
+      result.core_distance[p] = sorted[options.min_pts - 1];
+    }
+  };
+
+  for (size_t start = 0; start < n; ++start) {
+    if (processed[start]) continue;
+    // Seed list as a simple (reachability, id) pool; n is small enough
+    // for linear minimum extraction.
+    std::vector<double> seed_reach(n,
+                                   std::numeric_limits<double>::infinity());
+    std::vector<bool> in_seeds(n, false);
+
+    processed[start] = true;
+    result.ordering.push_back(static_cast<uint32_t>(start));
+    scan(start);
+    if (result.core_distance[start] != kUndef) {
+      for (size_t j = 0; j < n; ++j) {
+        if (processed[j] || dist[j] > options.max_eps) continue;
+        const double new_reach =
+            std::max(result.core_distance[start], dist[j]);
+        if (new_reach < seed_reach[j]) {
+          seed_reach[j] = new_reach;
+          in_seeds[j] = true;
+        }
+      }
+    }
+
+    while (true) {
+      // Pop the unprocessed seed with the smallest reachability.
+      size_t best = n;
+      double best_reach = std::numeric_limits<double>::infinity();
+      for (size_t j = 0; j < n; ++j) {
+        if (in_seeds[j] && !processed[j] && seed_reach[j] < best_reach) {
+          best_reach = seed_reach[j];
+          best = j;
+        }
+      }
+      if (best == n) break;
+      processed[best] = true;
+      in_seeds[best] = false;
+      result.reachability[best] = best_reach;
+      result.ordering.push_back(static_cast<uint32_t>(best));
+      scan(best);
+      if (result.core_distance[best] == kUndef) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (processed[j] || dist[j] > options.max_eps) continue;
+        const double new_reach =
+            std::max(result.core_distance[best], dist[j]);
+        if (new_reach < seed_reach[j]) {
+          seed_reach[j] = new_reach;
+          in_seeds[j] = true;
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,44 @@
+// OPTICS (Ankerst, Breunig, Kriegel & Sander 1999) — density-based
+// cluster ordering, cited by the paper (§II-C) among the density
+// clusterers relevant to micro-cluster search. Produces the reachability
+// ordering plus a DBSCAN-equivalent flat extraction at a cut distance.
+
+#ifndef INFOSHIELD_BASELINES_OPTICS_H_
+#define INFOSHIELD_BASELINES_OPTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct OpticsOptions {
+  // Neighborhood radius used while building the ordering (cosine
+  // distance; 2.0 = unbounded, the classic OPTICS setting).
+  double max_eps = 2.0;
+  size_t min_pts = 3;
+};
+
+struct OpticsResult {
+  // Point indices in OPTICS processing order.
+  std::vector<uint32_t> ordering;
+  // Reachability distance per point (kUndefinedReachability if never
+  // reachable), indexed by point id.
+  std::vector<double> reachability;
+  // Core distance per point (kUndefinedReachability if not a core
+  // point), indexed by point id.
+  std::vector<double> core_distance;
+
+  static constexpr double kUndefinedReachability = -1.0;
+
+  // DBSCAN-equivalent flat clustering at radius eps <= max_eps.
+  std::vector<int64_t> ExtractDbscan(double eps) const;
+};
+
+OpticsResult Optics(const std::vector<Vec>& points,
+                    const OpticsOptions& options);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_OPTICS_H_

@@ -1,0 +1,89 @@
+#include "baselines/word2vec.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+void Word2Vec::Train(const Corpus& corpus, uint64_t seed) {
+  const size_t dim = options_.dim;
+  vocab_size_ = std::max<size_t>(corpus.vocab().size(), 1);
+  Rng rng(seed);
+
+  input_.assign(vocab_size_ * dim, 0.0f);
+  output_.assign(vocab_size_ * dim, 0.0f);
+  for (float& x : input_) {
+    x = static_cast<float>((rng.NextDouble() - 0.5) / dim);
+  }
+
+  std::vector<size_t> counts(vocab_size_, 0);
+  for (const Document& doc : corpus.docs()) {
+    for (TokenId t : doc.tokens) ++counts[t];
+  }
+  NegativeSampler sampler(counts);
+
+  std::vector<float> grad(dim);
+  const float lr = static_cast<float>(options_.learning_rate);
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const Document& doc : corpus.docs()) {
+      const auto& toks = doc.tokens;
+      for (size_t center = 0; center < toks.size(); ++center) {
+        // Dynamic window, as in the reference implementation.
+        const size_t reduced =
+            1 + rng.NextIndex(std::max<size_t>(options_.window, 1));
+        const size_t lo = center >= reduced ? center - reduced : 0;
+        const size_t hi = std::min(center + reduced, toks.size() - 1);
+        for (size_t ctx = lo; ctx <= hi; ++ctx) {
+          if (ctx == center) continue;
+          float* in = &input_[toks[ctx] * dim];
+          std::fill(grad.begin(), grad.end(), 0.0f);
+          // Positive pair + negative samples.
+          for (size_t k = 0; k <= options_.negative_samples; ++k) {
+            TokenId target;
+            float label;
+            if (k == 0) {
+              target = toks[center];
+              label = 1.0f;
+            } else {
+              target = sampler.Sample(rng, toks[center]);
+              label = 0.0f;
+            }
+            float* out = &output_[target * dim];
+            float score = 0.0f;
+            for (size_t d = 0; d < dim; ++d) score += in[d] * out[d];
+            const float g = (label - FastSigmoid(score)) * lr;
+            for (size_t d = 0; d < dim; ++d) {
+              grad[d] += g * out[d];
+              out[d] += g * in[d];
+            }
+          }
+          for (size_t d = 0; d < dim; ++d) in[d] += grad[d];
+        }
+      }
+    }
+  }
+}
+
+Vec Word2Vec::Embed(const Document& doc) const {
+  Vec v(options_.dim, 0.0f);
+  if (doc.tokens.empty() || input_.empty()) return v;
+  for (TokenId t : doc.tokens) {
+    CHECK_LT(static_cast<size_t>(t), vocab_size_);
+    const float* in = &input_[t * options_.dim];
+    for (size_t d = 0; d < options_.dim; ++d) v[d] += in[d];
+  }
+  const float inv = 1.0f / static_cast<float>(doc.tokens.size());
+  for (float& x : v) x *= inv;
+  return v;
+}
+
+Vec Word2Vec::WordVector(TokenId token) const {
+  CHECK_LT(static_cast<size_t>(token), vocab_size_);
+  const float* in = &input_[token * options_.dim];
+  return Vec(in, in + options_.dim);
+}
+
+}  // namespace infoshield

@@ -1,0 +1,44 @@
+// Word2Vec: skip-gram with negative sampling (Mikolov et al. 2013),
+// trained from scratch — the paper's Word2Vec-cl baseline embeds ads with
+// such a model and averages word vectors per document.
+
+#ifndef INFOSHIELD_BASELINES_WORD2VEC_H_
+#define INFOSHIELD_BASELINES_WORD2VEC_H_
+
+#include "baselines/embedding.h"
+
+namespace infoshield {
+
+struct Word2VecOptions {
+  size_t dim = 64;
+  size_t window = 5;
+  size_t negative_samples = 5;
+  double learning_rate = 0.025;
+  size_t epochs = 3;
+};
+
+class Word2Vec : public DocumentEmbedder {
+ public:
+  Word2Vec() = default;
+  explicit Word2Vec(Word2VecOptions options) : options_(options) {}
+
+  void Train(const Corpus& corpus, uint64_t seed) override;
+
+  // Mean of the document tokens' input vectors.
+  Vec Embed(const Document& doc) const override;
+
+  size_t dim() const override { return options_.dim; }
+
+  // Input vector of one token (for tests / nearest-neighbor probes).
+  Vec WordVector(TokenId token) const;
+
+ private:
+  Word2VecOptions options_;
+  size_t vocab_size_ = 0;
+  std::vector<float> input_;   // vocab_size x dim
+  std::vector<float> output_;  // vocab_size x dim
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_BASELINES_WORD2VEC_H_

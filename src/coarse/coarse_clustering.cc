@@ -1,0 +1,51 @@
+#include "coarse/coarse_clustering.h"
+
+#include <unordered_map>
+
+#include "graph/connected_components.h"
+#include "graph/union_find.h"
+
+namespace infoshield {
+
+CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
+  CoarseResult result;
+  const size_t n = corpus.size();
+  if (n == 0) return result;
+
+  TfidfIndex index;
+  index.Build(corpus, options_.tfidf);
+
+  // Instead of materializing phrase vertices, union documents that share a
+  // top phrase: the first document seen with each phrase acts as the
+  // phrase's anchor. This yields exactly the connected components of the
+  // bipartite graph restricted to document vertices.
+  std::unordered_map<PhraseHash, DocId> anchor;
+  std::unordered_map<PhraseHash, uint32_t> degree;
+  UnionFind uf(n);
+
+  result.doc_top_phrases.resize(n);
+  for (const Document& doc : corpus.docs()) {
+    for (const ScoredPhrase& phrase : index.TopPhrases(doc)) {
+      ++result.num_edges;
+      result.doc_top_phrases[doc.id].push_back(phrase.hash);
+      if (options_.max_phrase_degree > 0) {
+        uint32_t d = ++degree[phrase.hash];
+        if (d > options_.max_phrase_degree) continue;
+      }
+      auto [it, inserted] = anchor.emplace(phrase.hash, doc.id);
+      if (!inserted) uf.Union(it->second, doc.id);
+    }
+  }
+
+  Components components = ExtractComponents(uf, /*min_component_size=*/1);
+  for (auto& group : components.groups) {
+    if (group.size() < options_.min_cluster_size) {
+      for (uint32_t id : group) result.singletons.push_back(id);
+    } else {
+      result.clusters.push_back(std::move(group));
+    }
+  }
+  return result;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,66 @@
+// InfoShield-Coarse (paper §IV-A, Algorithm 1).
+//
+// Builds a bipartite document–phrase graph: an edge (d, p) exists iff p is
+// one of d's top tf-idf phrases. Coarse clusters are the connected
+// components of that graph; components of size one (documents sharing no
+// important phrase with anyone) are eliminated.
+//
+// The stage is intentionally permissive — one shared important phrase is
+// enough to connect two documents — because InfoShield-Fine refines and,
+// if necessary, splits each coarse cluster. Quasi-linear in the input
+// (Lemma 2).
+
+#ifndef INFOSHIELD_COARSE_COARSE_CLUSTERING_H_
+#define INFOSHIELD_COARSE_COARSE_CLUSTERING_H_
+
+#include <vector>
+
+#include "text/corpus.h"
+#include "tfidf/tfidf_index.h"
+
+namespace infoshield {
+
+struct CoarseOptions {
+  TfidfOptions tfidf;
+  // Components smaller than this are dropped (2 = eliminate singletons).
+  size_t min_cluster_size = 2;
+  // Safety valve against degenerate giant components: phrases connecting
+  // more than this many documents are ignored as hubs (0 = no cap). The
+  // paper relies on tf-idf making such phrases low-scored; the cap guards
+  // pathological inputs without affecting normal runs.
+  size_t max_phrase_degree = 0;
+};
+
+struct CoarseResult {
+  // Candidate clusters: lists of DocIds, deterministic order.
+  std::vector<std::vector<DocId>> clusters;
+  // Documents eliminated as singletons.
+  std::vector<DocId> singletons;
+  // Each document's kept top phrases (indexed by DocId). The fine stage
+  // uses these to seed candidate sets from phrase-sharing neighbors,
+  // which keeps the pipeline quasi-linear even when a coarse component
+  // over-merges (the paper leans on the fine stage to split such
+  // components; near-duplicates always share top phrases directly, so
+  // neighbor seeding loses nothing).
+  std::vector<std::vector<PhraseHash>> doc_top_phrases;
+  // Bipartite edge count (for diagnostics / scaling studies).
+  size_t num_edges = 0;
+};
+
+class CoarseClustering {
+ public:
+  CoarseClustering() = default;
+  explicit CoarseClustering(CoarseOptions options)
+      : options_(options) {}
+
+  CoarseResult Run(const Corpus& corpus) const;
+
+  const CoarseOptions& options() const { return options_; }
+
+ private:
+  CoarseOptions options_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_COARSE_COARSE_CLUSTERING_H_

@@ -1,0 +1,332 @@
+#include "core/fine_clustering.h"
+
+#include <algorithm>
+#include <memory>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+namespace {
+
+// Total cluster cost (Definition 1) for a set of accepted templates.
+// shapes: (length, slots) per template; encoded_base: per template, the
+// sum of its members' AlignmentCostBase; num_encoded: total docs encoded.
+double TotalCost(const CostModel& cm, size_t num_docs,
+                 const std::vector<std::pair<size_t, size_t>>& shapes,
+                 const std::vector<double>& encoded_base, size_t num_encoded,
+                 double noise_token_cost) {
+  double cost = cm.ModelCost(shapes);
+  cost += static_cast<double>(num_docs);  // 1-bit template flag per doc
+  cost += noise_token_cost;
+  const double lg_t = Log2Bits(shapes.size());
+  for (double base : encoded_base) cost += base;
+  cost += lg_t * static_cast<double>(num_encoded);
+  return cost;
+}
+
+}  // namespace
+
+double FineClustering::CandidateDataCost(
+    const std::vector<TokenId>& consensus,
+    const std::vector<std::vector<TokenId>>& docs,
+    const CostModel& cost_model) const {
+  // Evaluate the candidate the way it would actually be used: slots
+  // detected, model cost included. Scoring data cost alone (a literal
+  // reading of Eq. 6) systematically prefers bloated consensuses —
+  // every variant branch kept as constants, paid for with cheap
+  // deletions — which then fail the MDL acceptance test; the paper's
+  // stated goal is total-cost minimization, so the search target is
+  // C(T_i) + C(D_i | T_i) after slot detection.
+  Template tmpl(consensus);
+  std::vector<Alignment> alignments;
+  alignments.reserve(docs.size());
+  for (const auto& doc : docs) {
+    alignments.push_back(NeedlemanWunsch(tmpl.tokens, doc, options_.scoring));
+  }
+  DetectSlots(tmpl, alignments, cost_model);
+  double cost = cost_model.TemplateCost(tmpl.length(), tmpl.num_slots());
+  for (const Alignment& a : alignments) {
+    cost += EncodeDocumentWithAlignment(tmpl, a, cost_model).base_cost;
+  }
+  return cost;
+}
+
+std::vector<TokenId> FineClustering::ConsensusSearch(
+    const MsaAligner& alignment,
+    const std::vector<std::vector<TokenId>>& candidate_docs,
+    const CostModel& cost_model) const {
+  const size_t n = candidate_docs.size();
+  CHECK_GE(n, 1u);
+  const int64_t h_max = static_cast<int64_t>(n) - 1;
+
+  std::unordered_map<int64_t, double> cache;
+  auto eval = [&](int64_t h) -> double {
+    h = std::clamp<int64_t>(h, 0, h_max);
+    auto it = cache.find(h);
+    if (it != cache.end()) return it->second;
+    std::vector<TokenId> consensus =
+        alignment.ConsensusAtThreshold(static_cast<size_t>(h));
+    double cost = CandidateDataCost(consensus, candidate_docs, cost_model);
+    cache.emplace(h, cost);
+    return cost;
+  };
+
+  int64_t best_h = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  auto consider = [&](int64_t h) {
+    h = std::clamp<int64_t>(h, 0, h_max);
+    double c = eval(h);
+    if (c < best_cost || (c == best_cost && h < best_h)) {
+      best_cost = c;
+      best_h = h;
+    }
+  };
+
+  if (options_.exhaustive_consensus_search) {
+    for (int64_t h = 0; h <= h_max; ++h) consider(h);
+  } else {
+    // Dichotomous search (Algorithm 2), plus argmin over all probes.
+    int64_t lo = 0;
+    int64_t hi = h_max;
+    while (lo < hi) {
+      int64_t mid = (lo + hi) / 2;
+      double left = eval(mid - 1);
+      double right = eval(mid + 1);
+      consider(mid - 1);
+      consider(mid);
+      consider(mid + 1);
+      if (left <= right) {
+        hi = mid - 1;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    consider(lo);
+  }
+  return alignment.ConsensusAtThreshold(static_cast<size_t>(best_h));
+}
+
+void FineClustering::DetectSlots(Template& tmpl,
+                                 const std::vector<Alignment>& alignments,
+                                 const CostModel& cost_model) const {
+  // Candidate gaps: positions that accumulate inserted or substituted
+  // words across the candidate alignments (Algorithm 3's dictionary P).
+  std::unordered_set<size_t> candidate_set;
+  for (const Alignment& a : alignments) {
+    size_t x = 0;
+    for (const AlignOp& op : a.ops) {
+      switch (op.type) {
+        case AlignOpType::kInsert:
+        case AlignOpType::kSubstitute:
+          candidate_set.insert(x);
+          break;
+        case AlignOpType::kMatch:
+        case AlignOpType::kDelete:
+          ++x;
+          break;
+      }
+    }
+  }
+  std::vector<size_t> candidates(candidate_set.begin(), candidate_set.end());
+  std::sort(candidates.begin(), candidates.end());
+
+  auto data_cost = [&]() {
+    double cost = 0.0;
+    for (const Alignment& a : alignments) {
+      cost += EncodeDocumentWithAlignment(tmpl, a, cost_model).base_cost;
+    }
+    return cost;
+  };
+  auto model_cost = [&]() {
+    return cost_model.TemplateCost(tmpl.length(), tmpl.num_slots());
+  };
+
+  double current = data_cost() + model_cost();
+  for (size_t gap : candidates) {
+    tmpl.SetSlotAtGap(gap, true);
+    double with_slot = data_cost() + model_cost();
+    if (with_slot < current) {
+      current = with_slot;
+    } else {
+      tmpl.SetSlotAtGap(gap, false);
+    }
+  }
+}
+
+FineResult FineClustering::RunOnCluster(
+    const Corpus& corpus, const std::vector<DocId>& doc_ids,
+    const CostModel& cm,
+    const std::vector<std::vector<PhraseHash>>* doc_top_phrases) const {
+  FineResult result;
+  const size_t num_docs = doc_ids.size();
+  if (num_docs == 0) return result;
+
+  // Phrase -> member documents (cluster order), for neighbor seeding.
+  std::unordered_map<PhraseHash, std::vector<DocId>> phrase_to_docs;
+  if (doc_top_phrases != nullptr) {
+    for (DocId d : doc_ids) {
+      for (PhraseHash p : (*doc_top_phrases)[d]) {
+        phrase_to_docs[p].push_back(d);
+      }
+    }
+  }
+
+  // Cost of the cluster with zero templates.
+  double all_unencoded = 0.0;
+  for (DocId id : doc_ids) {
+    all_unencoded += cm.UnencodedDocCost(corpus.doc(id).length());
+  }
+  result.cost_before =
+      TotalCost(cm, num_docs, {}, {}, 0, all_unencoded);
+
+  // Documents are processed in cluster order; claimed marks documents
+  // already owned by a template or rejected as noise (indexed by the
+  // document's position within the cluster, so memory stays O(cluster)).
+  std::unordered_map<DocId, uint32_t> local_index;
+  local_index.reserve(doc_ids.size());
+  for (size_t i = 0; i < doc_ids.size(); ++i) {
+    local_index.emplace(doc_ids[i], static_cast<uint32_t>(i));
+  }
+  std::vector<char> claimed(doc_ids.size(), 0);
+  auto is_claimed = [&](DocId d) { return claimed[local_index.at(d)] != 0; };
+  std::vector<std::pair<size_t, size_t>> shapes;   // accepted (len, slots)
+  std::vector<double> encoded_base;                // per-template Σ base
+  size_t num_encoded = 0;
+  // Undecided documents are carried as unencoded in every total so that
+  // successive totals stay comparable; as documents are claimed by a
+  // template or rejected as noise, their cost moves between the pool and
+  // the other terms.
+  double pending_token_cost = all_unencoded;
+  double noise_token_cost = 0.0;
+  double best_total = result.cost_before;
+
+  for (size_t cursor = 0; cursor < doc_ids.size(); ++cursor) {
+    const DocId seed = doc_ids[cursor];
+    if (claimed[cursor]) continue;
+    const std::vector<TokenId>& seed_tokens = corpus.doc(seed).tokens;
+
+    // --- Candidate Alignment (§IV-B1) ---
+    // The scan pool is either every unclaimed document after the seed,
+    // or — when the coarse stage's top phrases are available — only the
+    // seed's phrase-sharing neighbors (see RunOnCluster's doc comment).
+    std::vector<DocId> pool;
+    if (doc_top_phrases != nullptr) {
+      std::unordered_set<DocId> neighbor_set;
+      for (PhraseHash p : (*doc_top_phrases)[seed]) {
+        auto it = phrase_to_docs.find(p);
+        if (it == phrase_to_docs.end()) continue;
+        for (DocId d : it->second) {
+          if (d != seed && !is_claimed(d)) neighbor_set.insert(d);
+        }
+      }
+      pool.assign(neighbor_set.begin(), neighbor_set.end());
+      std::sort(pool.begin(), pool.end());
+    } else {
+      for (size_t i = cursor + 1; i < doc_ids.size(); ++i) {
+        if (!claimed[i]) pool.push_back(doc_ids[i]);
+      }
+    }
+
+    std::vector<DocId> member_ids{seed};
+    std::vector<std::vector<TokenId>> member_docs{seed_tokens};
+    std::unique_ptr<MsaAligner> graph;
+    switch (options_.msa_backend) {
+      case MsaBackend::kPoa:
+        graph = std::make_unique<PoaGraph>(seed_tokens, options_.scoring);
+        break;
+      case MsaBackend::kProfile:
+        graph = std::make_unique<ProfileMsa>(seed_tokens, options_.scoring);
+        break;
+    }
+    Template seed_template(seed_tokens);
+    for (DocId d : pool) {
+      const std::vector<TokenId>& tokens = corpus.doc(d).tokens;
+      DocEncoding enc = EncodeDocument(seed_template, tokens, cm);
+      const double conditional = cm.EncodedDocCost(1, enc.summary);
+      if (conditional < cm.UnencodedDocCost(tokens.size())) {
+        member_ids.push_back(d);
+        member_docs.push_back(tokens);
+        graph->AddSequence(tokens);
+      }
+    }
+
+    // Claim the candidate set and move its cost out of the pending pool.
+    double member_unencoded = 0.0;
+    for (DocId d : member_ids) {
+      member_unencoded += cm.UnencodedDocCost(corpus.doc(d).length());
+      claimed[local_index.at(d)] = 1;
+    }
+    pending_token_cost -= member_unencoded;
+
+    // Rejection keeps the total unchanged: the members' unencoded cost
+    // simply moves from the pending pool to the noise term.
+    auto reject_as_noise = [&]() {
+      for (DocId d : member_ids) result.noise.push_back(d);
+      noise_token_cost += member_unencoded;
+    };
+
+    if (member_ids.size() < options_.min_template_support) {
+      reject_as_noise();
+      continue;
+    }
+
+    // --- Consensus Search (Algorithm 2) ---
+    std::vector<TokenId> consensus =
+        ConsensusSearch(*graph, member_docs, cm);
+    if (consensus.empty()) {
+      reject_as_noise();
+      continue;
+    }
+
+    // --- Slot Detection (Algorithm 3) ---
+    Template tmpl(consensus);
+    std::vector<Alignment> alignments;
+    alignments.reserve(member_docs.size());
+    for (const auto& tokens : member_docs) {
+      alignments.push_back(
+          NeedlemanWunsch(tmpl.tokens, tokens, options_.scoring));
+    }
+    DetectSlots(tmpl, alignments, cm);
+
+    std::vector<DocEncoding> encodings;
+    double base_sum = 0.0;
+    encodings.reserve(member_docs.size());
+    for (const Alignment& a : alignments) {
+      encodings.push_back(EncodeDocumentWithAlignment(tmpl, a, cm));
+      base_sum += encodings.back().base_cost;
+    }
+
+    // --- MDL acceptance (Algorithm 4) ---
+    std::vector<std::pair<size_t, size_t>> new_shapes = shapes;
+    new_shapes.emplace_back(tmpl.length(), tmpl.num_slots());
+    std::vector<double> new_encoded = encoded_base;
+    new_encoded.push_back(base_sum);
+    const double candidate_total =
+        TotalCost(cm, num_docs, new_shapes, new_encoded,
+                  num_encoded + member_ids.size(),
+                  noise_token_cost + pending_token_cost);
+
+    if (candidate_total < best_total) {
+      best_total = candidate_total;
+      shapes = std::move(new_shapes);
+      encoded_base = std::move(new_encoded);
+      num_encoded += member_ids.size();
+      TemplateCluster cluster;
+      cluster.tmpl = std::move(tmpl);
+      cluster.members = std::move(member_ids);
+      cluster.encodings = std::move(encodings);
+      result.templates.push_back(std::move(cluster));
+    } else {
+      reject_as_noise();
+    }
+  }
+
+  result.cost_after = best_total;
+  return result;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,130 @@
+// InfoShield-Fine (paper §IV-B, Algorithms 2–4).
+//
+// Operates inside one coarse cluster. Repeats until no documents remain:
+//   1. Candidate Alignment — the first remaining document d1 seeds the
+//      candidate set; every remaining d with C(d|d1) < C(d) joins and is
+//      fused into a POA graph.
+//   2. Consensus Search — dichotomous search (Algorithm 2) over the
+//      support threshold h for the sub-alignment Sel(A, h) minimizing the
+//      candidates' data cost. (The search also keeps the argmin of all
+//      probed thresholds, so a non-unimodal cost curve can never make it
+//      return something worse than the best probe.)
+//   3. Slot Detection — gap positions accumulating inserted/substituted
+//      words across candidates become slots when that lowers total cost
+//      (Algorithm 3).
+//   4. MDL acceptance — the template joins the model iff the cluster's
+//      total cost C(M) + C(D|M) decreases (Algorithm 4); otherwise its
+//      candidate set is noise.
+//
+// Parameter-free: every choice above is made by cost comparison.
+
+#ifndef INFOSHIELD_CORE_FINE_CLUSTERING_H_
+#define INFOSHIELD_CORE_FINE_CLUSTERING_H_
+
+#include <vector>
+
+#include "core/template.h"
+#include "mdl/cost_model.h"
+#include "msa/aligner.h"
+#include "msa/pairwise.h"
+#include "msa/poa.h"
+#include "msa/profile_msa.h"
+#include "text/corpus.h"
+#include "text/ngram.h"
+
+namespace infoshield {
+
+// Which MSA implementation builds the candidate alignment (§IV-B: the
+// fine stage co-works with any MSA; POA is the paper's choice).
+enum class MsaBackend {
+  kPoa = 0,      // partial order alignment (paper default)
+  kProfile = 1,  // Barton-Sternberg-style profile alignment (ablation)
+};
+
+struct FineOptions {
+  AlignmentScoring scoring;
+  // Templates must describe at least this many documents (paper: "each
+  // template is expected to encode at least two documents").
+  size_t min_template_support = 2;
+  // Ablation switch: evaluate every threshold instead of the dichotomous
+  // search of Algorithm 2.
+  bool exhaustive_consensus_search = false;
+  MsaBackend msa_backend = MsaBackend::kPoa;
+};
+
+// One discovered template and the documents it encodes.
+struct TemplateCluster {
+  Template tmpl;
+  std::vector<DocId> members;
+  // Parallel to members.
+  std::vector<DocEncoding> encodings;
+};
+
+struct FineResult {
+  std::vector<TemplateCluster> templates;
+  // Documents no accepted template describes.
+  std::vector<DocId> noise;
+  // Total cost of the cluster with zero templates / with the final model.
+  double cost_before = 0.0;
+  double cost_after = 0.0;
+
+  // Eq. 7. 1.0 when nothing compressed.
+  double relative_length() const {
+    return RelativeLength(cost_after, cost_before);
+  }
+};
+
+class FineClustering {
+ public:
+  FineClustering() = default;
+  explicit FineClustering(FineOptions options) : options_(options) {}
+
+  // Runs Algorithm 4 on the given documents (typically one coarse
+  // cluster). The cost model must be built from the corpus vocabulary so
+  // lg V is consistent across clusters.
+  //
+  // doc_top_phrases (optional, indexed by global DocId — the coarse
+  // stage's CoarseResult::doc_top_phrases) restricts each seed's
+  // candidate scan to documents sharing a top phrase with the seed.
+  // Near-duplicates always share top phrases directly, so this changes
+  // nothing for real micro-clusters while keeping the total work
+  // proportional to the number of bipartite edges — the ingredient that
+  // makes Lemma 2's quasi-linearity hold even when a coarse component
+  // over-merges. Without it, each seed scans every remaining document.
+  FineResult RunOnCluster(
+      const Corpus& corpus, const std::vector<DocId>& doc_ids,
+      const CostModel& cost_model,
+      const std::vector<std::vector<PhraseHash>>* doc_top_phrases =
+          nullptr) const;
+
+  const FineOptions& options() const { return options_; }
+
+  // --- Exposed sub-steps (tested independently) ---
+
+  // Algorithm 2: returns the consensus token sequence minimizing
+  // C(Di | Sel(A, h)) over thresholds h in [0, |Di|-1].
+  std::vector<TokenId> ConsensusSearch(
+      const MsaAligner& alignment,
+      const std::vector<std::vector<TokenId>>& candidate_docs,
+      const CostModel& cost_model) const;
+
+  // Algorithm 3: adds slots to `tmpl` (in place) wherever they lower the
+  // combined model+data cost; `alignments` are the candidates' alignments
+  // against tmpl.tokens and are not invalidated by slot changes.
+  void DetectSlots(Template& tmpl, const std::vector<Alignment>& alignments,
+                   const CostModel& cost_model) const;
+
+ private:
+  // Cost of a candidate consensus as it would actually be adopted:
+  // template model cost plus the documents' encoding cost after slot
+  // detection (the lg t term is omitted — constant during the search).
+  double CandidateDataCost(const std::vector<TokenId>& consensus,
+                           const std::vector<std::vector<TokenId>>& docs,
+                           const CostModel& cost_model) const;
+
+  FineOptions options_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_CORE_FINE_CLUSTERING_H_

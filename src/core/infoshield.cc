@@ -1,0 +1,68 @@
+#include "core/infoshield.h"
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace infoshield {
+
+size_t InfoShieldResult::num_suspicious() const {
+  size_t n = 0;
+  for (int64_t t : doc_template) {
+    if (t >= 0) ++n;
+  }
+  return n;
+}
+
+InfoShieldResult InfoShield::Run(const Corpus& corpus) const {
+  InfoShieldResult result;
+  result.doc_template.assign(corpus.size(), -1);
+
+  WallTimer timer;
+  CoarseClustering coarse(options_.coarse);
+  CoarseResult coarse_result = coarse.Run(corpus);
+  result.coarse_seconds = timer.ElapsedSeconds();
+  result.num_coarse_clusters = coarse_result.clusters.size();
+  result.num_singletons = coarse_result.singletons.size();
+
+  timer.Restart();
+  const CostModel cost_model = CostModel::ForVocabulary(corpus.vocab());
+  FineClustering fine(options_.fine);
+  // Clusters are independent; fan them out, then merge in cluster order
+  // so the result is identical for any thread count.
+  std::vector<FineResult> fine_results(coarse_result.clusters.size());
+  ThreadPool::ParallelFor(
+      options_.num_threads, coarse_result.clusters.size(), [&](size_t ci) {
+        fine_results[ci] =
+            fine.RunOnCluster(corpus, coarse_result.clusters[ci],
+                              cost_model, &coarse_result.doc_top_phrases);
+      });
+  for (size_t ci = 0; ci < coarse_result.clusters.size(); ++ci) {
+    FineResult& fr = fine_results[ci];
+
+    ClusterStats stats;
+    stats.coarse_cluster_index = ci;
+    stats.num_docs = coarse_result.clusters[ci].size();
+    stats.num_templates = fr.templates.size();
+    stats.cost_before = fr.cost_before;
+    stats.cost_after = fr.cost_after;
+    stats.relative_length = fr.relative_length();
+    stats.lower_bound = RelativeLengthLowerBound(
+        std::max<size_t>(fr.templates.size(), 1), stats.num_docs,
+        cost_model.lg_vocab());
+    result.cluster_stats.push_back(stats);
+
+    for (TemplateCluster& tc : fr.templates) {
+      const int64_t template_index =
+          static_cast<int64_t>(result.templates.size());
+      for (DocId d : tc.members) {
+        result.doc_template[d] = template_index;
+      }
+      result.templates.push_back(std::move(tc));
+      result.template_coarse_cluster.push_back(ci);
+    }
+  }
+  result.fine_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace infoshield

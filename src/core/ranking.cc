@@ -1,0 +1,74 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+std::vector<double> MemberCompressionRatios(const TemplateCluster& cluster,
+                                            const Corpus& corpus,
+                                            const CostModel& cost_model) {
+  std::vector<double> ratios;
+  ratios.reserve(cluster.members.size());
+  for (size_t m = 0; m < cluster.members.size(); ++m) {
+    const double raw =
+        cost_model.UnencodedDocCost(corpus.doc(cluster.members[m]).length());
+    const double encoded = cluster.encodings[m].base_cost;
+    ratios.push_back(raw > 0.0 ? encoded / raw : 1.0);
+  }
+  return ratios;
+}
+
+std::vector<size_t> FlagAnomalousMembers(const TemplateCluster& cluster,
+                                         const Corpus& corpus,
+                                         const CostModel& cost_model,
+                                         double tolerance) {
+  std::vector<double> ratios =
+      MemberCompressionRatios(cluster, corpus, cost_model);
+  if (ratios.empty()) return {};
+  std::vector<double> sorted(ratios);
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double median = sorted[sorted.size() / 2];
+  std::vector<size_t> flagged;
+  for (size_t m = 0; m < ratios.size(); ++m) {
+    if (ratios[m] > median + tolerance) flagged.push_back(m);
+  }
+  return flagged;
+}
+
+std::vector<RankedTemplate> RankTemplates(const InfoShieldResult& result,
+                                          const Corpus& corpus,
+                                          const CostModel& cost_model) {
+  std::vector<RankedTemplate> ranked;
+  ranked.reserve(result.templates.size());
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    const TemplateCluster& tc = result.templates[t];
+    RankedTemplate r;
+    r.template_index = t;
+    r.num_docs = tc.members.size();
+    double raw = 0.0;
+    double encoded = cost_model.TemplateCost(tc.tmpl.length(),
+                                             tc.tmpl.num_slots());
+    for (size_t m = 0; m < tc.members.size(); ++m) {
+      raw += cost_model.UnencodedDocCost(
+          corpus.doc(tc.members[m]).length());
+      encoded += tc.encodings[m].base_cost;
+    }
+    r.relative_length = RelativeLength(encoded, raw);
+    r.lower_bound = RelativeLengthLowerBound(1, std::max<size_t>(1, r.num_docs),
+                                             cost_model.lg_vocab());
+    r.slack = r.relative_length - r.lower_bound;
+    ranked.push_back(r);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedTemplate& a, const RankedTemplate& b) {
+              if (a.slack != b.slack) return a.slack < b.slack;
+              if (a.num_docs != b.num_docs) return a.num_docs > b.num_docs;
+              return a.template_index < b.template_index;
+            });
+  return ranked;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,61 @@
+// Ranked output and within-cluster anomaly spotting.
+//
+// Table I credits InfoShield with "Practical — Ranked output": analysts
+// triage the most suspicious micro-clusters first. The natural MDL
+// ranking is by compression quality — clusters closest to their Lemma 1
+// lower bound (near-duplicates at volume) first.
+//
+// §V-D1 also observes that individual documents that deviate from an
+// otherwise-uniform cluster stand out through their compression rate
+// ("the last tweet will have a lower compression rate than all other
+// tweets"); MemberCompressionRatios/FlagAnomalousMembers implement that
+// per-member view.
+
+#ifndef INFOSHIELD_CORE_RANKING_H_
+#define INFOSHIELD_CORE_RANKING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/infoshield.h"
+#include "mdl/cost_model.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+
+struct RankedTemplate {
+  // Index into InfoShieldResult::templates.
+  size_t template_index = 0;
+  size_t num_docs = 0;
+  // Per-template relative length: (template cost + members' encoding
+  // cost) / members' unencoded cost. Lower = stronger duplication.
+  double relative_length = 1.0;
+  // Lemma 1 bound for (t=1, n=num_docs).
+  double lower_bound = 0.0;
+  // relative_length - lower_bound; the ranking key (ascending).
+  double slack = 0.0;
+};
+
+// Ranks all templates of a result, most suspicious (smallest slack,
+// ties: larger cluster) first.
+std::vector<RankedTemplate> RankTemplates(const InfoShieldResult& result,
+                                          const Corpus& corpus,
+                                          const CostModel& cost_model);
+
+// Per-member compression ratio: encoded cost / unencoded cost, parallel
+// to cluster.members. Near-duplicates compress hard (small ratio); a
+// member that barely fits the template approaches 1.
+std::vector<double> MemberCompressionRatios(const TemplateCluster& cluster,
+                                            const Corpus& corpus,
+                                            const CostModel& cost_model);
+
+// Members whose compression ratio exceeds the cluster median by
+// `tolerance` (absolute). Returns indices into cluster.members.
+std::vector<size_t> FlagAnomalousMembers(const TemplateCluster& cluster,
+                                         const Corpus& corpus,
+                                         const CostModel& cost_model,
+                                         double tolerance = 0.2);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_CORE_RANKING_H_

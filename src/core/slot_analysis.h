@@ -1,0 +1,69 @@
+// Slot content analysis — the paper's stated future work (§V-D2: "Work
+// could be done to automatically extract and process the information
+// within each slot, but this is beyond the scope of this paper").
+//
+// Table XI shows that slots carry consistent user-specific information
+// (the second slot "if not empty, always discusses time") in messy
+// formats ("until 9pm" vs "9 P.M"). This module classifies each slot of
+// a template by the kind of content its fills carry, so an analyst (or a
+// downstream extractor) immediately knows which slot holds the phone
+// number, the price, or the schedule.
+
+#ifndef INFOSHIELD_CORE_SLOT_ANALYSIS_H_
+#define INFOSHIELD_CORE_SLOT_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/fine_clustering.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+
+enum class SlotContentKind : uint8_t {
+  kEmpty = 0,      // no document fills this slot
+  kPhone = 1,      // phone-number-like digit runs
+  kPrice = 2,      // small numbers / price wording
+  kTime = 3,       // schedule wording (am/pm/hours/days...)
+  kUrl = 4,        // links
+  kNumeric = 5,    // other mostly-numeric content
+  kName = 6,       // short, capitalized-style single tokens, high variety
+  kFreeText = 7,   // anything else
+};
+
+const char* SlotContentKindToString(SlotContentKind kind);
+
+struct SlotProfile {
+  // Gap position of the slot in the template.
+  size_t gap = 0;
+  SlotContentKind kind = SlotContentKind::kEmpty;
+  // Fraction of member documents that leave the slot empty.
+  double empty_fraction = 0.0;
+  // Distinct fills / non-empty fills — 1.0 means every document differs.
+  double distinct_fraction = 0.0;
+  // Mean number of words per non-empty fill.
+  double mean_words = 0.0;
+  // Up to `max_examples` distinct example fills (joined words).
+  std::vector<std::string> examples;
+};
+
+struct SlotAnalysisOptions {
+  size_t max_examples = 5;
+};
+
+// Profiles every slot of a template cluster.
+std::vector<SlotProfile> AnalyzeSlots(const TemplateCluster& cluster,
+                                      const Corpus& corpus,
+                                      const SlotAnalysisOptions& options = {});
+
+// One-line-per-slot human-readable summary.
+std::string RenderSlotProfiles(const std::vector<SlotProfile>& profiles);
+
+namespace internal {
+// Exposed for tests: classifies a bag of fill strings.
+SlotContentKind ClassifyFills(const std::vector<std::string>& fills);
+}  // namespace internal
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_CORE_SLOT_ANALYSIS_H_

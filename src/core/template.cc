@@ -1,0 +1,158 @@
+#include "core/template.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+Template::Template(std::vector<TokenId> constant_tokens)
+    : tokens(std::move(constant_tokens)) {
+  slot_at_gap.assign(tokens.size() + 1, 0);
+}
+
+size_t Template::num_slots() const {
+  return static_cast<size_t>(
+      std::count(slot_at_gap.begin(), slot_at_gap.end(), 1));
+}
+
+bool Template::HasSlotAtGap(size_t gap) const {
+  if (slot_at_gap.empty()) return false;
+  CHECK_LT(gap, slot_at_gap.size());
+  return slot_at_gap[gap] != 0;
+}
+
+void Template::SetSlotAtGap(size_t gap, bool enabled) {
+  if (slot_at_gap.empty()) slot_at_gap.assign(tokens.size() + 1, 0);
+  CHECK_LT(gap, slot_at_gap.size());
+  slot_at_gap[gap] = enabled ? 1 : 0;
+}
+
+std::vector<size_t> Template::SlotGaps() const {
+  std::vector<size_t> gaps;
+  for (size_t g = 0; g < slot_at_gap.size(); ++g) {
+    if (slot_at_gap[g]) gaps.push_back(g);
+  }
+  return gaps;
+}
+
+std::string Template::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  auto append = [&out](const std::string& piece) {
+    if (!out.empty()) out.push_back(' ');
+    out += piece;
+  };
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    if (HasSlotAtGap(i)) append("*");
+    if (i < tokens.size()) append(vocab.Word(tokens[i]));
+  }
+  return out;
+}
+
+DocEncoding EncodeDocument(const Template& tmpl,
+                           const std::vector<TokenId>& doc_tokens,
+                           const CostModel& cost_model) {
+  Alignment alignment = NeedlemanWunsch(tmpl.tokens, doc_tokens);
+  return EncodeDocumentWithAlignment(tmpl, alignment, cost_model);
+}
+
+DocEncoding EncodeDocumentWithAlignment(const Template& tmpl,
+                                        const Alignment& alignment,
+                                        const CostModel& cost_model) {
+  DocEncoding enc;
+  const std::vector<size_t> slot_gaps = tmpl.SlotGaps();
+  enc.slot_words.resize(slot_gaps.size());
+  // gap -> dense slot index.
+  auto slot_index_of_gap = [&slot_gaps](size_t gap) -> int {
+    auto it = std::lower_bound(slot_gaps.begin(), slot_gaps.end(), gap);
+    if (it == slot_gaps.end() || *it != gap) return -1;
+    return static_cast<int>(it - slot_gaps.begin());
+  };
+
+  // Walk the alignment; gap counter x advances on matched and deleted
+  // columns (Algorithm 3).
+  size_t x = 0;
+  for (const AlignOp& op : alignment.ops) {
+    switch (op.type) {
+      case AlignOpType::kMatch: {
+        enc.columns.push_back(AnnotatedColumn{ColumnKind::kConstant,
+                                              op.a_token, op.b_token,
+                                              static_cast<uint32_t>(x)});
+        ++x;
+        break;
+      }
+      case AlignOpType::kDelete: {
+        enc.columns.push_back(AnnotatedColumn{ColumnKind::kDeletion,
+                                              op.a_token, kInvalidToken,
+                                              static_cast<uint32_t>(x)});
+        ++x;
+        break;
+      }
+      case AlignOpType::kInsert: {
+        int slot = slot_index_of_gap(x);
+        if (slot >= 0) {
+          enc.slot_words[static_cast<size_t>(slot)].push_back(op.b_token);
+          enc.columns.push_back(AnnotatedColumn{ColumnKind::kSlotFill,
+                                                kInvalidToken, op.b_token,
+                                                static_cast<uint32_t>(x)});
+        } else {
+          enc.columns.push_back(AnnotatedColumn{ColumnKind::kInsertion,
+                                                kInvalidToken, op.b_token,
+                                                static_cast<uint32_t>(x)});
+        }
+        break;
+      }
+      case AlignOpType::kSubstitute: {
+        int slot = slot_index_of_gap(x);
+        if (slot >= 0) {
+          // Document word joins the slot; the constant token becomes a
+          // residual deletion so decoding stays lossless.
+          enc.slot_words[static_cast<size_t>(slot)].push_back(op.b_token);
+          enc.columns.push_back(AnnotatedColumn{ColumnKind::kSlotFill,
+                                                kInvalidToken, op.b_token,
+                                                static_cast<uint32_t>(x)});
+          enc.columns.push_back(AnnotatedColumn{ColumnKind::kDeletion,
+                                                op.a_token, kInvalidToken,
+                                                static_cast<uint32_t>(x)});
+        } else {
+          enc.columns.push_back(AnnotatedColumn{ColumnKind::kSubstitution,
+                                                op.a_token, op.b_token,
+                                                static_cast<uint32_t>(x)});
+        }
+        break;
+      }
+    }
+  }
+
+  // Build the cost summary. Slot fills are decoded from slot contents,
+  // so they are not alignment columns; everything else is.
+  EncodingSummary& s = enc.summary;
+  for (const AnnotatedColumn& col : enc.columns) {
+    switch (col.kind) {
+      case ColumnKind::kConstant:
+        ++s.alignment_length;
+        break;
+      case ColumnKind::kSlotFill:
+        break;
+      case ColumnKind::kInsertion:
+      case ColumnKind::kSubstitution:
+        ++s.alignment_length;
+        ++s.unmatched;
+        ++s.inserted_or_substituted;
+        break;
+      case ColumnKind::kDeletion:
+        ++s.alignment_length;
+        ++s.unmatched;
+        break;
+    }
+  }
+  s.slot_word_counts.reserve(enc.slot_words.size());
+  for (const auto& words : enc.slot_words) {
+    s.slot_word_counts.push_back(words.size());
+  }
+
+  enc.base_cost = cost_model.AlignmentCostBase(s);
+  return enc;
+}
+
+}  // namespace infoshield

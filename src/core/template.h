@@ -1,0 +1,97 @@
+// Template: the unit of InfoShield's summaries (paper §III-A).
+//
+// A template is a sequence of constant tokens plus *slots* — gap positions
+// whose content is expected to differ per document (the '*' of Table IV).
+// A gap index g in [0, length] denotes the position before constant token
+// g (g == length: after the last token).
+//
+// EncodeDocument aligns a document against the template's constants with
+// Needleman–Wunsch and then redistributes edit operations into slots:
+//   * an insertion whose gap carries a slot is absorbed: the word becomes
+//     slot content (paid via S(w), Eq. 4) instead of an unmatched op;
+//   * a substitution whose gap carries a slot contributes its document
+//     word to the slot and leaves a residual deletion of the constant
+//     token, keeping the encoding lossless;
+//   * everything else stays a regular unmatched operation (location +
+//     2-bit op type + vocabulary index where applicable).
+// Gap attribution follows Algorithm 3: the gap counter advances on
+// matched and deleted columns only.
+
+#ifndef INFOSHIELD_CORE_TEMPLATE_H_
+#define INFOSHIELD_CORE_TEMPLATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdl/cost_model.h"
+#include "msa/pairwise.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+
+struct Template {
+  std::vector<TokenId> tokens;
+  // slot_at_gap[g] == true iff there is a slot at gap g; size is
+  // tokens.size() + 1. Empty means "no slots anywhere".
+  std::vector<uint8_t> slot_at_gap;
+
+  Template() = default;
+  explicit Template(std::vector<TokenId> constant_tokens);
+
+  size_t length() const { return tokens.size(); }
+  size_t num_slots() const;
+  bool HasSlotAtGap(size_t gap) const;
+  void SetSlotAtGap(size_t gap, bool enabled);
+
+  // Indices of enabled gaps, ascending.
+  std::vector<size_t> SlotGaps() const;
+
+  // Human-readable form with '*' for slots, e.g. "this is a great * and".
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+// How one alignment column is rendered/charged after slot absorption.
+enum class ColumnKind : uint8_t {
+  kConstant = 0,      // matched template token
+  kSlotFill = 1,      // document word absorbed into a slot
+  kInsertion = 2,     // unmatched inserted word
+  kDeletion = 3,      // unmatched deleted template token
+  kSubstitution = 4,  // unmatched substituted word
+};
+
+struct AnnotatedColumn {
+  ColumnKind kind;
+  TokenId template_token = kInvalidToken;  // constant/deletion/substitution
+  TokenId doc_token = kInvalidToken;       // everything carrying a doc word
+  // Gap the column was attributed to (slot index resolution).
+  uint32_t gap = 0;
+};
+
+// One document's encoding against a template.
+struct DocEncoding {
+  // Per-column annotation (for cost and visualization).
+  std::vector<AnnotatedColumn> columns;
+  // Slot contents, one vector per enabled slot gap (ascending gap order).
+  std::vector<std::vector<TokenId>> slot_words;
+  // Summary fed to the cost model.
+  EncodingSummary summary;
+  // AlignmentCostBase(summary) — excludes the lg t template-id term.
+  double base_cost = 0.0;
+};
+
+// Aligns `doc_tokens` against `tmpl` and computes its encoding.
+DocEncoding EncodeDocument(const Template& tmpl,
+                           const std::vector<TokenId>& doc_tokens,
+                           const CostModel& cost_model);
+
+// Same, but reuses a precomputed alignment of doc_tokens against
+// tmpl.tokens (the alignment does not depend on the slot mask, so slot
+// search recomputes encodings without re-aligning).
+DocEncoding EncodeDocumentWithAlignment(const Template& tmpl,
+                                        const Alignment& alignment,
+                                        const CostModel& cost_model);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_CORE_TEMPLATE_H_

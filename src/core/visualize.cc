@@ -1,0 +1,192 @@
+#include "core/visualize.h"
+
+#include "util/string_util.h"
+
+namespace infoshield {
+
+namespace {
+
+constexpr const char* kAnsiReset = "\x1b[0m";
+constexpr const char* kAnsiRed = "\x1b[31m";
+constexpr const char* kAnsiGreen = "\x1b[32m";
+constexpr const char* kAnsiYellow = "\x1b[33m";
+constexpr const char* kAnsiBlue = "\x1b[34m";
+constexpr const char* kAnsiBold = "\x1b[1m";
+
+void AppendColored(std::string& out, const std::string& text,
+                   const char* color, bool use_color) {
+  if (use_color) out += color;
+  out += text;
+  if (use_color) out += kAnsiReset;
+}
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+size_t DocLimit(size_t total, const VisualizeOptions& options) {
+  if (options.max_docs == 0) return total;
+  return std::min(total, options.max_docs);
+}
+
+}  // namespace
+
+std::string RenderTemplateAnsi(const TemplateCluster& cluster,
+                               const Corpus& corpus,
+                               const VisualizeOptions& options) {
+  const Vocabulary& vocab = corpus.vocab();
+  std::string out;
+  out += options.use_color ? kAnsiBold : "";
+  out += "Template (";
+  out += std::to_string(cluster.members.size());
+  out += " docs): ";
+  if (options.use_color) out += kAnsiReset;
+
+  // Template line: constants plain, '*' slots in red.
+  const Template& t = cluster.tmpl;
+  for (size_t i = 0; i <= t.tokens.size(); ++i) {
+    if (t.HasSlotAtGap(i)) {
+      AppendColored(out, "*", kAnsiRed, options.use_color);
+      out.push_back(' ');
+    }
+    if (i < t.tokens.size()) {
+      out += vocab.Word(t.tokens[i]);
+      out.push_back(' ');
+    }
+  }
+  out.push_back('\n');
+
+  const size_t limit = DocLimit(cluster.members.size(), options);
+  for (size_t d = 0; d < limit; ++d) {
+    out += StrFormat("  #%-4u ", cluster.members[d]);
+    for (const AnnotatedColumn& col : cluster.encodings[d].columns) {
+      switch (col.kind) {
+        case ColumnKind::kConstant:
+          out += vocab.Word(col.doc_token);
+          break;
+        case ColumnKind::kSlotFill:
+          AppendColored(out, vocab.Word(col.doc_token), kAnsiRed,
+                        options.use_color);
+          break;
+        case ColumnKind::kInsertion:
+          AppendColored(out, "+" + vocab.Word(col.doc_token), kAnsiGreen,
+                        options.use_color);
+          break;
+        case ColumnKind::kDeletion:
+          AppendColored(out, "[-" + vocab.Word(col.template_token) + "]",
+                        kAnsiBlue, options.use_color);
+          break;
+        case ColumnKind::kSubstitution:
+          AppendColored(out,
+                        vocab.Word(col.doc_token) + "(~" +
+                            vocab.Word(col.template_token) + ")",
+                        kAnsiYellow, options.use_color);
+          break;
+      }
+      out.push_back(' ');
+    }
+    out.push_back('\n');
+  }
+  if (limit < cluster.members.size()) {
+    out += StrFormat("  ... %zu more\n", cluster.members.size() - limit);
+  }
+  return out;
+}
+
+std::string RenderTemplateHtml(const TemplateCluster& cluster,
+                               const Corpus& corpus,
+                               const VisualizeOptions& options) {
+  const Vocabulary& vocab = corpus.vocab();
+  std::string out = "<div class=\"infoshield-cluster\">\n";
+  out += StrFormat("<div class=\"tmpl\"><b>Template</b> (%zu docs): ",
+                   cluster.members.size());
+  const Template& t = cluster.tmpl;
+  for (size_t i = 0; i <= t.tokens.size(); ++i) {
+    if (t.HasSlotAtGap(i)) out += "<span class=\"slot\">*</span> ";
+    if (i < t.tokens.size()) {
+      out += HtmlEscape(vocab.Word(t.tokens[i]));
+      out.push_back(' ');
+    }
+  }
+  out += "</div>\n<ul>\n";
+  const size_t limit = DocLimit(cluster.members.size(), options);
+  for (size_t d = 0; d < limit; ++d) {
+    out += StrFormat("<li>#%u: ", cluster.members[d]);
+    for (const AnnotatedColumn& col : cluster.encodings[d].columns) {
+      switch (col.kind) {
+        case ColumnKind::kConstant:
+          out += HtmlEscape(vocab.Word(col.doc_token));
+          break;
+        case ColumnKind::kSlotFill:
+          out += "<span class=\"slot\">" + HtmlEscape(vocab.Word(col.doc_token)) +
+                 "</span>";
+          break;
+        case ColumnKind::kInsertion:
+          out += "<span class=\"ins\">" + HtmlEscape(vocab.Word(col.doc_token)) +
+                 "</span>";
+          break;
+        case ColumnKind::kDeletion:
+          out += "<span class=\"del\">" +
+                 HtmlEscape(vocab.Word(col.template_token)) + "</span>";
+          break;
+        case ColumnKind::kSubstitution:
+          out += "<span class=\"sub\">" + HtmlEscape(vocab.Word(col.doc_token)) +
+                 "</span>";
+          break;
+      }
+      out.push_back(' ');
+    }
+    out += "</li>\n";
+  }
+  if (limit < cluster.members.size()) {
+    out += StrFormat("<li>... %zu more</li>\n",
+                     cluster.members.size() - limit);
+  }
+  out += "</ul>\n</div>\n";
+  return out;
+}
+
+std::string RenderReportHtml(const std::vector<TemplateCluster>& clusters,
+                             const Corpus& corpus,
+                             const VisualizeOptions& options) {
+  std::string out =
+      "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\n"
+      "<title>InfoShield report</title>\n<style>\n"
+      "body { font-family: sans-serif; }\n"
+      ".infoshield-cluster { border: 1px solid #ccc; margin: 8px; "
+      "padding: 8px; }\n"
+      ".slot { color: #c00; font-weight: bold; }\n"
+      ".ins { color: #080; }\n"
+      ".del { color: #04c; text-decoration: line-through; }\n"
+      ".sub { color: #a80; }\n"
+      "</style></head><body>\n";
+  out += StrFormat("<h1>InfoShield report: %zu micro-clusters</h1>\n",
+                   clusters.size());
+  for (const TemplateCluster& c : clusters) {
+    out += RenderTemplateHtml(c, corpus, options);
+  }
+  out += "</body></html>\n";
+  return out;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,44 @@
+// Cluster/template visualization (paper Fig. 1-right, Tables IV, IX–XI).
+//
+// Renders a template and its member documents with the paper's color
+// legend: constants plain, slots/slot fills red, insertions green,
+// deletions blue (shown as the removed template token in brackets),
+// substitutions yellow. Two back-ends: ANSI (terminal) and HTML (report
+// for law-enforcement style visual inspection).
+
+#ifndef INFOSHIELD_CORE_VISUALIZE_H_
+#define INFOSHIELD_CORE_VISUALIZE_H_
+
+#include <string>
+
+#include "core/fine_clustering.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+
+struct VisualizeOptions {
+  // Maximum member documents rendered per template (0 = all).
+  size_t max_docs = 0;
+  // ANSI only: disable colors (plain-text markers remain).
+  bool use_color = true;
+};
+
+// One template block: the template line followed by one line per member.
+std::string RenderTemplateAnsi(const TemplateCluster& cluster,
+                               const Corpus& corpus,
+                               const VisualizeOptions& options = {});
+
+// Standalone HTML fragment (a <div class="infoshield-cluster">...).
+std::string RenderTemplateHtml(const TemplateCluster& cluster,
+                               const Corpus& corpus,
+                               const VisualizeOptions& options = {});
+
+// Full HTML document wrapping RenderTemplateHtml for all templates of a
+// result, including the style sheet and a summary header.
+std::string RenderReportHtml(const std::vector<TemplateCluster>& clusters,
+                             const Corpus& corpus,
+                             const VisualizeOptions& options = {});
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_CORE_VISUALIZE_H_

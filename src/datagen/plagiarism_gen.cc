@@ -1,0 +1,106 @@
+#include "datagen/plagiarism_gen.h"
+
+#include <algorithm>
+
+#include "datagen/wordlists.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+namespace {
+
+std::vector<std::string> RandomEssay(size_t length, size_t vocab_size,
+                                     double zipf_exponent, Rng& rng) {
+  const auto& base = WordsFor(Language::kEnglish);
+  ZipfSampler zipf(std::max(vocab_size, base.size()), zipf_exponent);
+  std::vector<std::string> words;
+  words.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    words.push_back(PoolWord(base, zipf.Sample(rng)));
+  }
+  return words;
+}
+
+std::string Join(const std::vector<std::string>& words) {
+  std::string out;
+  for (size_t i = 0; i < words.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += words[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+PlagiarismCorpus PlagiarismGenerator::Generate(uint64_t seed) const {
+  const PlagiarismGenOptions& o = options_;
+  CHECK_GT(o.num_original_essays, 0u);
+  Rng rng(seed);
+  PlagiarismCorpus out;
+
+  // Originals first (sources must exist before they can be copied).
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(o.num_original_essays);
+  for (size_t i = 0; i < o.num_original_essays; ++i) {
+    const size_t len = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(o.essay_length_min),
+                    static_cast<int64_t>(o.essay_length_max)));
+    originals.push_back(
+        RandomEssay(len, o.vocab_size, o.zipf_exponent, rng));
+    out.corpus.Add(Join(originals.back()));
+    out.source_of.push_back(-1);
+  }
+
+  // Plagiarized essays: own writing around a lifted passage.
+  const auto& base = WordsFor(Language::kEnglish);
+  for (size_t i = 0; i < o.num_plagiarized; ++i) {
+    const size_t source = rng.NextIndex(originals.size());
+    const std::vector<std::string>& src = originals[source];
+    const size_t want = static_cast<size_t>(
+        rng.NextInt(static_cast<int64_t>(o.passage_length_min),
+                    static_cast<int64_t>(o.passage_length_max)));
+    const size_t passage_len = std::min(want, src.size());
+    const size_t start = rng.NextIndex(src.size() - passage_len + 1);
+
+    // Copy with light paraphrasing.
+    std::vector<std::string> passage;
+    for (size_t w = start; w < start + passage_len; ++w) {
+      if (rng.NextBernoulli(o.paraphrase_prob)) {
+        switch (rng.NextIndex(3)) {
+          case 0:  // drop the word
+            break;
+          case 1:  // replace it
+            passage.push_back(PoolWord(base, rng.NextIndex(o.vocab_size)));
+            break;
+          default:  // add one before it
+            passage.push_back(PoolWord(base, rng.NextIndex(o.vocab_size)));
+            passage.push_back(src[w]);
+        }
+      } else {
+        passage.push_back(src[w]);
+      }
+    }
+
+    // Fresh prologue and epilogue of the plagiarist's own words.
+    auto margin_len = [&]() {
+      return static_cast<size_t>(
+          rng.NextInt(static_cast<int64_t>(o.margin_length_min),
+                      static_cast<int64_t>(o.margin_length_max)));
+    };
+    std::vector<std::string> essay =
+        RandomEssay(margin_len(), o.vocab_size, o.zipf_exponent, rng);
+    essay.insert(essay.end(), passage.begin(), passage.end());
+    std::vector<std::string> tail =
+        RandomEssay(margin_len(), o.vocab_size, o.zipf_exponent, rng);
+    essay.insert(essay.end(), tail.begin(), tail.end());
+
+    out.corpus.Add(Join(essay));
+    out.source_of.push_back(static_cast<int64_t>(source));
+  }
+
+  CHECK_EQ(out.corpus.size(), out.source_of.size());
+  return out;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,71 @@
+// Synthetic plagiarism corpus generator.
+//
+// Plagiarism detection is one of the paper's motivating applications
+// (§I: "Finding related documents is a problem with numerous
+// applications, such as search engines, plagiarism detection,
+// mailing-address de-duplication"). This generator produces essays where
+// some authors copy passages from source essays — verbatim or lightly
+// paraphrased — so InfoShield's micro-cluster search doubles as a
+// passage-level plagiarism detector (a copied essay and its source share
+// long phrasing; independent essays do not).
+
+#ifndef INFOSHIELD_DATAGEN_PLAGIARISM_GEN_H_
+#define INFOSHIELD_DATAGEN_PLAGIARISM_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace infoshield {
+
+struct PlagiarismGenOptions {
+  // Independently written essays (potential sources).
+  size_t num_original_essays = 40;
+  size_t essay_length_min = 40;
+  size_t essay_length_max = 90;
+
+  // Plagiarized essays; each copies one passage from one source.
+  size_t num_plagiarized = 12;
+  // Length of the copied passage, in tokens.
+  size_t passage_length_min = 15;
+  size_t passage_length_max = 30;
+  // The plagiarist's own prologue/epilogue around the passage, each.
+  // Whole-document near-duplicate detection catches plagiarism when the
+  // copied passage dominates the document; with large original margins,
+  // detection requires passage-level chunking (out of scope here).
+  size_t margin_length_min = 10;
+  size_t margin_length_max = 25;
+  // Per-token probability of paraphrasing (substitute/insert/delete)
+  // within the copied passage.
+  double paraphrase_prob = 0.05;
+
+  double zipf_exponent = 1.05;
+  size_t vocab_size = 12000;
+};
+
+struct PlagiarismCorpus {
+  Corpus corpus;
+  // -1 for original essays; for plagiarized essays, the DocId of the
+  // source essay the passage was lifted from.
+  std::vector<int64_t> source_of;
+
+  bool IsPlagiarized(DocId d) const { return source_of[d] >= 0; }
+};
+
+class PlagiarismGenerator {
+ public:
+  explicit PlagiarismGenerator(PlagiarismGenOptions options)
+      : options_(options) {}
+
+  PlagiarismCorpus Generate(uint64_t seed) const;
+
+  const PlagiarismGenOptions& options() const { return options_; }
+
+ private:
+  PlagiarismGenOptions options_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_DATAGEN_PLAGIARISM_GEN_H_

@@ -1,0 +1,243 @@
+#include "datagen/trafficking_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "datagen/wordlists.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+size_t LabeledAds::CountType(AdType t) const {
+  size_t n = 0;
+  for (AdType x : type) {
+    if (x == t) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+struct PendingAd {
+  std::string text;
+  AdType type;
+  int64_t cluster;
+  int score;
+};
+
+void Append(std::string& s, const std::string& w) {
+  if (!s.empty()) s.push_back(' ');
+  s += w;
+}
+
+// A handful of words from one pool.
+void AppendFrom(std::string& s, const std::vector<std::string>& pool,
+                size_t count, Rng& rng) {
+  for (size_t i = 0; i < count; ++i) {
+    Append(s, pool[rng.NextIndex(pool.size())]);
+  }
+}
+
+// Like AppendFrom, but draws ranks over an extended pool (PoolWord) so
+// that independent draws rarely repeat exact wording.
+void AppendFromExtended(std::string& s, const std::vector<std::string>& pool,
+                        size_t effective_size, size_t count, Rng& rng) {
+  const size_t size = std::max(effective_size, pool.size());
+  for (size_t i = 0; i < count; ++i) {
+    Append(s, PoolWord(pool, rng.NextIndex(size)));
+  }
+}
+
+std::string RandomPhone(Rng& rng) {
+  std::string p = "555";
+  for (int i = 0; i < 4; ++i) {
+    p.push_back(static_cast<char>('0' + rng.NextIndex(10)));
+  }
+  return p;
+}
+
+// One author's mental template for a series of organized-activity ads:
+// fixed segment wording, with functions generating the varied parts.
+struct HtTemplate {
+  std::string intro;    // constant
+  std::string service;  // constant
+  std::string contact;  // constant
+};
+
+HtTemplate MakeHtTemplate(size_t vocab_size, Rng& rng) {
+  HtTemplate t;
+  AppendFromExtended(t.intro, AdIntroWords(), vocab_size / 4,
+                     4 + rng.NextIndex(3), rng);
+  AppendFromExtended(t.service, AdServiceWords(), vocab_size / 4,
+                     5 + rng.NextIndex(4), rng);
+  AppendFromExtended(t.contact, AdContactWords(), vocab_size / 4,
+                     3 + rng.NextIndex(3), rng);
+  return t;
+}
+
+std::string InstantiateHtAd(const HtTemplate& t, Rng& rng) {
+  // Slot content is high-cardinality, as in real ads (specific names,
+  // "until 9pm" vs "9 P.M" style variation, exact prices, phone
+  // numbers): drawn from extended pools so that two unrelated campaigns
+  // rarely share slot n-grams.
+  std::string ad = t.intro;
+  // Name slot.
+  Append(ad, PoolWord(FirstNames(), rng.NextIndex(500)));
+  ad += " " + t.service;
+  // Time slot (sometimes empty — Table XI shows empty slots).
+  if (rng.NextBernoulli(0.8)) {
+    AppendFromExtended(ad, AdTimeWords(), 300, 1 + rng.NextIndex(3), rng);
+  }
+  // Price slot.
+  AppendFromExtended(ad, AdPriceWords(), 200, 1 + rng.NextIndex(2), rng);
+  ad += " " + t.contact;
+  // Contact slot: phone number.
+  Append(ad, RandomPhone(rng));
+  return ad;
+}
+
+// Applies per-token random edits drawing replacements from a pool.
+std::string ApplyEdits(const std::string& text, double edit_prob,
+                       const std::vector<std::string>& pool,
+                       size_t effective_size, Rng& rng) {
+  const size_t pool_size = std::max(effective_size, pool.size());
+  std::string out;
+  size_t start = 0;
+  auto next_word = [&](std::string& w) -> bool {
+    while (start < text.size() && text[start] == ' ') ++start;
+    if (start >= text.size()) return false;
+    size_t end = text.find(' ', start);
+    if (end == std::string::npos) end = text.size();
+    w.assign(text, start, end - start);
+    start = end;
+    return true;
+  };
+  std::string w;
+  while (next_word(w)) {
+    if (rng.NextBernoulli(edit_prob)) {
+      switch (rng.NextIndex(3)) {
+        case 0:  // delete
+          break;
+        case 1:  // substitute
+          Append(out, PoolWord(pool, rng.NextIndex(pool_size)));
+          break;
+        default:  // insert before
+          Append(out, PoolWord(pool, rng.NextIndex(pool_size)));
+          Append(out, w);
+          break;
+      }
+    } else {
+      Append(out, w);
+    }
+  }
+  if (out.empty()) out = w;
+  return out;
+}
+
+// Union of the ad-domain pools, used for edits and benign ads.
+const std::vector<std::string>& DomainPool() {
+  static const auto& kPool = *new std::vector<std::string>([] {
+    std::vector<std::string> all;
+    for (const auto* pool :
+         {&AdIntroWords(), &AdServiceWords(), &AdTimeWords(),
+          &AdPriceWords(), &AdContactWords(), &CityNames()}) {
+      all.insert(all.end(), pool->begin(), pool->end());
+    }
+    return all;
+  }());
+  return kPool;
+}
+
+int NoisyScore(bool is_ht, double noise, Rng& rng) {
+  const bool flipped = rng.NextBernoulli(noise);
+  const bool scored_ht = is_ht != flipped;
+  // 4..6 reads as HT, 0..3 as not-HT (§V-A2).
+  return scored_ht ? static_cast<int>(4 + rng.NextIndex(3))
+                   : static_cast<int>(rng.NextIndex(4));
+}
+
+}  // namespace
+
+LabeledAds TraffickingGenerator::Generate(uint64_t seed) const {
+  const TraffickingGenOptions& o = options_;
+  Rng rng(seed);
+  std::vector<PendingAd> ads;
+  int64_t next_cluster = 1;
+
+  // Benign ads: independently written, varied length, no template.
+  {
+    Rng benign_rng = rng.Fork(1);
+    const auto& pool = DomainPool();
+    for (size_t i = 0; i < o.num_benign; ++i) {
+      std::string text;
+      AppendFromExtended(text, pool, o.vocab_size,
+                         10 + benign_rng.NextIndex(20), benign_rng);
+      ads.push_back(PendingAd{std::move(text), AdType::kBenign, -1,
+                              NoisyScore(false, o.label_noise, benign_rng)});
+    }
+  }
+
+  // Spam clusters: high-volume near-exact duplicates.
+  {
+    Rng spam_rng = rng.Fork(2);
+    for (size_t c = 0; c < o.num_spam_clusters; ++c) {
+      std::string master;
+      AppendFromExtended(master, DomainPool(), o.vocab_size,
+                         15 + spam_rng.NextIndex(15), spam_rng);
+      const int64_t cluster = next_cluster++;
+      const size_t size = static_cast<size_t>(spam_rng.NextInt(
+          static_cast<int64_t>(o.spam_cluster_size_min),
+          static_cast<int64_t>(o.spam_cluster_size_max)));
+      for (size_t i = 0; i < size; ++i) {
+        ads.push_back(PendingAd{
+            ApplyEdits(master, o.spam_edit_prob, DomainPool(), o.vocab_size,
+                       spam_rng),
+            AdType::kSpam, cluster,
+            NoisyScore(false, o.label_noise, spam_rng)});
+      }
+    }
+  }
+
+  // HT clusters: organized-activity templates with structured slots.
+  {
+    Rng ht_rng = rng.Fork(3);
+    const size_t num_outliers = static_cast<size_t>(
+        o.ht_outlier_fraction * static_cast<double>(o.num_ht_clusters));
+    for (size_t c = 0; c < o.num_ht_clusters; ++c) {
+      const HtTemplate tmpl = MakeHtTemplate(o.vocab_size, ht_rng);
+      const bool outlier = c < num_outliers;
+      const double edit_prob =
+          outlier ? o.ht_outlier_edit_prob : o.ht_edit_prob;
+      const int64_t cluster = next_cluster++;
+      const size_t size = static_cast<size_t>(
+          ht_rng.NextInt(static_cast<int64_t>(o.ht_cluster_size_min),
+                         static_cast<int64_t>(o.ht_cluster_size_max)));
+      for (size_t i = 0; i < size; ++i) {
+        std::string text = InstantiateHtAd(tmpl, ht_rng);
+        ads.push_back(
+            PendingAd{ApplyEdits(text, edit_prob, DomainPool(),
+                                 o.vocab_size, ht_rng),
+                      AdType::kTrafficking, cluster,
+                      NoisyScore(true, o.label_noise, ht_rng)});
+      }
+    }
+  }
+
+  rng.Shuffle(ads);
+
+  LabeledAds out;
+  out.type.reserve(ads.size());
+  out.cluster_label.reserve(ads.size());
+  out.expert_score.reserve(ads.size());
+  for (PendingAd& ad : ads) {
+    out.corpus.Add(ad.text);
+    out.type.push_back(ad.type);
+    out.cluster_label.push_back(ad.cluster);
+    out.expert_score.push_back(ad.score);
+  }
+  CHECK_EQ(out.corpus.size(), out.type.size());
+  return out;
+}
+
+}  // namespace infoshield

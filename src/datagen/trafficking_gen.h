@@ -1,0 +1,93 @@
+// Synthetic escort-ad corpus generator (substitute for Trafficking10k and
+// the Cluster Trafficking dataset; see DESIGN.md §3). All wording is
+// neutral spa/massage vocabulary; what matters to InfoShield is the
+// *structure*: organized activity means one author writing many ads from
+// one mental template with victim-specific details varied.
+//
+// Three ad populations (§V-A3):
+//  * benign ads — independently written, no shared template;
+//  * spam clusters — near-exact duplicates posted at high volume (the
+//    paper's 6 spam clusters); low relative length, high count;
+//  * HT clusters — organized-activity templates with structured slots
+//    (name/time/price/contact). Two regimes as observed in Fig. 3(d):
+//    near-duplicate clusters, and "outlier" clusters with heavy edits
+//    that sit far from the relative-length lower bound.
+//
+// Annotated mode adds Trafficking10k-style noisy 0..6 expert scores,
+// including label disagreement between exact duplicates (the paper found
+// 40% of exact-duplicate ads had conflicting labels).
+
+#ifndef INFOSHIELD_DATAGEN_TRAFFICKING_GEN_H_
+#define INFOSHIELD_DATAGEN_TRAFFICKING_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/corpus.h"
+
+namespace infoshield {
+
+enum class AdType : uint8_t {
+  kBenign = 0,
+  kSpam = 1,
+  kTrafficking = 2,
+};
+
+struct TraffickingGenOptions {
+  size_t num_benign = 1000;
+
+  size_t num_spam_clusters = 6;
+  size_t spam_cluster_size_min = 60;
+  size_t spam_cluster_size_max = 200;
+  double spam_edit_prob = 0.005;  // near-exact duplicates
+
+  size_t num_ht_clusters = 40;
+  size_t ht_cluster_size_min = 4;
+  size_t ht_cluster_size_max = 30;
+  double ht_edit_prob = 0.04;
+  // Fraction of HT clusters in the heavy-edit "outlier" regime.
+  double ht_outlier_fraction = 0.25;
+  double ht_outlier_edit_prob = 0.25;
+
+  // Annotated mode (Trafficking10k-style noisy labels).
+  // Probability an expert score lands on the wrong side of the HT /
+  // not-HT boundary.
+  double label_noise = 0.15;
+
+  // Effective vocabulary size for free-text draws (benign ads, spam
+  // masters, campaign wording, random edits); the base domain pools are
+  // extended deterministically (PoolWord) so that independent campaigns
+  // rarely collide on 5-grams, matching real corpora.
+  size_t vocab_size = 4000;
+};
+
+struct LabeledAds {
+  Corpus corpus;
+  // Parallel to corpus documents:
+  std::vector<AdType> type;
+  // -1 for benign; otherwise a cluster id (spam and HT clusters share the
+  // id space).
+  std::vector<int64_t> cluster_label;
+  // 0..6 noisy expert score (annotated mode); 0-3 = not HT, 4-6 = HT
+  // following §V-A2's binarization.
+  std::vector<int> expert_score;
+
+  size_t CountType(AdType t) const;
+};
+
+class TraffickingGenerator {
+ public:
+  explicit TraffickingGenerator(TraffickingGenOptions options)
+      : options_(options) {}
+
+  LabeledAds Generate(uint64_t seed) const;
+
+  const TraffickingGenOptions& options() const { return options_; }
+
+ private:
+  TraffickingGenOptions options_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_DATAGEN_TRAFFICKING_GEN_H_

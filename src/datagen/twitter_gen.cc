@@ -1,0 +1,174 @@
+#include "datagen/twitter_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace infoshield {
+
+size_t LabeledTweets::num_bot_tweets() const {
+  size_t n = 0;
+  for (bool b : is_bot) {
+    if (b) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+// Picks a language for an account given the (normalized) mix.
+Language PickLanguage(const TwitterGenOptions& o, Rng& rng) {
+  double total = o.english_fraction + o.spanish_fraction +
+                 o.italian_fraction + o.japanese_fraction;
+  if (total <= 0.0) return Language::kEnglish;
+  double r = rng.NextDouble() * total;
+  if ((r -= o.english_fraction) < 0.0) return Language::kEnglish;
+  if ((r -= o.spanish_fraction) < 0.0) return Language::kSpanish;
+  if ((r -= o.italian_fraction) < 0.0) return Language::kItalian;
+  return Language::kJapanese;
+}
+
+std::string JoinTokens(const std::vector<std::string>& toks) {
+  std::string out;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += toks[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+LabeledTweets TwitterGenerator::Generate(uint64_t seed) const {
+  const TwitterGenOptions& o = options_;
+  LabeledTweets out;
+  Rng rng(seed);
+
+  struct Account {
+    int64_t id;
+    bool bot;
+    Language language;
+  };
+  std::vector<Account> accounts;
+  int64_t next_id = 1;
+  for (size_t i = 0; i < o.num_genuine_accounts; ++i) {
+    accounts.push_back({next_id++, false, PickLanguage(o, rng)});
+  }
+  for (size_t i = 0; i < o.num_bot_accounts; ++i) {
+    accounts.push_back({next_id++, true, PickLanguage(o, rng)});
+  }
+  // Interleave accounts so document order carries no label signal.
+  rng.Shuffle(accounts);
+
+  for (const Account& account : accounts) {
+    Rng acct_rng = rng.Fork(static_cast<uint64_t>(account.id));
+    const std::vector<std::string>& vocab = WordsFor(account.language);
+    const size_t vocab_size = std::max(o.vocab_size, vocab.size());
+    ZipfSampler zipf(vocab_size, o.zipf_exponent);
+
+    if (!account.bot) {
+      // Topic pool: a handful of words this account returns to.
+      std::vector<size_t> topic;
+      for (size_t i = 0; i < o.topic_pool_size; ++i) {
+        topic.push_back(zipf.Sample(acct_rng));
+      }
+      const size_t num_tweets = static_cast<size_t>(acct_rng.NextInt(
+          static_cast<int64_t>(o.tweets_per_genuine_min),
+          static_cast<int64_t>(o.tweets_per_genuine_max)));
+      for (size_t t = 0; t < num_tweets; ++t) {
+        const size_t len = static_cast<size_t>(acct_rng.NextInt(
+            static_cast<int64_t>(o.genuine_length_min),
+            static_cast<int64_t>(o.genuine_length_max)));
+        std::vector<std::string> toks;
+        toks.reserve(len);
+        for (size_t w = 0; w < len; ++w) {
+          if (!topic.empty() && acct_rng.NextBernoulli(o.topic_word_prob)) {
+            toks.push_back(
+                PoolWord(vocab, topic[acct_rng.NextIndex(topic.size())]));
+          } else {
+            toks.push_back(PoolWord(vocab, zipf.Sample(acct_rng)));
+          }
+        }
+        out.corpus.Add(JoinTokens(toks));
+        out.account_id.push_back(account.id);
+        out.is_bot.push_back(false);
+        out.cluster_label.push_back(-1);
+      }
+      continue;
+    }
+
+    // Bot: build the campaign template (constants + slot gaps).
+    const size_t tmpl_len = static_cast<size_t>(acct_rng.NextInt(
+        static_cast<int64_t>(o.template_length_min),
+        static_cast<int64_t>(o.template_length_max)));
+    std::vector<std::string> constants;
+    constants.reserve(tmpl_len);
+    for (size_t w = 0; w < tmpl_len; ++w) {
+      constants.push_back(PoolWord(vocab, zipf.Sample(acct_rng)));
+    }
+    const size_t num_slots = static_cast<size_t>(
+        acct_rng.NextInt(static_cast<int64_t>(o.template_slots_min),
+                         static_cast<int64_t>(o.template_slots_max)));
+    std::vector<size_t> slot_gaps;
+    for (size_t s = 0; s < num_slots; ++s) {
+      slot_gaps.push_back(acct_rng.NextIndex(tmpl_len + 1));
+    }
+    std::sort(slot_gaps.begin(), slot_gaps.end());
+    slot_gaps.erase(std::unique(slot_gaps.begin(), slot_gaps.end()),
+                    slot_gaps.end());
+
+    const size_t num_tweets = static_cast<size_t>(acct_rng.NextInt(
+        static_cast<int64_t>(o.tweets_per_bot_min),
+        static_cast<int64_t>(o.tweets_per_bot_max)));
+    for (size_t t = 0; t < num_tweets; ++t) {
+      // Instantiate: constants with fresh slot fills.
+      std::vector<std::string> toks;
+      size_t next_slot = 0;
+      for (size_t w = 0; w <= tmpl_len; ++w) {
+        if (next_slot < slot_gaps.size() && slot_gaps[next_slot] == w) {
+          const size_t fill_len = static_cast<size_t>(acct_rng.NextInt(
+              static_cast<int64_t>(o.slot_fill_words_min),
+              static_cast<int64_t>(o.slot_fill_words_max)));
+          for (size_t f = 0; f < fill_len; ++f) {
+            toks.push_back(
+                PoolWord(vocab, acct_rng.NextIndex(vocab_size)));
+          }
+          ++next_slot;
+        }
+        if (w < tmpl_len) toks.push_back(constants[w]);
+      }
+      // Random token edits.
+      std::vector<std::string> edited;
+      edited.reserve(toks.size() + 2);
+      for (const std::string& tok : toks) {
+        if (acct_rng.NextBernoulli(o.bot_edit_prob)) {
+          switch (acct_rng.NextIndex(3)) {
+            case 0:  // delete
+              break;
+            case 1:  // substitute
+              edited.push_back(PoolWord(vocab, zipf.Sample(acct_rng)));
+              break;
+            default:  // insert before
+              edited.push_back(PoolWord(vocab, zipf.Sample(acct_rng)));
+              edited.push_back(tok);
+              break;
+          }
+        } else {
+          edited.push_back(tok);
+        }
+      }
+      if (edited.empty()) edited.push_back(constants.front());
+      out.corpus.Add(JoinTokens(edited));
+      out.account_id.push_back(account.id);
+      out.is_bot.push_back(true);
+      out.cluster_label.push_back(account.id);
+    }
+  }
+
+  CHECK_EQ(out.corpus.size(), out.account_id.size());
+  return out;
+}
+
+}  // namespace infoshield

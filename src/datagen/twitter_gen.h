@@ -1,0 +1,98 @@
+// Synthetic Twitter-bot corpus generator (substitute for the Cresci'17
+// datasets; see DESIGN.md §3).
+//
+// Genuine accounts post diverse tweets: tokens drawn from a Zipf
+// distribution over the language vocabulary, biased toward a small
+// per-account topic pool so accounts feel coherent without becoming
+// near-duplicates. Bot (spambot) accounts run campaigns: each bot owns a
+// campaign template (constant token sequence with slot positions) and
+// every bot tweet is the template with fresh slot fills plus random token
+// edits — exactly the near-duplicate structure InfoShield hunts for.
+//
+// Test-set composition mirrors §V-A1: a mix of genuine and bot accounts;
+// ground-truth cluster labels are -1 for genuine tweets (each its own
+// singleton) and the bot's account id otherwise.
+
+#ifndef INFOSHIELD_DATAGEN_TWITTER_GEN_H_
+#define INFOSHIELD_DATAGEN_TWITTER_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/wordlists.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+
+struct TwitterGenOptions {
+  size_t num_genuine_accounts = 50;
+  size_t tweets_per_genuine_min = 5;
+  size_t tweets_per_genuine_max = 20;
+
+  size_t num_bot_accounts = 50;
+  size_t tweets_per_bot_min = 5;
+  size_t tweets_per_bot_max = 20;
+
+  // Campaign template shape.
+  size_t template_length_min = 8;
+  size_t template_length_max = 16;
+  size_t template_slots_min = 1;
+  size_t template_slots_max = 3;
+  size_t slot_fill_words_min = 1;
+  size_t slot_fill_words_max = 3;
+
+  // Per-token probability of a random edit in a bot tweet
+  // (insert/delete/substitute chosen uniformly). Spambots-#1-style sets
+  // use a low value (heavy duplication); spambots-#3-style use higher.
+  double bot_edit_prob = 0.03;
+
+  // Genuine tweet shape.
+  size_t genuine_length_min = 6;
+  size_t genuine_length_max = 24;
+  // Zipf exponent for token draws.
+  double zipf_exponent = 1.05;
+  // Effective vocabulary size per language; the base word pools are
+  // extended deterministically (PoolWord) so that unrelated accounts
+  // rarely collide on phrases, as in real corpora with 100k+ word
+  // vocabularies.
+  size_t vocab_size = 8000;
+  // Per-account topic pool size; genuine tweets draw from the topic pool
+  // with this probability, else from the full vocabulary.
+  size_t topic_pool_size = 40;
+  double topic_word_prob = 0.5;
+
+  // Fraction of accounts tweeting in each language (normalized
+  // internally). All-English by default.
+  double english_fraction = 1.0;
+  double spanish_fraction = 0.0;
+  double italian_fraction = 0.0;
+  double japanese_fraction = 0.0;
+};
+
+struct LabeledTweets {
+  Corpus corpus;
+  // Parallel to corpus documents:
+  std::vector<int64_t> account_id;
+  std::vector<bool> is_bot;
+  // -1 for genuine tweets, the bot's account id otherwise (§V-A1's
+  // ground-truth cluster construction).
+  std::vector<int64_t> cluster_label;
+
+  size_t num_bot_tweets() const;
+};
+
+class TwitterGenerator {
+ public:
+  explicit TwitterGenerator(TwitterGenOptions options) : options_(options) {}
+
+  LabeledTweets Generate(uint64_t seed) const;
+
+  const TwitterGenOptions& options() const { return options_; }
+
+ private:
+  TwitterGenOptions options_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_DATAGEN_TWITTER_GEN_H_

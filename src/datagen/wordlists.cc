@@ -1,0 +1,247 @@
+#include "datagen/wordlists.h"
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+namespace {
+
+// Function-local static references avoid static-destructor ordering
+// issues (Google style: no non-trivially-destructible globals).
+const std::vector<std::string>& EnglishWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      // ~400 common English words, roughly frequency-ordered.
+      "the", "be", "to", "of", "and", "a", "in", "that", "have", "i",
+      "it", "for", "not", "on", "with", "he", "as", "you", "do", "at",
+      "this", "but", "his", "by", "from", "they", "we", "say", "her",
+      "she", "or", "an", "will", "my", "one", "all", "would", "there",
+      "their", "what", "so", "up", "out", "if", "about", "who", "get",
+      "which", "go", "me", "when", "make", "can", "like", "time", "no",
+      "just", "him", "know", "take", "people", "into", "year", "your",
+      "good", "some", "could", "them", "see", "other", "than", "then",
+      "now", "look", "only", "come", "its", "over", "think", "also",
+      "back", "after", "use", "two", "how", "our", "work", "first",
+      "well", "way", "even", "new", "want", "because", "any", "these",
+      "give", "day", "most", "us", "great", "where", "through", "much",
+      "before", "too", "very", "still", "being", "here", "why", "never",
+      "world", "own", "same", "tell", "does", "part", "place", "while",
+      "last", "might", "week", "story", "news", "today", "found", "best",
+      "love", "home", "city", "always", "every", "again", "morning",
+      "night", "keep", "long", "little", "big", "small", "house", "life",
+      "hand", "high", "right", "left", "old", "young", "start", "show",
+      "try", "call", "move", "live", "believe", "hold", "bring", "happen",
+      "next", "without", "turn", "follow", "around", "between", "read",
+      "write", "run", "play", "feel", "seem", "help", "talk", "stand",
+      "watch", "water", "food", "music", "game", "team", "win", "lose",
+      "free", "real", "full", "sure", "early", "late", "hard", "easy",
+      "open", "close", "light", "dark", "warm", "cold", "happy", "sad",
+      "friend", "family", "child", "woman", "man", "girl", "boy", "name",
+      "word", "line", "side", "kind", "head", "eye", "face", "fact",
+      "month", "lot", "point", "number", "group", "problem", "question",
+      "money", "business", "service", "student", "school", "state",
+      "country", "company", "system", "program", "government", "power",
+      "car", "road", "door", "room", "book", "idea", "job", "area",
+      "minute", "hour", "second", "moment", "summer", "winter", "spring",
+      "travel", "trip", "photo", "video", "share", "post", "tweet",
+      "online", "weekend", "coffee", "lunch", "dinner", "party", "movie",
+      "song", "dance", "sun", "rain", "snow", "wind", "tree", "flower",
+      "river", "mountain", "beach", "ocean", "sky", "star", "moon",
+      "amazing", "awesome", "beautiful", "wonderful", "perfect", "nice",
+      "crazy", "funny", "weird", "interesting", "boring", "tired",
+      "excited", "proud", "lucky", "blessed", "grateful", "thanks",
+      "thank", "please", "sorry", "hello", "goodbye", "yes", "maybe",
+      "definitely", "probably", "actually", "finally", "already", "soon",
+      "yesterday", "tomorrow", "tonight", "everyone", "someone", "anyone",
+      "nothing", "something", "everything", "anywhere", "somewhere",
+      "birthday", "holiday", "vacation", "weather", "season", "market",
+      "store", "shop", "price", "deal", "sale", "buy", "sell", "pay",
+      "cost", "cheap", "expensive", "quality", "brand", "style", "fashion",
+      "health", "doctor", "sleep", "dream", "walk", "drive", "fly",
+      "train", "plane", "bus", "station", "airport", "hotel", "ticket",
+      "event", "concert", "festival", "club", "bar", "restaurant", "menu",
+      "order", "table", "chair", "soap", "hat", "pen", "phone", "computer",
+      "screen", "internet", "website", "link", "page", "article", "report",
+      "study", "research", "science", "history", "culture", "language",
+      "english", "learn", "teach", "class", "test", "paper", "project",
+      "plan", "goal", "dream", "hope", "wish", "luck", "chance", "choice",
+      "change", "future", "past", "present", "end", "begin", "middle",
+      "top", "bottom", "front", "behind", "inside", "outside", "above",
+      "below", "near", "far", "fast", "slow", "strong", "weak", "heavy",
+      "popular", "famous", "local", "global", "public", "private",
+      "special", "normal", "common", "rare", "simple", "complex", "clear",
+      "clean", "dirty", "fresh", "sweet", "delicious", "favorite",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& SpanishWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "el", "la", "de", "que", "y", "a", "en", "un", "ser", "se",
+      "no", "haber", "por", "con", "su", "para", "como", "estar",
+      "tener", "le", "lo", "todo", "pero", "más", "hacer", "o", "poder",
+      "decir", "este", "ir", "otro", "ese", "si", "me", "ya", "ver",
+      "porque", "dar", "cuando", "muy", "sin", "vez", "mucho", "saber",
+      "qué", "sobre", "mi", "alguno", "mismo", "también", "hasta",
+      "año", "dos", "querer", "entre", "así", "primero", "desde",
+      "grande", "eso", "ni", "nos", "llegar", "pasar", "tiempo", "ella",
+      "sí", "día", "uno", "bien", "poco", "deber", "entonces", "poner",
+      "cosa", "tanto", "hombre", "parecer", "nuestro", "tan", "donde",
+      "ahora", "parte", "después", "vida", "quedar", "siempre", "creer",
+      "hablar", "llevar", "dejar", "nada", "cada", "seguir", "menos",
+      "nuevo", "encontrar", "algo", "solo", "pues", "casa", "mundo",
+      "mujer", "caso", "país", "trabajo", "lugar", "persona", "hora",
+      "noche", "forma", "agua", "ciudad", "hijo", "tierra", "mano",
+      "momento", "manera", "semana", "historia", "gracias", "amigo",
+      "amor", "fiesta", "música", "playa", "sol", "luna", "cielo",
+      "temblor", "sismo", "richter", "magnitud", "sureste", "puerto",
+      "escondido", "norte", "centro", "kilómetros", "región", "costa",
+      "feliz", "bueno", "malo", "bonito", "pequeño", "rápido", "lento",
+      "calle", "coche", "tren", "avión", "comida", "cena", "mañana",
+      "tarde", "ayer", "hoy", "siempre", "nunca", "aquí", "allí",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& ItalianWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "il", "di", "che", "e", "la", "per", "un", "in", "non", "essere",
+      "da", "si", "con", "avere", "su", "come", "lo", "ma", "le", "fare",
+      "io", "questo", "a", "più", "o", "anche", "se", "tutto", "mi",
+      "quello", "molto", "dire", "ci", "potere", "cosa", "volere", "bene",
+      "sapere", "dovere", "uno", "vedere", "andare", "tempo", "quando",
+      "grande", "stesso", "nostro", "casa", "anno", "giorno", "uomo",
+      "donna", "vita", "mano", "volta", "parte", "mondo", "città",
+      "paese", "lavoro", "momento", "notte", "acqua", "strada", "amico",
+      "amore", "festa", "musica", "mare", "sole", "luna", "cielo",
+      "bello", "buono", "nuovo", "vecchio", "piccolo", "veloce", "lento",
+      "sempre", "mai", "oggi", "domani", "ieri", "adesso", "qui", "là",
+      "grazie", "prego", "ciao", "sera", "mattina", "pranzo", "cena",
+      "treno", "macchina", "aereo", "stazione", "albergo", "biglietto",
+      "storia", "settimana", "mese", "ora", "minuto", "secondo", "prima",
+      "dopo", "sopra", "sotto", "dentro", "fuori", "vicino", "lontano",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& JapaneseWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      // Romanized Japanese tokens.
+      "watashi", "anata", "kore", "sore", "are", "desu", "masu", "suru",
+      "naru", "aru", "iru", "iku", "kuru", "miru", "kiku", "hanasu",
+      "taberu", "nomu", "kau", "uru", "yomu", "kaku", "omou", "shiru",
+      "wakaru", "dekiru", "ii", "warui", "ookii", "chiisai", "atarashii",
+      "furui", "takai", "yasui", "hayai", "osoi", "atsui", "samui",
+      "kyou", "ashita", "kinou", "ima", "asa", "hiru", "yoru", "mainichi",
+      "jikan", "fun", "byou", "shuu", "tsuki", "toshi", "hito", "tomodachi",
+      "kazoku", "kodomo", "onna", "otoko", "namae", "kuni", "machi",
+      "ie", "gakkou", "kaisha", "shigoto", "okane", "mise", "eki",
+      "densha", "kuruma", "hikouki", "hon", "eiga", "ongaku", "uta",
+      "gohan", "mizu", "ocha", "sakana", "niku", "yasai", "kudamono",
+      "umi", "yama", "kawa", "sora", "hoshi", "tsuki", "taiyou", "ame",
+      "yuki", "kaze", "hana", "ki", "inu", "neko", "arigatou", "sumimasen",
+      "konnichiwa", "sayounara", "hai", "iie", "totemo", "sukoshi",
+  };
+  return kWords;
+}
+
+}  // namespace
+
+const std::vector<std::string>& WordsFor(Language language) {
+  switch (language) {
+    case Language::kEnglish:
+      return EnglishWords();
+    case Language::kSpanish:
+      return SpanishWords();
+    case Language::kItalian:
+      return ItalianWords();
+    case Language::kJapanese:
+      return JapaneseWords();
+  }
+  LOG(FATAL) << "unknown language";
+  return EnglishWords();
+}
+
+const std::vector<std::string>& AdIntroWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "new", "sweet", "lovely", "relaxing", "grand", "opening", "best",
+      "in", "town", "visit", "our", "friendly", "clean", "quiet", "place",
+      "welcome", "to", "the", "finest", "spa", "studio", "come", "see",
+      "us", "today", "professional", "experience", "stop", "by", "enjoy",
+      "a", "wonderful", "session", "top", "rated", "private", "warm",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& AdServiceWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "massage", "therapy", "table", "shower", "deep", "tissue", "body",
+      "relaxation", "session", "treatment", "full", "service", "hot",
+      "stone", "foot", "back", "neck", "shoulder", "aroma", "oil",
+      "swedish", "sports", "gentle", "strong", "skilled", "therapist",
+      "staff", "young", "team", "new", "faces", "every", "week",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& AdTimeWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "open", "7", "days", "until", "9pm", "10pm", "11pm", "late",
+      "night", "early", "morning", "9am", "10am", "walk", "ins",
+      "welcome", "appointment", "only", "weekends", "weekdays", "daily",
+      "hours", "flexible", "anytime", "24", "now", "available", "today",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& AdPriceWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "40", "50", "60", "70", "80", "90", "100", "120", "150", "200",
+      "special", "price", "half", "hour", "full", "discount", "deal",
+      "rate", "dollar", "per", "session", "new", "customer", "offer",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& AdContactWords() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "call", "text", "now", "ask", "for", "book", "today", "visit",
+      "contact", "us", "phone", "number", "dont", "miss", "out", "see",
+      "you", "soon", "no", "blocked", "calls", "please", "serious",
+      "inquiries", "only",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& FirstNames() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "amy",   "bella", "cici",  "dana",  "emma",  "gigi",  "holly",
+      "iris",  "jenny", "kiki",  "lily",  "mia",   "nina",  "olivia",
+      "penny", "queenie", "rosa", "sasha", "tina",  "uma",   "vivian",
+      "wendy", "xena",  "yuki",  "zoe",   "anna",  "betty", "coco",
+      "daisy", "elle",  "fifi",  "grace", "hanna", "ivy",   "jade",
+  };
+  return kWords;
+}
+
+std::string PoolWord(const std::vector<std::string>& base, size_t rank) {
+  CHECK(!base.empty());
+  const size_t wrap = rank / base.size();
+  const std::string& word = base[rank % base.size()];
+  if (wrap == 0) return word;
+  return word + std::to_string(wrap + 1);
+}
+
+const std::vector<std::string>& CityNames() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "springfield", "rivertown", "lakeside", "fairview", "brookhaven",
+      "maplewood", "cedarville", "oakdale", "pinecrest", "elmhurst",
+      "ashford", "briarwood", "clearwater", "dover", "easton",
+      "fairmont", "glenville", "hillcrest", "kingsport", "linden",
+      "midtown", "northgate", "overlook", "parkside", "quarry",
+      "ridgeway", "stonebrook", "trenton", "union", "vista",
+      "westfield", "yorktown",
+  };
+  return kWords;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,52 @@
+// Word pools for the synthetic data generators.
+//
+// The paper's datasets (Cresci'17 Twitter sets, Trafficking10k, Cluster
+// Trafficking) are gated; the generators substitute synthetic corpora
+// built from these pools (see DESIGN.md §3). Pools exist for several
+// languages because InfoShield is language-independent (paper §V-F) and
+// the Twitter data contains Spanish, Italian, English and Japanese.
+//
+// The escort-ad domain pools are deliberately neutral (spa/massage
+// wording) — they exercise the same structure (time/price/contact slots)
+// without reproducing exploitative content.
+
+#ifndef INFOSHIELD_DATAGEN_WORDLISTS_H_
+#define INFOSHIELD_DATAGEN_WORDLISTS_H_
+
+#include <string>
+#include <vector>
+
+namespace infoshield {
+
+enum class Language {
+  kEnglish = 0,
+  kSpanish = 1,
+  kItalian = 2,
+  kJapanese = 3,  // romanized
+};
+
+// General vocabulary for a language, roughly frequency-ordered so a Zipf
+// sampler over indices mimics natural token frequencies.
+const std::vector<std::string>& WordsFor(Language language);
+
+// Escort-ad domain pools (neutral wording).
+const std::vector<std::string>& AdIntroWords();    // greetings/openers
+const std::vector<std::string>& AdServiceWords();  // service descriptions
+const std::vector<std::string>& AdTimeWords();     // availability phrases
+const std::vector<std::string>& AdPriceWords();    // price phrases
+const std::vector<std::string>& AdContactWords();  // call-to-action stems
+const std::vector<std::string>& FirstNames();
+const std::vector<std::string>& CityNames();
+
+// Deterministically extends a base pool to arbitrarily many distinct
+// words: rank r maps to base[r % base.size()] suffixed with r / size when
+// the pool wraps ("time", "time2", "time3", ...). Generators draw Zipf
+// ranks over a large effective vocabulary so that unrelated documents
+// rarely share phrases — the regime real corpora (100k+ word
+// vocabularies) are in. Tiny pools would make independent campaigns
+// collide on 5-grams by chance, which no real dataset exhibits.
+std::string PoolWord(const std::vector<std::string>& base, size_t rank);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_DATAGEN_WORDLISTS_H_

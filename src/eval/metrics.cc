@@ -1,0 +1,153 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+double BinaryMetrics::precision() const {
+  size_t denom = true_positives + false_positives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double BinaryMetrics::recall() const {
+  size_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0
+                    : static_cast<double>(true_positives) /
+                          static_cast<double>(denom);
+}
+
+double BinaryMetrics::f1() const {
+  double p = precision();
+  double r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double BinaryMetrics::accuracy() const {
+  size_t total =
+      true_positives + false_positives + true_negatives + false_negatives;
+  return total == 0 ? 0.0
+                    : static_cast<double>(true_positives + true_negatives) /
+                          static_cast<double>(total);
+}
+
+BinaryMetrics ComputeBinaryMetrics(const std::vector<bool>& predicted,
+                                   const std::vector<bool>& actual) {
+  CHECK_EQ(predicted.size(), actual.size());
+  BinaryMetrics m;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] && actual[i]) ++m.true_positives;
+    else if (predicted[i] && !actual[i]) ++m.false_positives;
+    else if (!predicted[i] && actual[i]) ++m.false_negatives;
+    else ++m.true_negatives;
+  }
+  return m;
+}
+
+namespace {
+
+// Expands -1 labels into unique singleton labels.
+std::vector<int64_t> ExpandNoise(const std::vector<int64_t>& labels) {
+  std::vector<int64_t> out = labels;
+  int64_t next = -2;  // descending ids can never collide with real labels
+  for (int64_t& l : out) {
+    if (l == -1) l = next--;
+  }
+  return out;
+}
+
+double Comb2(double n) { return n * (n - 1.0) / 2.0; }
+
+}  // namespace
+
+double AdjustedRandIndex(const std::vector<int64_t>& labels_a,
+                         const std::vector<int64_t>& labels_b) {
+  CHECK_EQ(labels_a.size(), labels_b.size());
+  const size_t n = labels_a.size();
+  if (n == 0) return 1.0;
+
+  std::vector<int64_t> a = ExpandNoise(labels_a);
+  std::vector<int64_t> b = ExpandNoise(labels_b);
+
+  std::map<std::pair<int64_t, int64_t>, size_t> contingency;
+  std::map<int64_t, size_t> count_a;
+  std::map<int64_t, size_t> count_b;
+  for (size_t i = 0; i < n; ++i) {
+    ++contingency[{a[i], b[i]}];
+    ++count_a[a[i]];
+    ++count_b[b[i]];
+  }
+
+  double sum_ij = 0.0;
+  for (const auto& [key, c] : contingency) sum_ij += Comb2(c);
+  double sum_a = 0.0;
+  for (const auto& [key, c] : count_a) sum_a += Comb2(c);
+  double sum_b = 0.0;
+  for (const auto& [key, c] : count_b) sum_b += Comb2(c);
+
+  const double total = Comb2(static_cast<double>(n));
+  const double expected = sum_a * sum_b / total;
+  const double max_index = 0.5 * (sum_a + sum_b);
+  const double denom = max_index - expected;
+  if (denom == 0.0) return 1.0;  // both partitions trivially identical
+  return (sum_ij - expected) / denom;
+}
+
+ClusteringAgreement ComputeClusteringAgreement(
+    const std::vector<int64_t>& truth,
+    const std::vector<int64_t>& predicted) {
+  CHECK_EQ(truth.size(), predicted.size());
+  ClusteringAgreement out;
+  const size_t n = truth.size();
+  if (n == 0) return out;
+
+  std::vector<int64_t> a = ExpandNoise(truth);
+  std::vector<int64_t> b = ExpandNoise(predicted);
+
+  std::map<std::pair<int64_t, int64_t>, size_t> joint;
+  std::map<int64_t, size_t> count_a;
+  std::map<int64_t, size_t> count_b;
+  for (size_t i = 0; i < n; ++i) {
+    ++joint[{a[i], b[i]}];
+    ++count_a[a[i]];
+    ++count_b[b[i]];
+  }
+
+  const double dn = static_cast<double>(n);
+  auto entropy = [dn](const std::map<int64_t, size_t>& counts) {
+    double h = 0.0;
+    for (const auto& [label, c] : counts) {
+      const double p = static_cast<double>(c) / dn;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double h_a = entropy(count_a);
+  const double h_b = entropy(count_b);
+
+  double mi = 0.0;
+  for (const auto& [pair, c] : joint) {
+    const double p_joint = static_cast<double>(c) / dn;
+    const double p_a = static_cast<double>(count_a[pair.first]) / dn;
+    const double p_b = static_cast<double>(count_b[pair.second]) / dn;
+    mi += p_joint * std::log(p_joint / (p_a * p_b));
+  }
+  mi = std::max(mi, 0.0);  // clamp numeric noise
+
+  out.homogeneity = h_a > 0.0 ? mi / h_a : 1.0;
+  out.completeness = h_b > 0.0 ? mi / h_b : 1.0;
+  out.v_measure =
+      (out.homogeneity + out.completeness) > 0.0
+          ? 2.0 * out.homogeneity * out.completeness /
+                (out.homogeneity + out.completeness)
+          : 0.0;
+  out.nmi = (h_a > 0.0 && h_b > 0.0) ? mi / std::sqrt(h_a * h_b) : 1.0;
+  return out;
+}
+
+}  // namespace infoshield

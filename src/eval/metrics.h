@@ -1,0 +1,62 @@
+// Evaluation metrics (paper §V-A5): binary precision / recall / F1 and
+// the Adjusted Rand Index (Hubert & Arabie 1985) for cluster labels.
+
+#ifndef INFOSHIELD_EVAL_METRICS_H_
+#define INFOSHIELD_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace infoshield {
+
+struct BinaryMetrics {
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t true_negatives = 0;
+  size_t false_negatives = 0;
+
+  double precision() const;
+  double recall() const;
+  double f1() const;
+  double accuracy() const;
+};
+
+// predicted[i] / actual[i]: whether document i is predicted/actually
+// positive (suspicious). Sizes must match.
+BinaryMetrics ComputeBinaryMetrics(const std::vector<bool>& predicted,
+                                   const std::vector<bool>& actual);
+
+// Adjusted Rand Index between two labelings of the same items.
+//
+// Label -1 is the conventional "noise / no cluster" marker (the paper
+// labels all legitimate users -1 because "their tweets are different
+// enough that they shouldn't be clustered together"): each -1 item is
+// treated as its own singleton cluster on BOTH sides before computing
+// ARI. Returns a value in [-1, 1]; 1 = identical partitions.
+double AdjustedRandIndex(const std::vector<int64_t>& labels_a,
+                         const std::vector<int64_t>& labels_b);
+
+// Information-theoretic clustering agreement (Rosenberg & Hirschberg
+// 2007; Strehl & Ghosh 2002). Same -1-as-singleton convention as ARI.
+struct ClusteringAgreement {
+  // H(truth) - H(truth | predicted), normalized: 1 = every predicted
+  // cluster contains members of a single true class.
+  double homogeneity = 1.0;
+  // Symmetric counterpart: 1 = all members of each true class land in
+  // the same predicted cluster.
+  double completeness = 1.0;
+  // Harmonic mean of the two.
+  double v_measure = 1.0;
+  // Mutual information normalized by sqrt(H(a) * H(b)).
+  double nmi = 1.0;
+};
+
+// truth first, prediction second (homogeneity/completeness are
+// asymmetric).
+ClusteringAgreement ComputeClusteringAgreement(
+    const std::vector<int64_t>& truth, const std::vector<int64_t>& predicted);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_EVAL_METRICS_H_

@@ -1,0 +1,28 @@
+#include "graph/connected_components.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace infoshield {
+
+Components ExtractComponents(UnionFind& uf, size_t min_component_size) {
+  std::unordered_map<uint32_t, std::vector<uint32_t>> by_root;
+  const size_t n = uf.num_elements();
+  for (uint32_t i = 0; i < n; ++i) {
+    by_root[uf.Find(i)].push_back(i);
+  }
+  Components out;
+  out.groups.reserve(by_root.size());
+  for (auto& [root, members] : by_root) {
+    if (members.size() < min_component_size) continue;
+    // Members are already ascending (inserted in id order).
+    out.groups.push_back(std::move(members));
+  }
+  std::sort(out.groups.begin(), out.groups.end(),
+            [](const std::vector<uint32_t>& a, const std::vector<uint32_t>& b) {
+              return a.front() < b.front();
+            });
+  return out;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,29 @@
+// Grouping elements into connected components from a UnionFind, with
+// deterministic ordering (components by smallest member; members by id).
+
+#ifndef INFOSHIELD_GRAPH_CONNECTED_COMPONENTS_H_
+#define INFOSHIELD_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/union_find.h"
+
+namespace infoshield {
+
+struct Components {
+  // Each component is a sorted list of element ids; components are ordered
+  // by their smallest element.
+  std::vector<std::vector<uint32_t>> groups;
+
+  size_t size() const { return groups.size(); }
+};
+
+// Extracts all components of `uf`. Components with fewer than
+// `min_component_size` members are dropped (paper: singleton documents are
+// eliminated by InfoShield-Coarse).
+Components ExtractComponents(UnionFind& uf, size_t min_component_size);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_GRAPH_CONNECTED_COMPONENTS_H_

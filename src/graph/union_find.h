@@ -1,0 +1,39 @@
+// Disjoint-set (union-find) with path halving and union by size.
+// Backbone of the coarse stage's connected-component computation.
+
+#ifndef INFOSHIELD_GRAPH_UNION_FIND_H_
+#define INFOSHIELD_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace infoshield {
+
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  // Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  // Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  // Size of the set containing x.
+  uint32_t SetSize(uint32_t x);
+
+  size_t num_elements() const { return parent_.size(); }
+  size_t num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_GRAPH_UNION_FIND_H_

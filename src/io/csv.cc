@@ -1,0 +1,155 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace infoshield {
+
+std::vector<std::string> ParseCsvLine(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+    ++i;
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field, char sep) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += EscapeCsvField(fields[i], sep);
+  }
+  return out;
+}
+
+int CsvTable::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+namespace {
+
+// Splits file content into CSV records, letting quoted fields span lines.
+std::vector<std::string> SplitRecords(const std::string& content) {
+  std::vector<std::string> records;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (c == '"') in_quotes = !in_quotes;
+    if (!in_quotes && (c == '\n' || c == '\r')) {
+      if (c == '\r' && i + 1 < content.size() && content[i + 1] == '\n') {
+        ++i;
+      }
+      records.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) records.push_back(std::move(current));
+  return records;
+}
+
+}  // namespace
+
+Result<CsvTable> ReadCsvFile(const std::string& path, char sep) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  CsvTable table;
+  bool first = true;
+  for (const std::string& record : SplitRecords(content)) {
+    if (record.empty()) continue;
+    std::vector<std::string> fields = ParseCsvLine(record, sep);
+    if (first) {
+      table.header = std::move(fields);
+      first = false;
+    } else {
+      table.rows.push_back(std::move(fields));
+    }
+  }
+  if (first) return Status::IoError("empty CSV file: " + path);
+  return table;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char sep) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << FormatCsvLine(table.header, sep) << "\n";
+  for (const auto& row : table.rows) {
+    out << FormatCsvLine(row, sep) << "\n";
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<Corpus> LoadCorpusFromCsv(const std::string& path,
+                                 const std::string& text_column, char sep) {
+  Result<CsvTable> table = ReadCsvFile(path, sep);
+  if (!table.ok()) return table.status();
+  const int col = table->ColumnIndex(text_column);
+  if (col < 0) {
+    return Status::InvalidArgument("no column named '" + text_column +
+                                   "' in " + path);
+  }
+  Corpus corpus;
+  for (const auto& row : table->rows) {
+    if (static_cast<size_t>(col) < row.size()) {
+      corpus.Add(row[static_cast<size_t>(col)]);
+    } else {
+      corpus.Add("");
+    }
+  }
+  return corpus;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,50 @@
+// RFC-4180-style CSV reading/writing and corpus loading, so users can run
+// InfoShield on their own ad/tweet dumps.
+
+#ifndef INFOSHIELD_IO_CSV_H_
+#define INFOSHIELD_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/corpus.h"
+#include "util/status.h"
+
+namespace infoshield {
+
+// Parses one CSV record (no trailing newline) honoring double-quote
+// escaping ("" inside a quoted field is a literal quote).
+std::vector<std::string> ParseCsvLine(std::string_view line, char sep = ',');
+
+// Quotes a field if it contains the separator, a quote, or a newline.
+std::string EscapeCsvField(std::string_view field, char sep = ',');
+
+// Joins fields into one CSV record (no trailing newline).
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char sep = ',');
+
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  // Column index by header name, or -1.
+  int ColumnIndex(std::string_view name) const;
+};
+
+// Reads a whole CSV file; the first record is the header. Quoted fields
+// may contain embedded newlines.
+Result<CsvTable> ReadCsvFile(const std::string& path, char sep = ',');
+
+Status WriteCsvFile(const std::string& path, const CsvTable& table,
+                    char sep = ',');
+
+// Loads a corpus from a CSV file: each row's `text_column` becomes a
+// document. Fails if the column is missing.
+Result<Corpus> LoadCorpusFromCsv(const std::string& path,
+                                 const std::string& text_column,
+                                 char sep = ',');
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_IO_CSV_H_

@@ -1,0 +1,193 @@
+#include "io/json_writer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace infoshield {
+
+std::string EscapeJsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    CHECK(stack_.back() == 'a') << "value without key inside object";
+  }
+  if (need_comma_) out_.push_back(',');
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_.push_back('{');
+  stack_.push_back('o');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CHECK(!stack_.empty() && stack_.back() == 'o');
+  CHECK(!pending_key_) << "dangling key";
+  stack_.pop_back();
+  out_.push_back('}');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_.push_back('[');
+  stack_.push_back('a');
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CHECK(!stack_.empty() && stack_.back() == 'a');
+  stack_.pop_back();
+  out_.push_back(']');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  CHECK(!stack_.empty() && stack_.back() == 'o') << "key outside object";
+  CHECK(!pending_key_) << "two keys in a row";
+  if (need_comma_) out_.push_back(',');
+  out_.push_back('"');
+  out_ += EscapeJsonString(key);
+  out_ += "\":";
+  pending_key_ = true;
+  need_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  out_ += EscapeJsonString(value);
+  out_.push_back('"');
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (std::isfinite(value)) {
+    out_ += StrFormat("%.6g", value);
+  } else {
+    out_ += "null";
+  }
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
+std::string ResultToJson(const InfoShieldResult& result,
+                         const Corpus& corpus) {
+  const Vocabulary& vocab = corpus.vocab();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("num_documents").Int(static_cast<int64_t>(corpus.size()));
+  w.Key("num_templates").Int(static_cast<int64_t>(result.templates.size()));
+  w.Key("num_suspicious").Int(static_cast<int64_t>(result.num_suspicious()));
+  w.Key("num_coarse_clusters")
+      .Int(static_cast<int64_t>(result.num_coarse_clusters));
+
+  w.Key("templates").BeginArray();
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    const TemplateCluster& tc = result.templates[t];
+    w.BeginObject();
+    w.Key("id").Int(static_cast<int64_t>(t));
+    w.Key("text").String(tc.tmpl.ToString(vocab));
+    w.Key("num_slots").Int(static_cast<int64_t>(tc.tmpl.num_slots()));
+    w.Key("members").BeginArray();
+    for (DocId d : tc.members) w.Int(d);
+    w.EndArray();
+    w.Key("slot_fills").BeginArray();
+    for (size_t m = 0; m < tc.encodings.size(); ++m) {
+      w.BeginArray();
+      for (const auto& words : tc.encodings[m].slot_words) {
+        std::string fill;
+        for (size_t i = 0; i < words.size(); ++i) {
+          if (i > 0) fill.push_back(' ');
+          fill += vocab.Word(words[i]);
+        }
+        w.String(fill);
+      }
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("clusters").BeginArray();
+  for (const ClusterStats& s : result.cluster_stats) {
+    w.BeginObject();
+    w.Key("coarse_cluster").Int(static_cast<int64_t>(s.coarse_cluster_index));
+    w.Key("num_docs").Int(static_cast<int64_t>(s.num_docs));
+    w.Key("num_templates").Int(static_cast<int64_t>(s.num_templates));
+    w.Key("relative_length").Double(s.relative_length);
+    w.Key("lower_bound").Double(s.lower_bound);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace infoshield

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer plus a cluster-report serializer, so
+// downstream tooling (dashboards, case-management systems) can consume
+// InfoShield results.
+
+#ifndef INFOSHIELD_IO_JSON_WRITER_H_
+#define INFOSHIELD_IO_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fine_clustering.h"
+#include "core/infoshield.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+
+// Writes well-formed JSON with proper string escaping. The caller drives
+// the structure; nesting correctness is CHECKed.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  // Stack of container states: 'o' = object, 'a' = array.
+  std::vector<char> stack_;
+  bool need_comma_ = false;
+  bool pending_key_ = false;
+};
+
+std::string EscapeJsonString(std::string_view s);
+
+// Serializes an InfoShield run: templates with slots, member documents,
+// and per-cluster compression stats.
+std::string ResultToJson(const InfoShieldResult& result,
+                         const Corpus& corpus);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_IO_JSON_WRITER_H_

@@ -1,0 +1,72 @@
+#include "mdl/cost_model.h"
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+CostModel::CostModel(double lg_vocab) : lg_vocab_(lg_vocab) {
+  CHECK_GT(lg_vocab, 0.0);
+}
+
+CostModel CostModel::ForVocabulary(const Vocabulary& vocab) {
+  return CostModel(vocab.BitsPerWord());
+}
+
+double CostModel::UnencodedDocCost(size_t length) const {
+  return static_cast<double>(length) * lg_vocab_;
+}
+
+double CostModel::TemplateCost(size_t length, size_t num_slots) const {
+  return UniversalCodeLength(length) +
+         static_cast<double>(length) * lg_vocab_ +
+         (1.0 + static_cast<double>(num_slots)) * Log2Bits(length);
+}
+
+double CostModel::ModelCost(
+    const std::vector<std::pair<size_t, size_t>>& template_shapes) const {
+  double cost = UniversalCodeLength(template_shapes.size());
+  for (const auto& [length, slots] : template_shapes) {
+    cost += TemplateCost(length, slots);
+  }
+  return cost;
+}
+
+double CostModel::SlotCost(size_t word_count) const {
+  double cost = 1.0;  // empty/non-empty flag
+  if (word_count > 0) {
+    cost += UniversalCodeLength(word_count) +
+            static_cast<double>(word_count) * lg_vocab_;
+  }
+  return cost;
+}
+
+double CostModel::AlignmentCostBase(const EncodingSummary& s) const {
+  const double lg_len = Log2Bits(s.alignment_length);
+  double cost = UniversalCodeLength(s.alignment_length) +
+                static_cast<double>(s.alignment_length);
+  cost += static_cast<double>(s.unmatched) * (lg_len + 2.0);
+  cost += static_cast<double>(s.inserted_or_substituted) * lg_vocab_;
+  for (size_t w : s.slot_word_counts) cost += SlotCost(w);
+  return cost;
+}
+
+double CostModel::EncodedDocCost(size_t num_templates,
+                                 const EncodingSummary& s) const {
+  return Log2Bits(num_templates) + AlignmentCostBase(s);
+}
+
+double RelativeLength(double cost_after, double cost_before) {
+  if (cost_before <= 0.0) return 1.0;
+  return cost_after / cost_before;
+}
+
+double RelativeLengthLowerBound(size_t num_templates, size_t num_documents,
+                                double lg_vocab) {
+  CHECK_GT(num_documents, 0u);
+  CHECK_GT(lg_vocab, 0.0);
+  return static_cast<double>(num_templates) /
+             static_cast<double>(num_documents) +
+         1.0 / lg_vocab;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,103 @@
+// The InfoShield encoding cost model (paper §III-B).
+//
+// Total cost of a corpus under a template set M (Definition 1):
+//
+//   C = C(M) + C(D|M)
+//
+// Model cost (Definition 2 / Eq. 2):
+//
+//   C(M) = <t> + sum_i [ <l_i> + l_i * lgV + (1 + s_i) * lg l_i ]
+//
+// Data cost (Definition 3 / Eq. 3, expanded with the bullet list):
+//   * 1 bit per document for the template yes/no flag (the leading N term)
+//   * unencoded document d:  l_d * lgV
+//   * document d encoded by template T_i:
+//       lg t                  template id
+//       <l̂_d> + l̂_d          alignment length + 1 matched/unmatched bit
+//                             per alignment word
+//       e_d * (lg l̂_d + 2)    location + op type (⌈lg 3⌉ = 2 bits) for
+//                             each unmatched word
+//       u_d * lgV             vocabulary index for each inserted or
+//                             substituted word
+//       sum_j S(w_{d,j})      slot contents (Eq. 4)
+//
+//   S(w) = 1 + (<w> + w * lgV  if w > 0 else 0)
+//
+// Note on the op-type bits: Eq. 3 as printed omits the 2-bit op-type term,
+// but the itemized description in §III-B2 includes it ("⌈lg 3⌉ = 2 bits
+// for operation type of each unmatched word"); we follow the itemized
+// description, which only shifts all template costs uniformly.
+//
+// The vocabulary itself is not charged (§III-B3): it is identical across
+// all candidate template sets and so never affects a comparison.
+
+#ifndef INFOSHIELD_MDL_COST_MODEL_H_
+#define INFOSHIELD_MDL_COST_MODEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "mdl/universal_code.h"
+#include "text/vocabulary.h"
+
+namespace infoshield {
+
+// Everything the data-cost formula needs to know about one document's
+// alignment against a template (after slot absorption).
+struct EncodingSummary {
+  // l̂_d: number of alignment columns.
+  size_t alignment_length = 0;
+  // e_d: unmatched columns (insertions + deletions + substitutions).
+  size_t unmatched = 0;
+  // u_d: inserted or substituted words (these also pay lgV).
+  size_t inserted_or_substituted = 0;
+  // w_{d,j}: number of words this document puts in each template slot.
+  std::vector<size_t> slot_word_counts;
+};
+
+class CostModel {
+ public:
+  // lg_vocab = lg V; use ForVocabulary for the common case.
+  explicit CostModel(double lg_vocab);
+
+  static CostModel ForVocabulary(const Vocabulary& vocab);
+
+  double lg_vocab() const { return lg_vocab_; }
+
+  // l * lgV — cost of a document no template describes. (The 1-bit
+  // template flag is charged separately, once per document, by
+  // TotalDataCost-style aggregation in the fine stage.)
+  double UnencodedDocCost(size_t length) const;
+
+  // Eq. 2 inner term for one template: <l> + l*lgV + (1+s)*lg l.
+  double TemplateCost(size_t length, size_t num_slots) const;
+
+  // Eq. 2 for a template set given each template's (length, slots).
+  double ModelCost(
+      const std::vector<std::pair<size_t, size_t>>& template_shapes) const;
+
+  // S(w) — Eq. 4.
+  double SlotCost(size_t word_count) const;
+
+  // Per-document alignment cost, *excluding* the lg t template-id term
+  // (which depends on the evolving template count and is added by the
+  // caller): <l̂> + l̂ + e*(lg l̂ + 2) + u*lgV + Σ_j S(w_j).
+  double AlignmentCostBase(const EncodingSummary& s) const;
+
+  // Full encoded-document cost: lg t + AlignmentCostBase.
+  double EncodedDocCost(size_t num_templates, const EncodingSummary& s) const;
+
+ private:
+  double lg_vocab_;
+};
+
+// Relative length (Eq. 7): cost after compression / cost before.
+double RelativeLength(double cost_after, double cost_before);
+
+// Lemma 1 lower bound on a cluster's relative length: t/n + 1/lgV.
+double RelativeLengthLowerBound(size_t num_templates, size_t num_documents,
+                                double lg_vocab);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_MDL_COST_MODEL_H_

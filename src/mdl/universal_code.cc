@@ -1,0 +1,17 @@
+#include "mdl/universal_code.h"
+
+#include <cmath>
+
+namespace infoshield {
+
+double UniversalCodeLength(uint64_t n) {
+  if (n <= 1) return 1.0;
+  return 2.0 * std::log2(static_cast<double>(n)) + 1.0;
+}
+
+double Log2Bits(uint64_t n) {
+  if (n <= 1) return 0.0;
+  return std::log2(static_cast<double>(n));
+}
+
+}  // namespace infoshield

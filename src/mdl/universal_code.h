@@ -1,0 +1,24 @@
+// Code-length primitives for the MDL cost model.
+//
+// The paper (Table VI) uses:
+//   <n>    ~= 2 lg n + 1 : universal code length for a non-negative integer
+//              (Rissanen's log* approximation; we define <0> = <1> = 1 bit)
+//   lg(L)  = log2(L)     : code length for an integer in 1..L
+// All costs are real-valued bit counts; they are compared, never emitted.
+
+#ifndef INFOSHIELD_MDL_UNIVERSAL_CODE_H_
+#define INFOSHIELD_MDL_UNIVERSAL_CODE_H_
+
+#include <cstdint>
+
+namespace infoshield {
+
+// <n> = 2*lg(n) + 1 for n >= 1; 1 bit for n == 0.
+double UniversalCodeLength(uint64_t n);
+
+// lg(L) with lg(0) = lg(1) = 0 (choosing among <= 1 alternative is free).
+double Log2Bits(uint64_t n);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_MDL_UNIVERSAL_CODE_H_

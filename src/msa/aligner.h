@@ -1,0 +1,37 @@
+// Abstract multiple-sequence-alignment interface.
+//
+// The paper (§IV-B) stresses that InfoShield-Fine "can co-work with any
+// off-the-shelf MSA approach": the fine stage only needs (a) incremental
+// fusion of sequences into an alignment and (b) threshold-based
+// sub-alignment selection Sel(A, h) for the consensus search. Two
+// implementations are provided: PoaGraph (partial order alignment, the
+// paper's choice) and ProfileMsa (a Barton–Sternberg-style profile
+// aligner, the classic alternative the paper contrasts in §II-D).
+
+#ifndef INFOSHIELD_MSA_ALIGNER_H_
+#define INFOSHIELD_MSA_ALIGNER_H_
+
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace infoshield {
+
+class MsaAligner {
+ public:
+  virtual ~MsaAligner() = default;
+
+  // Aligns one more sequence into the alignment.
+  virtual void AddSequence(const std::vector<TokenId>& seq) = 0;
+
+  // Sel(A, h): tokens supported by more than h of the aligned sequences,
+  // in alignment order. h = 0 is the most inclusive selection.
+  virtual std::vector<TokenId> ConsensusAtThreshold(size_t h) const = 0;
+
+  // Number of sequences aligned so far (including the seed).
+  virtual size_t num_sequences() const = 0;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_MSA_ALIGNER_H_

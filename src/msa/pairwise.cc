@@ -1,0 +1,135 @@
+#include "msa/pairwise.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+size_t Alignment::CountType(AlignOpType t) const {
+  size_t n = 0;
+  for (const AlignOp& op : ops) {
+    if (op.type == t) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+enum Move : uint8_t { kFromDiag = 0, kFromUp = 1, kFromLeft = 2, kFromNone = 3 };
+
+}  // namespace
+
+Alignment NeedlemanWunsch(const std::vector<TokenId>& a,
+                          const std::vector<TokenId>& b,
+                          const AlignmentScoring& scoring) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  // Row-major (n+1) x (m+1) score and move tables.
+  std::vector<int> score((n + 1) * (m + 1), 0);
+  std::vector<uint8_t> move((n + 1) * (m + 1), kFromNone);
+  auto at = [m](size_t i, size_t j) { return i * (m + 1) + j; };
+
+  for (size_t i = 1; i <= n; ++i) {
+    score[at(i, 0)] = static_cast<int>(i) * scoring.gap;
+    move[at(i, 0)] = kFromUp;
+  }
+  for (size_t j = 1; j <= m; ++j) {
+    score[at(0, j)] = static_cast<int>(j) * scoring.gap;
+    move[at(0, j)] = kFromLeft;
+  }
+
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      const int diag =
+          score[at(i - 1, j - 1)] +
+          (a[i - 1] == b[j - 1] ? scoring.match : scoring.mismatch);
+      const int up = score[at(i - 1, j)] + scoring.gap;     // delete a[i-1]
+      const int left = score[at(i, j - 1)] + scoring.gap;   // insert b[j-1]
+      // Tie order: diagonal first (prefer aligning tokens), then delete,
+      // then insert — fully deterministic.
+      int best = diag;
+      uint8_t mv = kFromDiag;
+      if (up > best) {
+        best = up;
+        mv = kFromUp;
+      }
+      if (left > best) {
+        best = left;
+        mv = kFromLeft;
+      }
+      score[at(i, j)] = best;
+      move[at(i, j)] = mv;
+    }
+  }
+
+  Alignment out;
+  out.ops.reserve(n + m);
+  size_t i = n;
+  size_t j = m;
+  while (i > 0 || j > 0) {
+    switch (move[at(i, j)]) {
+      case kFromDiag: {
+        AlignOp op;
+        op.a_token = a[i - 1];
+        op.b_token = b[j - 1];
+        op.type = (a[i - 1] == b[j - 1]) ? AlignOpType::kMatch
+                                         : AlignOpType::kSubstitute;
+        out.ops.push_back(op);
+        --i;
+        --j;
+        break;
+      }
+      case kFromUp: {
+        AlignOp op;
+        op.type = AlignOpType::kDelete;
+        op.a_token = a[i - 1];
+        out.ops.push_back(op);
+        --i;
+        break;
+      }
+      case kFromLeft: {
+        AlignOp op;
+        op.type = AlignOpType::kInsert;
+        op.b_token = b[j - 1];
+        out.ops.push_back(op);
+        --j;
+        break;
+      }
+      case kFromNone:
+        LOG(FATAL) << "corrupt traceback at (" << i << "," << j << ")";
+    }
+  }
+  std::reverse(out.ops.begin(), out.ops.end());
+  return out;
+}
+
+bool AlignmentIsConsistent(const Alignment& alignment,
+                           const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b) {
+  std::vector<TokenId> ra;
+  std::vector<TokenId> rb;
+  for (const AlignOp& op : alignment.ops) {
+    switch (op.type) {
+      case AlignOpType::kMatch:
+        if (op.a_token != op.b_token) return false;
+        ra.push_back(op.a_token);
+        rb.push_back(op.b_token);
+        break;
+      case AlignOpType::kSubstitute:
+        if (op.a_token == op.b_token) return false;
+        ra.push_back(op.a_token);
+        rb.push_back(op.b_token);
+        break;
+      case AlignOpType::kInsert:
+        rb.push_back(op.b_token);
+        break;
+      case AlignOpType::kDelete:
+        ra.push_back(op.a_token);
+        break;
+    }
+  }
+  return ra == a && rb == b;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,79 @@
+// Pairwise global alignment (Needleman–Wunsch) over token-id sequences.
+//
+// Used in two places:
+//  * Candidate Alignment (§IV-B1): C(d | d1) — can document d be encoded
+//    cheaply against document d1?
+//  * Cost evaluation: each document's encoding cost against a consensus /
+//    template is derived from its alignment to the template's constant
+//    tokens (Definition 3).
+//
+// Conventions: the first sequence `a` is the template/reference, the
+// second `b` is the document. kDelete = reference token absent from the
+// document; kInsert = document token absent from the reference.
+
+#ifndef INFOSHIELD_MSA_PAIRWISE_H_
+#define INFOSHIELD_MSA_PAIRWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace infoshield {
+
+enum class AlignOpType : uint8_t {
+  kMatch = 0,
+  kSubstitute = 1,
+  kInsert = 2,
+  kDelete = 3,
+};
+
+struct AlignOp {
+  AlignOpType type;
+  // Valid for kMatch / kSubstitute / kDelete.
+  TokenId a_token = kInvalidToken;
+  // Valid for kMatch / kSubstitute / kInsert.
+  TokenId b_token = kInvalidToken;
+};
+
+inline bool operator==(const AlignOp& x, const AlignOp& y) {
+  return x.type == y.type && x.a_token == y.a_token && x.b_token == y.b_token;
+}
+
+struct Alignment {
+  std::vector<AlignOp> ops;
+
+  // Number of alignment columns (l̂ in the paper's notation).
+  size_t length() const { return ops.size(); }
+
+  size_t CountType(AlignOpType t) const;
+  size_t matches() const { return CountType(AlignOpType::kMatch); }
+  size_t substitutions() const { return CountType(AlignOpType::kSubstitute); }
+  size_t insertions() const { return CountType(AlignOpType::kInsert); }
+  size_t deletions() const { return CountType(AlignOpType::kDelete); }
+
+  // Unmatched columns: everything but matches (e_d in Definition 3).
+  size_t unmatched() const { return ops.size() - matches(); }
+};
+
+struct AlignmentScoring {
+  int match = 1;
+  int mismatch = -1;
+  int gap = -1;
+};
+
+// Global alignment of b against a. Deterministic tie-breaking
+// (diagonal > delete > insert). O(|a|·|b|) time and space.
+Alignment NeedlemanWunsch(const std::vector<TokenId>& a,
+                          const std::vector<TokenId>& b,
+                          const AlignmentScoring& scoring = {});
+
+// Verifies that replaying `ops` reconstructs exactly (a, b); used by tests
+// and debug checks.
+bool AlignmentIsConsistent(const Alignment& alignment,
+                           const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_MSA_PAIRWISE_H_

@@ -1,0 +1,251 @@
+#include "msa/poa.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+enum Move : uint8_t { kDiag = 0, kSkipNode = 1, kInsertSeq = 2, kStart = 3 };
+
+}  // namespace
+
+PoaGraph::PoaGraph(const std::vector<TokenId>& first,
+                   const AlignmentScoring& scoring)
+    : scoring_(scoring) {
+  if (!first.empty()) {
+    uint32_t prev = kInvalidToken;
+    for (TokenId t : first) {
+      uint32_t id = NewNode(t);
+      if (prev != kInvalidToken) AddEdge(prev, id);
+      prev = id;
+    }
+  }
+  num_sequences_ = 1;
+  RecomputeTopoOrder();
+}
+
+uint32_t PoaGraph::NewNode(TokenId token) {
+  nodes_.push_back(Node{token, 1, {}, {}});
+  return static_cast<uint32_t>(nodes_.size() - 1);
+}
+
+void PoaGraph::AddEdge(uint32_t from, uint32_t to) {
+  CHECK_NE(from, to);
+  auto& out = nodes_[from].out;
+  if (std::find(out.begin(), out.end(), to) != out.end()) return;
+  out.push_back(to);
+  nodes_[to].in.push_back(from);
+}
+
+void PoaGraph::RecomputeTopoOrder() {
+  const size_t n = nodes_.size();
+  topo_order_.clear();
+  topo_order_.reserve(n);
+  topo_rank_.assign(n, 0);
+  std::vector<uint32_t> indegree(n);
+  // Min-id priority queue makes the order deterministic and keeps the
+  // first sequence's spine in creation order.
+  std::priority_queue<uint32_t, std::vector<uint32_t>, std::greater<>> ready;
+  for (uint32_t i = 0; i < n; ++i) {
+    indegree[i] = static_cast<uint32_t>(nodes_[i].in.size());
+    if (indegree[i] == 0) ready.push(i);
+  }
+  while (!ready.empty()) {
+    uint32_t v = ready.top();
+    ready.pop();
+    topo_rank_[v] = static_cast<uint32_t>(topo_order_.size());
+    topo_order_.push_back(v);
+    for (uint32_t w : nodes_[v].out) {
+      if (--indegree[w] == 0) ready.push(w);
+    }
+  }
+  // Equality fails iff the graph has a cycle.
+  CHECK_EQ(topo_order_.size(), n);
+}
+
+void PoaGraph::AddSequence(const std::vector<TokenId>& seq) {
+  ++num_sequences_;
+  if (seq.empty()) return;
+  if (nodes_.empty()) {
+    uint32_t prev = kInvalidToken;
+    for (TokenId t : seq) {
+      uint32_t id = NewNode(t);
+      if (prev != kInvalidToken) AddEdge(prev, id);
+      prev = id;
+    }
+    RecomputeTopoOrder();
+    return;
+  }
+
+  // DP over rows = {virtual start} + nodes in topological order, columns =
+  // sequence prefix length. Row r >= 1 corresponds to topo_order_[r - 1].
+  const size_t num_rows = topo_order_.size() + 1;
+  const size_t m = seq.size();
+  std::vector<int> score(num_rows * (m + 1), kNegInf);
+  std::vector<uint8_t> move(num_rows * (m + 1), kStart);
+  std::vector<uint32_t> from_row(num_rows * (m + 1), 0);
+  auto at = [m](size_t r, size_t j) { return r * (m + 1) + j; };
+
+  // Virtual start row: only sequence insertions can precede the graph.
+  score[at(0, 0)] = 0;
+  for (size_t j = 1; j <= m; ++j) {
+    score[at(0, j)] = static_cast<int>(j) * scoring_.gap;
+    move[at(0, j)] = kInsertSeq;
+    from_row[at(0, j)] = 0;
+  }
+
+  for (size_t r = 1; r < num_rows; ++r) {
+    const Node& v = nodes_[topo_order_[r - 1]];
+    // Predecessor rows (virtual start if the node is a source).
+    std::vector<uint32_t> preds;
+    if (v.in.empty()) {
+      preds.push_back(0);
+    } else {
+      preds.reserve(v.in.size());
+      for (uint32_t p : v.in) preds.push_back(topo_rank_[p] + 1);
+    }
+    for (size_t j = 0; j <= m; ++j) {
+      int best = kNegInf;
+      uint8_t best_move = kStart;
+      uint32_t best_from = 0;
+      for (uint32_t p : preds) {
+        // Skip this node (graph gap).
+        int skip = score[at(p, j)] + scoring_.gap;
+        if (skip > best) {
+          best = skip;
+          best_move = kSkipNode;
+          best_from = p;
+        }
+        if (j >= 1) {
+          int diag = score[at(p, j - 1)] +
+                     (v.token == seq[j - 1] ? scoring_.match
+                                            : scoring_.mismatch);
+          if (diag > best) {
+            best = diag;
+            best_move = kDiag;
+            best_from = p;
+          }
+        }
+      }
+      if (j >= 1) {
+        int ins = score[at(r, j - 1)] + scoring_.gap;
+        if (ins > best) {
+          best = ins;
+          best_move = kInsertSeq;
+          best_from = static_cast<uint32_t>(r);
+        }
+      }
+      score[at(r, j)] = best;
+      move[at(r, j)] = best_move;
+      from_row[at(r, j)] = best_from;
+    }
+  }
+
+  // Alignment must consume the whole sequence and end at a sink node (or
+  // the virtual start, if the graph were empty — excluded above).
+  size_t best_row = 0;
+  int best_score = score[at(0, m)];
+  for (size_t r = 1; r < num_rows; ++r) {
+    if (!nodes_[topo_order_[r - 1]].out.empty()) continue;
+    if (score[at(r, m)] > best_score) {
+      best_score = score[at(r, m)];
+      best_row = r;
+    }
+  }
+
+  // Backtrace into (move, row, column) steps, then replay forward.
+  struct Step {
+    uint8_t move;
+    uint32_t row;  // row the move lands on
+    size_t col;    // column the move lands on
+  };
+  std::vector<Step> steps;
+  size_t r = best_row;
+  size_t j = m;
+  while (r != 0 || j != 0) {
+    uint8_t mv = move[at(r, j)];
+    CHECK_NE(mv, kStart);  // corrupt traceback otherwise
+    steps.push_back(Step{mv, static_cast<uint32_t>(r), j});
+    uint32_t pr = from_row[at(r, j)];
+    switch (mv) {
+      case kDiag:
+        r = pr;
+        --j;
+        break;
+      case kSkipNode:
+        r = pr;
+        break;
+      case kInsertSeq:
+        --j;
+        break;
+      default:
+        LOG(FATAL) << "unreachable";
+    }
+  }
+  std::reverse(steps.begin(), steps.end());
+
+  // Fuse: matched tokens reuse nodes; everything else becomes new nodes.
+  uint32_t prev_node = kInvalidToken;
+  size_t col = 0;
+  for (const Step& step : steps) {
+    switch (step.move) {
+      case kDiag: {
+        uint32_t node_id = topo_order_[step.row - 1];
+        uint32_t path_node;
+        if (nodes_[node_id].token == seq[col]) {
+          ++nodes_[node_id].support;
+          path_node = node_id;
+        } else {
+          path_node = NewNode(seq[col]);
+        }
+        if (prev_node != kInvalidToken) AddEdge(prev_node, path_node);
+        prev_node = path_node;
+        ++col;
+        break;
+      }
+      case kInsertSeq: {
+        uint32_t path_node = NewNode(seq[col]);
+        if (prev_node != kInvalidToken) AddEdge(prev_node, path_node);
+        prev_node = path_node;
+        ++col;
+        break;
+      }
+      case kSkipNode:
+        break;
+      default:
+        LOG(FATAL) << "unreachable";
+    }
+  }
+  CHECK_EQ(col, m);
+  RecomputeTopoOrder();
+}
+
+std::vector<TokenId> PoaGraph::ConsensusAtThreshold(size_t h) const {
+  std::vector<TokenId> out;
+  for (uint32_t id : topo_order_) {
+    if (nodes_[id].support > h) out.push_back(nodes_[id].token);
+  }
+  return out;
+}
+
+size_t PoaGraph::max_support() const {
+  size_t best = 0;
+  for (const Node& n : nodes_) best = std::max<size_t>(best, n.support);
+  return best;
+}
+
+std::vector<uint32_t> PoaGraph::SupportByTopoOrder() const {
+  std::vector<uint32_t> out;
+  out.reserve(topo_order_.size());
+  for (uint32_t id : topo_order_) out.push_back(nodes_[id].support);
+  return out;
+}
+
+}  // namespace infoshield

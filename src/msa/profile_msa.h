@@ -1,0 +1,59 @@
+// Profile-based multiple sequence alignment in the spirit of
+// Barton & Sternberg (1987): the alignment is a sequence of columns,
+// each holding per-token occupancy counts; every new sequence is aligned
+// against the profile with dynamic programming using expected
+// (sum-of-pairs style) column scores, then folded into the counts.
+//
+// The paper discusses this family in §II-D and notes its weakness —
+// profiles blur alternatives that POA keeps as distinct branches — which
+// is why InfoShield chooses POA. This implementation exists to back that
+// comparison (bench_ablation) and to demonstrate the fine stage's
+// MSA-backend independence.
+
+#ifndef INFOSHIELD_MSA_PROFILE_MSA_H_
+#define INFOSHIELD_MSA_PROFILE_MSA_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "msa/aligner.h"
+#include "msa/pairwise.h"
+
+namespace infoshield {
+
+class ProfileMsa : public MsaAligner {
+ public:
+  explicit ProfileMsa(const std::vector<TokenId>& first,
+                      const AlignmentScoring& scoring = {});
+
+  void AddSequence(const std::vector<TokenId>& seq) override;
+
+  // A column contributes its most frequent token when that token occurs
+  // in more than h sequences (ties broken toward the smaller token id).
+  std::vector<TokenId> ConsensusAtThreshold(size_t h) const override;
+
+  size_t num_sequences() const override { return num_sequences_; }
+  size_t column_count() const { return columns_.size(); }
+
+ private:
+  struct Column {
+    // token -> number of sequences carrying it in this column.
+    std::unordered_map<TokenId, uint32_t> counts;
+
+    uint32_t CountOf(TokenId t) const;
+    // (token, count) with the highest count; kInvalidToken if empty.
+    std::pair<TokenId, uint32_t> Dominant() const;
+    uint32_t Occupancy() const;
+  };
+
+  // Expected score of aligning `token` against column `col`.
+  double ColumnScore(const Column& col, TokenId token) const;
+
+  AlignmentScoring scoring_;
+  std::vector<Column> columns_;
+  size_t num_sequences_ = 0;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_MSA_PROFILE_MSA_H_

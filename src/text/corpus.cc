@@ -1,0 +1,43 @@
+#include "text/corpus.h"
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+DocId Corpus::Add(std::string_view text) {
+  Document d;
+  d.id = static_cast<DocId>(docs_.size());
+  d.raw.assign(text);
+  for (const std::string& tok : tokenizer_.Tokenize(text)) {
+    d.tokens.push_back(vocab_.Intern(tok));
+  }
+  docs_.push_back(std::move(d));
+  return docs_.back().id;
+}
+
+DocId Corpus::AddTokens(std::vector<TokenId> tokens, std::string raw) {
+  for (TokenId t : tokens) CHECK_LT(t, vocab_.size());
+  Document d;
+  d.id = static_cast<DocId>(docs_.size());
+  d.tokens = std::move(tokens);
+  d.raw = std::move(raw);
+  docs_.push_back(std::move(d));
+  return docs_.back().id;
+}
+
+const Document& Corpus::doc(DocId id) const {
+  CHECK_LT(id, docs_.size());
+  return docs_[id];
+}
+
+std::string Corpus::TokenText(DocId id) const {
+  const Document& d = doc(id);
+  std::string out;
+  for (size_t i = 0; i < d.tokens.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    out += vocab_.Word(d.tokens[i]);
+  }
+  return out;
+}
+
+}  // namespace infoshield

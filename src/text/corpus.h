@@ -1,0 +1,69 @@
+// Document and Corpus: the in-memory representation every stage of the
+// pipeline consumes. A Document is a tokenized, interned view of one input
+// text; the Corpus owns the shared Vocabulary.
+
+#ifndef INFOSHIELD_TEXT_CORPUS_H_
+#define INFOSHIELD_TEXT_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace infoshield {
+
+using DocId = uint32_t;
+
+struct Document {
+  // Position in the corpus.
+  DocId id = 0;
+  // Interned token sequence.
+  std::vector<TokenId> tokens;
+  // Original text as given (kept for visualization).
+  std::string raw;
+
+  size_t length() const { return tokens.size(); }
+};
+
+class Corpus {
+ public:
+  Corpus() = default;
+  explicit Corpus(TokenizerOptions tokenizer_options)
+      : tokenizer_(tokenizer_options) {}
+
+  Corpus(const Corpus&) = delete;
+  Corpus& operator=(const Corpus&) = delete;
+  Corpus(Corpus&&) = default;
+  Corpus& operator=(Corpus&&) = default;
+
+  // Tokenizes, interns, and appends a document; returns its DocId.
+  DocId Add(std::string_view text);
+
+  // Appends a pre-tokenized document (token ids must be valid for the
+  // corpus vocabulary — used by data generators that intern directly).
+  DocId AddTokens(std::vector<TokenId> tokens, std::string raw);
+
+  const Document& doc(DocId id) const;
+  size_t size() const { return docs_.size(); }
+  bool empty() const { return docs_.empty(); }
+
+  const std::vector<Document>& docs() const { return docs_; }
+  const Vocabulary& vocab() const { return vocab_; }
+  Vocabulary& mutable_vocab() { return vocab_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+  // Reconstructs a document's tokens as a space-joined string.
+  std::string TokenText(DocId id) const;
+
+ private:
+  Tokenizer tokenizer_;
+  Vocabulary vocab_;
+  std::vector<Document> docs_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_TEXT_CORPUS_H_

@@ -1,0 +1,89 @@
+#include "text/tokenizer.h"
+
+namespace infoshield {
+
+namespace {
+
+inline bool IsAsciiAlpha(unsigned char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+inline bool IsAsciiDigit(unsigned char c) { return c >= '0' && c <= '9'; }
+
+inline bool IsAsciiSpace(unsigned char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  size_t i = 0;
+  bool in_url = false;
+
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+    in_url = false;
+  };
+
+  while (i < text.size()) {
+    unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c >= 0x80) {
+      // Multi-byte UTF-8 sequence: copy it whole as token content.
+      size_t len = 1;
+      if ((c & 0xE0) == 0xC0) len = 2;
+      else if ((c & 0xF0) == 0xE0) len = 3;
+      else if ((c & 0xF8) == 0xF0) len = 4;
+      if (i + len > text.size()) len = text.size() - i;
+      current.append(text.substr(i, len));
+      i += len;
+      continue;
+    }
+    if (IsAsciiSpace(c)) {
+      flush();
+      ++i;
+      continue;
+    }
+    if (IsAsciiAlpha(c)) {
+      char out = c;
+      if (options_.lowercase && c >= 'A' && c <= 'Z') {
+        out = static_cast<char>(c - 'A' + 'a');
+      }
+      current.push_back(out);
+      // Detect the start of a URL so its punctuation is preserved.
+      if (!in_url && (current == "http" || current == "https")) {
+        // Confirmed a URL only once "://" follows; cheap lookahead.
+        if (text.substr(i + 1, 3) == "://") in_url = true;
+      }
+      ++i;
+      continue;
+    }
+    if (IsAsciiDigit(c)) {
+      if (options_.keep_digits) {
+        current.push_back(static_cast<char>(c));
+      } else {
+        flush();
+      }
+      ++i;
+      continue;
+    }
+    // ASCII punctuation.
+    if (in_url) {
+      current.push_back(static_cast<char>(c));
+    } else if (options_.strip_punctuation) {
+      flush();
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+    ++i;
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace infoshield

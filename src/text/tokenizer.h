@@ -1,0 +1,46 @@
+// Language-independent tokenizer.
+//
+// InfoShield is language-agnostic (paper §V-F, Advantage 1): no stop-word
+// lists, no stemming, no language-specific rules. The tokenizer therefore
+// only (a) lowercases ASCII letters, (b) treats runs of ASCII punctuation
+// as separators, and (c) passes multi-byte UTF-8 sequences through intact
+// so that Spanish/Italian accents and Japanese text survive as token
+// characters. URLs ("http..."-prefixed runs) are kept as single tokens
+// because they are strong near-duplicate evidence in spam campaigns.
+
+#ifndef INFOSHIELD_TEXT_TOKENIZER_H_
+#define INFOSHIELD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infoshield {
+
+struct TokenizerOptions {
+  // Lowercase ASCII letters (paper's preprocessing lowercases text).
+  bool lowercase = true;
+  // Treat ASCII punctuation as separators. When false, punctuation
+  // characters become part of tokens (whitespace-only splitting).
+  bool strip_punctuation = true;
+  // Digits are token characters (prices, phone numbers matter for HT ads).
+  bool keep_digits = true;
+};
+
+class Tokenizer {
+ public:
+  Tokenizer() = default;
+  explicit Tokenizer(TokenizerOptions options) : options_(options) {}
+
+  // Splits UTF-8 text into tokens per the options.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  TokenizerOptions options_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_TEXT_TOKENIZER_H_

@@ -1,0 +1,72 @@
+#include "tfidf/tfidf_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options) {
+  options_ = options;
+  num_documents_ = corpus.size();
+  df_.clear();
+  // Per-document de-duplication before bumping df.
+  std::unordered_map<PhraseHash, uint32_t> seen;
+  for (const Document& doc : corpus.docs()) {
+    seen.clear();
+    for (const NgramSpan& g : ExtractNgrams(doc, options_.max_ngram)) {
+      seen.emplace(g.hash, 0);
+    }
+    for (const auto& [hash, unused] : seen) {
+      ++df_[hash];
+    }
+  }
+}
+
+size_t TfidfIndex::DocumentFrequency(PhraseHash phrase) const {
+  auto it = df_.find(phrase);
+  return it == df_.end() ? 0 : it->second;
+}
+
+double TfidfIndex::Score(PhraseHash phrase, size_t tf) const {
+  size_t df = DocumentFrequency(phrase);
+  if (df == 0 || num_documents_ == 0) return 0.0;
+  double idf =
+      std::log(static_cast<double>(num_documents_) / static_cast<double>(df));
+  return static_cast<double>(tf) * idf;
+}
+
+std::vector<ScoredPhrase> TfidfIndex::TopPhrases(const Document& doc) const {
+  const size_t min_n = std::min(options_.min_ngram, options_.max_ngram);
+  // Count term frequencies of the document's distinct eligible phrases.
+  std::unordered_map<PhraseHash, uint32_t> tf;
+  for (const NgramSpan& g : ExtractNgrams(doc, options_.max_ngram)) {
+    if (g.n < min_n) continue;
+    ++tf[g.hash];
+  }
+
+  std::vector<ScoredPhrase> scored;
+  scored.reserve(tf.size());
+  size_t num_distinct = tf.size();
+  for (const auto& [hash, count] : tf) {
+    if (DocumentFrequency(hash) < options_.min_df) continue;
+    scored.push_back(ScoredPhrase{hash, Score(hash, count)});
+  }
+
+  size_t keep = static_cast<size_t>(
+      std::ceil(options_.top_fraction * static_cast<double>(num_distinct)));
+  keep = std::max(keep, options_.min_phrases_per_doc);
+  keep = std::min(keep, scored.size());
+
+  // Deterministic order: score desc, hash asc as tie-break.
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPhrase& a, const ScoredPhrase& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.hash < b.hash;
+            });
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace infoshield

@@ -1,0 +1,82 @@
+// Corpus-wide n-gram tf-idf index (paper §IV-A1).
+//
+// For each (phrase, document) pair, tf-idf = tf * log(N / df). For each
+// document, the phrases with the highest tf-idf scores are its "top
+// phrases"; the number selected is a fraction of the number of distinct
+// phrases in the document (top 10% per Lemma 2's proof), so long and short
+// documents are treated uniformly and the method stays domain-independent.
+//
+// Phrases occurring in only one document are skipped when selecting top
+// phrases for clustering: a df-1 phrase cannot connect two documents, so
+// skipping it changes no coarse component while keeping the bipartite
+// graph small. (The paper's tf-idf already down-weights nothing here —
+// df-1 phrases have the *highest* idf — so this is purely the graph-side
+// optimization, applied after scoring.)
+
+#ifndef INFOSHIELD_TFIDF_TFIDF_INDEX_H_
+#define INFOSHIELD_TFIDF_TFIDF_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/corpus.h"
+#include "text/ngram.h"
+
+namespace infoshield {
+
+struct TfidfOptions {
+  // Maximum n-gram length (paper: 5; Fig. 4 sweeps 1..8).
+  size_t max_ngram = 5;
+  // Minimum n-gram length for a phrase to be eligible as a top phrase
+  // (clamped to max_ngram internally). A single shared word is weak
+  // near-duplicate evidence — any two documents in a large corpus share
+  // some rare word, which would percolate the coarse graph into one
+  // giant component; a shared phrase of two or more words is the actual
+  // signature the paper's "phrases" refer to. Document frequencies are
+  // still tracked for all lengths >= 1.
+  size_t min_ngram = 2;
+  // Fraction of a document's distinct phrases kept as top phrases.
+  double top_fraction = 0.10;
+  // Every document keeps at least this many top phrases (if it has any
+  // eligible phrase at all).
+  size_t min_phrases_per_doc = 1;
+  // Drop phrases whose document frequency is below this when selecting
+  // top phrases (2 = skip phrases that cannot connect documents).
+  size_t min_df = 2;
+};
+
+struct ScoredPhrase {
+  PhraseHash hash;
+  double score;
+};
+
+class TfidfIndex {
+ public:
+  TfidfIndex() = default;
+
+  // Scans the corpus and builds document-frequency tables.
+  void Build(const Corpus& corpus, const TfidfOptions& options);
+
+  // Document frequency of a phrase (0 if unseen).
+  size_t DocumentFrequency(PhraseHash phrase) const;
+
+  // The top phrases of one document by tf-idf, best first.
+  std::vector<ScoredPhrase> TopPhrases(const Document& doc) const;
+
+  // tf-idf score of a phrase occurring `tf` times in one document.
+  double Score(PhraseHash phrase, size_t tf) const;
+
+  size_t num_documents() const { return num_documents_; }
+  size_t num_phrases() const { return df_.size(); }
+  const TfidfOptions& options() const { return options_; }
+
+ private:
+  TfidfOptions options_;
+  size_t num_documents_ = 0;
+  std::unordered_map<PhraseHash, uint32_t> df_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_TFIDF_TFIDF_INDEX_H_

@@ -1,0 +1,91 @@
+// Minimal logging and CHECK macros.
+//
+// LOG(INFO) << "...";            -- leveled logging to stderr
+// CHECK(cond) << "context";      -- fatal invariant check (always on)
+// CHECK_EQ/NE/LT/LE/GT/GE(a, b)  -- comparison checks with value printing
+//
+// CHECK is for programmer errors (broken invariants), not for input
+// validation; validate inputs with Status from util/status.h.
+
+#ifndef INFOSHIELD_UTIL_LOGGING_H_
+#define INFOSHIELD_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace infoshield {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Messages below this severity are suppressed. Default: kInfo.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(const char* file, int line, LogSeverity severity);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  const char* file_;
+  int line_;
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the stream expression when a log statement is disabled.
+class LogMessageVoidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace infoshield
+
+#define INFOSHIELD_LOG_INFO \
+  ::infoshield::internal::LogMessage(__FILE__, __LINE__, \
+                                     ::infoshield::LogSeverity::kInfo)
+#define INFOSHIELD_LOG_WARNING \
+  ::infoshield::internal::LogMessage(__FILE__, __LINE__, \
+                                     ::infoshield::LogSeverity::kWarning)
+#define INFOSHIELD_LOG_ERROR \
+  ::infoshield::internal::LogMessage(__FILE__, __LINE__, \
+                                     ::infoshield::LogSeverity::kError)
+#define INFOSHIELD_LOG_FATAL \
+  ::infoshield::internal::LogMessage(__FILE__, __LINE__, \
+                                     ::infoshield::LogSeverity::kFatal)
+
+#define LOG(severity) INFOSHIELD_LOG_##severity.stream()
+
+#define CHECK(cond)                                     \
+  (cond) ? (void)0                                      \
+         : ::infoshield::internal::LogMessageVoidify()& \
+               INFOSHIELD_LOG_FATAL.stream()            \
+               << "Check failed: " #cond " "
+
+#define INFOSHIELD_CHECK_OP(name, op, a, b)                            \
+  do {                                                                 \
+    auto _va = (a);                                                    \
+    auto _vb = (b);                                                    \
+    if (!(_va op _vb)) {                                               \
+      INFOSHIELD_LOG_FATAL.stream()                                    \
+          << "Check failed: " #a " " #op " " #b " (" << _va << " vs. " \
+          << _vb << ") ";                                              \
+    }                                                                  \
+  } while (0)
+
+#define CHECK_EQ(a, b) INFOSHIELD_CHECK_OP(EQ, ==, a, b)
+#define CHECK_NE(a, b) INFOSHIELD_CHECK_OP(NE, !=, a, b)
+#define CHECK_LT(a, b) INFOSHIELD_CHECK_OP(LT, <, a, b)
+#define CHECK_LE(a, b) INFOSHIELD_CHECK_OP(LE, <=, a, b)
+#define CHECK_GT(a, b) INFOSHIELD_CHECK_OP(GT, >, a, b)
+#define CHECK_GE(a, b) INFOSHIELD_CHECK_OP(GE, >=, a, b)
+
+#endif  // INFOSHIELD_UTIL_LOGGING_H_

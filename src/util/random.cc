@@ -1,0 +1,137 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace infoshield {
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) : seed_(seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** step.
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless bounded generation.
+  uint64_t x = NextUint64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t lo = static_cast<uint64_t>(m);
+  if (lo < bound) {
+    uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = NextUint64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  CHECK_LE(lo, hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  if (have_spare_gaussian_) {
+    have_spare_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  // Avoid log(0).
+  if (u1 < 1e-300) u1 = 1e-300;
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  spare_gaussian_ = r * std::sin(theta);
+  have_spare_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+size_t Rng::NextIndex(size_t size) {
+  CHECK_GT(size, 0u);
+  return static_cast<size_t>(NextBounded(size));
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the original seed with the stream id so forks are independent of
+  // how much of this generator has been consumed.
+  uint64_t mixer = seed_ ^ (0x2545f4914f6cdd1dULL * (stream + 1));
+  return Rng(SplitMix64(mixer));
+}
+
+ZipfSampler::ZipfSampler(size_t n, double s) : n_(n), s_(s) {
+  CHECK_GE(n, 1u);
+  CHECK_GT(s, 0.0);
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n) + 0.5);
+  t_ = 2.0 - HInverse(H(2.5) - std::pow(2.0, -s_));
+}
+
+// H(x) = integral of 1/u^s du; antiderivative (x^(1-s) - 1)/(1-s), with the
+// s == 1 limit log(x).
+double ZipfSampler::H(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::log(x);
+  return (std::pow(x, 1.0 - s_) - 1.0) / (1.0 - s_);
+}
+
+double ZipfSampler::HInverse(double x) const {
+  if (std::abs(s_ - 1.0) < 1e-12) return std::exp(x);
+  return std::pow(1.0 + x * (1.0 - s_), 1.0 / (1.0 - s_));
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  if (n_ == 1) return 0;
+  // Rejection-inversion (Hörmann & Derflinger 1996) over [0.5, n+0.5].
+  while (true) {
+    double u = h_n_ + rng.NextDouble() * (h_x1_ - h_n_);
+    double x = HInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) k = 1.0;
+    if (k > static_cast<double>(n_)) k = static_cast<double>(n_);
+    if (k - x <= t_ || u >= H(k + 0.5) - std::pow(k, -s_)) {
+      return static_cast<size_t>(k) - 1;
+    }
+  }
+}
+
+}  // namespace infoshield

@@ -1,0 +1,96 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library (data generators, embedding
+// initialization, k-means seeding, ...) takes an explicit 64-bit seed and
+// draws from Rng, so whole experiments reproduce bit-for-bit.
+//
+// Rng is xoshiro256** seeded via SplitMix64 (the recommended pairing);
+// ZipfSampler draws from a Zipf(s) distribution over {0..n-1} with the
+// alias-free rejection-inversion method of Hörmann & Derflinger, which is
+// O(1) per draw and exact.
+
+#ifndef INFOSHIELD_UTIL_RANDOM_H_
+#define INFOSHIELD_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace infoshield {
+
+// SplitMix64 step; used for seeding and as a cheap standalone mixer.
+uint64_t SplitMix64(uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform in [0, 2^64).
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's method
+  // (multiply-shift with rejection) to avoid modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBernoulli(double p);
+
+  // Standard normal via Box-Muller.
+  double NextGaussian();
+
+  // Uniformly chosen index into a non-empty container size.
+  size_t NextIndex(size_t size);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Derives an independent child generator; stable for a given (seed,
+  // stream) pair regardless of how much this Rng has been consumed.
+  Rng Fork(uint64_t stream) const;
+
+ private:
+  uint64_t s_[4];
+  uint64_t seed_;
+  bool have_spare_gaussian_ = false;
+  double spare_gaussian_ = 0.0;
+};
+
+// Zipf distribution over ranks {0, 1, ..., n-1}; rank r has probability
+// proportional to 1/(r+1)^s. Natural-language token frequencies are
+// approximately Zipf(1), which the data generators rely on.
+class ZipfSampler {
+ public:
+  // n >= 1; s > 0.
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  double H(double x) const;
+  double HInverse(double x) const;
+
+  size_t n_;
+  double s_;
+  double h_x1_;
+  double h_n_;
+  double t_;  // threshold for the rejection test
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_UTIL_RANDOM_H_

@@ -1,0 +1,39 @@
+// Small string helpers shared across modules.
+
+#ifndef INFOSHIELD_UTIL_STRING_UTIL_H_
+#define INFOSHIELD_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infoshield {
+
+// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on any run of ASCII whitespace; no empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// ASCII-only lowercasing (multibyte UTF-8 sequences pass through).
+std::string ToLowerAscii(std::string_view s);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view StripAsciiWhitespace(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Fixed-precision double formatting ("%.3f" style) without locale issues.
+std::string FormatDouble(double value, int precision);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_UTIL_STRING_UTIL_H_

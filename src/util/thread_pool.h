@@ -1,0 +1,55 @@
+// Fixed-size worker pool for embarrassingly parallel stages. The fine
+// stage processes coarse clusters independently, so InfoShield can fan
+// them out across cores (the paper's 8-hour/4M-documents figure is a
+// single laptop; multicore shortens it proportionally).
+
+#ifndef INFOSHIELD_UTIL_THREAD_POOL_H_
+#define INFOSHIELD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace infoshield {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 picks the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; runs on some worker.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Runs fn(i) for i in [0, count) across the pool and waits. fn must be
+  // safe to call concurrently for distinct i.
+  static void ParallelFor(size_t num_threads, size_t count,
+                          const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_UTIL_THREAD_POOL_H_

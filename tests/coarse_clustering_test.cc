@@ -1,0 +1,101 @@
+#include "coarse/coarse_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(CoarseTest, NearDuplicatesGrouped) {
+  Corpus c;
+  c.Add("this is a great soap and the 5 dollar price is great");
+  c.Add("this is a great chair and the 10 dollar price is great");
+  c.Add("this is a great hat and the 3 dollar price is great");
+  c.Add("completely different text about mountains rivers valleys oceans");
+  CoarseClustering coarse;
+  CoarseResult r = coarse.Run(c);
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0], (std::vector<DocId>{0, 1, 2}));
+  EXPECT_EQ(r.singletons, (std::vector<DocId>{3}));
+}
+
+TEST(CoarseTest, DisjointTopicsSeparate) {
+  Corpus c;
+  c.Add("alpha beta gamma delta epsilon zeta eta theta");
+  c.Add("alpha beta gamma delta epsilon zeta eta iota");
+  c.Add("uno dos tres cuatro cinco seis siete ocho");
+  c.Add("uno dos tres cuatro cinco seis siete nueve");
+  CoarseClustering coarse;
+  CoarseResult r = coarse.Run(c);
+  ASSERT_EQ(r.clusters.size(), 2u);
+  EXPECT_EQ(r.clusters[0], (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(r.clusters[1], (std::vector<DocId>{2, 3}));
+}
+
+TEST(CoarseTest, EmptyCorpus) {
+  Corpus c;
+  CoarseClustering coarse;
+  CoarseResult r = coarse.Run(c);
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_TRUE(r.singletons.empty());
+}
+
+TEST(CoarseTest, AllUniqueDocsAreSingletons) {
+  Corpus c;
+  c.Add("one red apple fell from tall tree yesterday morning quietly");
+  c.Add("two blue birds flew over green hills during warm evening");
+  c.Add("three old ships sailed across deep ocean under bright stars");
+  CoarseClustering coarse;
+  CoarseResult r = coarse.Run(c);
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_EQ(r.singletons.size(), 3u);
+}
+
+TEST(CoarseTest, ExactDuplicatesAlwaysCluster) {
+  Corpus c;
+  for (int i = 0; i < 5; ++i) {
+    c.Add("identical spam message repeated many times verbatim");
+  }
+  CoarseClustering coarse;
+  CoarseResult r = coarse.Run(c);
+  ASSERT_EQ(r.clusters.size(), 1u);
+  EXPECT_EQ(r.clusters[0].size(), 5u);
+}
+
+TEST(CoarseTest, MinClusterSizeThreeDropsPairs) {
+  Corpus c;
+  c.Add("alpha beta gamma delta epsilon zeta eta theta");
+  c.Add("alpha beta gamma delta epsilon zeta eta theta");
+  CoarseOptions opts;
+  opts.min_cluster_size = 3;
+  CoarseClustering coarse(opts);
+  CoarseResult r = coarse.Run(c);
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_EQ(r.singletons.size(), 2u);
+}
+
+TEST(CoarseTest, PhraseDegreeCapBreaksHubs) {
+  // All docs share one phrase; capping the degree at 1 means the second
+  // and later occurrences add no edges, leaving everything singleton.
+  Corpus c;
+  for (int i = 0; i < 4; ++i) {
+    c.Add("shared phrase here " + std::to_string(i) + " unique suffix " +
+          std::to_string(i * 7));
+  }
+  CoarseOptions opts;
+  opts.max_phrase_degree = 1;
+  CoarseClustering coarse(opts);
+  CoarseResult r = coarse.Run(c);
+  EXPECT_TRUE(r.clusters.empty());
+}
+
+TEST(CoarseTest, EdgeCountPositiveWhenClustered) {
+  Corpus c;
+  c.Add("repeat me exactly word for word please thanks");
+  c.Add("repeat me exactly word for word please thanks");
+  CoarseClustering coarse;
+  CoarseResult r = coarse.Run(c);
+  EXPECT_GT(r.num_edges, 0u);
+}
+
+}  // namespace
+}  // namespace infoshield

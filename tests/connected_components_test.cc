@@ -1,0 +1,48 @@
+#include "graph/connected_components.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(ComponentsTest, AllSingletonsKeptAtMinSizeOne) {
+  UnionFind uf(3);
+  Components c = ExtractComponents(uf, 1);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(ComponentsTest, MinSizeDropsSingletons) {
+  UnionFind uf(4);
+  uf.Union(0, 2);
+  Components c = ExtractComponents(uf, 2);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.groups[0], (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(ComponentsTest, DeterministicOrdering) {
+  UnionFind uf(6);
+  uf.Union(4, 5);
+  uf.Union(1, 3);
+  Components c = ExtractComponents(uf, 2);
+  ASSERT_EQ(c.size(), 2u);
+  // Components ordered by smallest member: {1,3} before {4,5}.
+  EXPECT_EQ(c.groups[0], (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(c.groups[1], (std::vector<uint32_t>{4, 5}));
+}
+
+TEST(ComponentsTest, MembersAscendWithinGroup) {
+  UnionFind uf(5);
+  uf.Union(4, 0);
+  uf.Union(2, 4);
+  Components c = ExtractComponents(uf, 2);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.groups[0], (std::vector<uint32_t>{0, 2, 4}));
+}
+
+TEST(ComponentsTest, EmptyUnionFind) {
+  UnionFind uf(0);
+  EXPECT_EQ(ExtractComponents(uf, 1).size(), 0u);
+}
+
+}  // namespace
+}  // namespace infoshield

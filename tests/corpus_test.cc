@@ -1,0 +1,77 @@
+#include "text/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(CorpusTest, AddTokenizesAndInterns) {
+  Corpus c;
+  DocId id = c.Add("This is a great soap");
+  EXPECT_EQ(id, 0u);
+  const Document& d = c.doc(id);
+  EXPECT_EQ(d.tokens.size(), 5u);
+  EXPECT_EQ(c.vocab().size(), 5u);
+  EXPECT_EQ(d.raw, "This is a great soap");
+}
+
+TEST(CorpusTest, SharedVocabularyAcrossDocs) {
+  Corpus c;
+  c.Add("great soap");
+  c.Add("great chair");
+  EXPECT_EQ(c.vocab().size(), 3u);  // great, soap, chair
+  EXPECT_EQ(c.doc(0).tokens[0], c.doc(1).tokens[0]);
+}
+
+TEST(CorpusTest, TokenTextRoundTrip) {
+  Corpus c;
+  DocId id = c.Add("Hello, World!");
+  EXPECT_EQ(c.TokenText(id), "hello world");
+}
+
+TEST(CorpusTest, AddTokensDirect) {
+  Corpus c;
+  TokenId a = c.mutable_vocab().Intern("a");
+  TokenId b = c.mutable_vocab().Intern("b");
+  DocId id = c.AddTokens({a, b, a}, "a b a");
+  EXPECT_EQ(c.doc(id).tokens, (std::vector<TokenId>{a, b, a}));
+  EXPECT_EQ(c.TokenText(id), "a b a");
+}
+
+TEST(CorpusDeathTest, AddTokensValidatesIds) {
+  Corpus c;
+  EXPECT_DEATH(c.AddTokens({42}, "bad"), "Check failed");
+}
+
+TEST(CorpusTest, EmptyDocument) {
+  Corpus c;
+  DocId id = c.Add("");
+  EXPECT_EQ(c.doc(id).length(), 0u);
+  EXPECT_EQ(c.TokenText(id), "");
+}
+
+TEST(CorpusTest, SizeAndEmpty) {
+  Corpus c;
+  EXPECT_TRUE(c.empty());
+  c.Add("x");
+  EXPECT_FALSE(c.empty());
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(CorpusTest, MoveSemantics) {
+  Corpus c;
+  c.Add("move me");
+  Corpus moved = std::move(c);
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved.TokenText(0), "move me");
+}
+
+TEST(CorpusTest, DocIdsAreSequential) {
+  Corpus c;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(c.Add("doc " + std::to_string(i)), static_cast<DocId>(i));
+  }
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,141 @@
+#include "mdl/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+TEST(CostModelTest, UnencodedDocCostIsLinear) {
+  CostModel cm(10.0);  // lg V = 10
+  EXPECT_DOUBLE_EQ(cm.UnencodedDocCost(0), 0.0);
+  EXPECT_DOUBLE_EQ(cm.UnencodedDocCost(7), 70.0);
+}
+
+TEST(CostModelTest, ArithmeticExample1FromPaper) {
+  // Paper Arithmetic Example 1: a template with 10 tokens and 2 slots
+  // costs <10> + 10 lg V + 3 lg 10.
+  const double lg_v = 12.0;
+  CostModel cm(lg_v);
+  const double expected =
+      UniversalCodeLength(10) + 10.0 * lg_v + 3.0 * std::log2(10.0);
+  EXPECT_DOUBLE_EQ(cm.TemplateCost(10, 2), expected);
+}
+
+TEST(CostModelTest, SlotCostEquation4) {
+  CostModel cm(8.0);
+  // Empty slot: 1 bit.
+  EXPECT_DOUBLE_EQ(cm.SlotCost(0), 1.0);
+  // w = 1: 1 + <1> + 1*lgV.
+  EXPECT_DOUBLE_EQ(cm.SlotCost(1), 1.0 + UniversalCodeLength(1) + 8.0);
+  // w = 3: 1 + <3> + 3*lgV.
+  EXPECT_DOUBLE_EQ(cm.SlotCost(3), 1.0 + UniversalCodeLength(3) + 24.0);
+}
+
+TEST(CostModelTest, AlignmentCostPerfectMatch) {
+  CostModel cm(8.0);
+  EncodingSummary s;
+  s.alignment_length = 14;
+  // No unmatched, no slots: <14> + 14 match bits.
+  EXPECT_DOUBLE_EQ(cm.AlignmentCostBase(s), UniversalCodeLength(14) + 14.0);
+}
+
+TEST(CostModelTest, ArithmeticExample2Structure) {
+  // Paper Arithmetic Example 2 (doc #4 vs T1): alignment length 14, 3
+  // unmatched words of which 2 carry vocabulary indices, plus 2 slots of
+  // one word each. Verify each term contributes as in Eq. 3/Eq. 4 (the
+  // paper's printed expression omits the 2-bit op types; we include them
+  // per the §III-B2 itemization).
+  const double lg_v = 16.0;
+  CostModel cm(lg_v);
+  EncodingSummary s;
+  s.alignment_length = 14;
+  s.unmatched = 3;
+  s.inserted_or_substituted = 2;
+  s.slot_word_counts = {1, 1};
+  const double expected = UniversalCodeLength(14) + 14.0  // <l̂> + l̂
+                          + 3.0 * (std::log2(14.0) + 2.0)  // locations+ops
+                          + 2.0 * lg_v                     // ins/sub words
+                          + 2.0 * (1.0 + UniversalCodeLength(1) + lg_v);
+  EXPECT_DOUBLE_EQ(cm.AlignmentCostBase(s), expected);
+  // Template-id term: lg t.
+  EXPECT_DOUBLE_EQ(cm.EncodedDocCost(2, s), expected + 1.0);
+  EXPECT_DOUBLE_EQ(cm.EncodedDocCost(1, s), expected);
+}
+
+TEST(CostModelTest, ModelCostSumsTemplates) {
+  CostModel cm(8.0);
+  const double expected = UniversalCodeLength(2) + cm.TemplateCost(10, 1) +
+                          cm.TemplateCost(5, 0);
+  EXPECT_DOUBLE_EQ(cm.ModelCost({{10, 1}, {5, 0}}), expected);
+}
+
+TEST(CostModelTest, EmptyModelCostsOneBit) {
+  CostModel cm(8.0);
+  EXPECT_DOUBLE_EQ(cm.ModelCost({}), 1.0);
+}
+
+TEST(CostModelTest, NearDuplicateEncodingBeatsRaw) {
+  // A 20-token document encoded against an identical template must cost
+  // far less than spelling out 20 vocabulary indices.
+  CostModel cm(14.0);
+  EncodingSummary s;
+  s.alignment_length = 20;
+  EXPECT_LT(cm.EncodedDocCost(1, s), cm.UnencodedDocCost(20) / 3.0);
+}
+
+TEST(RelativeLengthTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeLength(50.0, 100.0), 0.5);
+  EXPECT_DOUBLE_EQ(RelativeLength(100.0, 0.0), 1.0);  // degenerate guard
+}
+
+TEST(LowerBoundTest, Lemma1Formula) {
+  // t/n + 1/lgV.
+  EXPECT_DOUBLE_EQ(RelativeLengthLowerBound(1, 10, 10.0), 0.1 + 0.1);
+  EXPECT_DOUBLE_EQ(RelativeLengthLowerBound(2, 4, 8.0), 0.5 + 0.125);
+}
+
+TEST(LowerBoundTest, MoreTemplatesRaiseBound) {
+  for (size_t t = 1; t < 5; ++t) {
+    EXPECT_LT(RelativeLengthLowerBound(t, 100, 12.0),
+              RelativeLengthLowerBound(t + 1, 100, 12.0));
+  }
+}
+
+// Property: for exact duplicate clusters, the achieved relative length
+// approaches (but never beats) the Lemma 1 lower bound as n grows.
+class LowerBoundPropertyTest
+    : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(LowerBoundPropertyTest, DuplicateClusterRespectsBound) {
+  const size_t n = GetParam();
+  const double lg_v = 12.0;
+  const size_t len = 15;
+  CostModel cm(lg_v);
+  // n identical docs encoded by one template of the same length.
+  EncodingSummary s;
+  s.alignment_length = len;
+  const double cost_before = static_cast<double>(n) * cm.UnencodedDocCost(len);
+  double cost_after = cm.ModelCost({{len, 0}}) + static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) cost_after += cm.EncodedDocCost(1, s);
+  const double rl = RelativeLength(cost_after, cost_before);
+  const double bound = RelativeLengthLowerBound(1, n, lg_v);
+  EXPECT_GE(rl, bound * 0.999);  // numeric slack
+  // Compression is real for n >= 2.
+  if (n >= 2) {
+    EXPECT_LT(rl, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, LowerBoundPropertyTest,
+                         ::testing::Values(2, 3, 5, 10, 50, 200, 1000));
+
+TEST(CostModelDeathTest, NonPositiveLgVocabDies) {
+  EXPECT_DEATH(CostModel(0.0), "Check failed");
+}
+
+}  // namespace
+}  // namespace infoshield

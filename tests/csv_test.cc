@@ -1,0 +1,178 @@
+#include "io/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/infoshield.h"
+
+namespace infoshield {
+namespace {
+
+TEST(ParseCsvLineTest, Simple) {
+  EXPECT_EQ(ParseCsvLine("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithComma) {
+  EXPECT_EQ(ParseCsvLine("a,\"b,c\",d"),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(ParseCsvLineTest, EscapedQuote) {
+  EXPECT_EQ(ParseCsvLine("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  EXPECT_EQ(ParseCsvLine(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("with \"q\""), "\"with \"\"q\"\"\"");
+  EXPECT_EQ(EscapeCsvField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvRoundTripTest, FormatThenParse) {
+  std::vector<std::string> fields = {"a", "b,c", "d\"e", ""};
+  EXPECT_EQ(ParseCsvLine(FormatCsvLine(fields)), fields);
+}
+
+class CsvFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "/infoshield_csv_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CsvFileTest, WriteAndReadBack) {
+  CsvTable table;
+  table.header = {"id", "text"};
+  table.rows = {{"1", "hello world"}, {"2", "with, comma"}};
+  ASSERT_TRUE(WriteCsvFile(path_, table).ok());
+
+  Result<CsvTable> read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->header, table.header);
+  EXPECT_EQ(read->rows, table.rows);
+}
+
+TEST_F(CsvFileTest, ColumnIndex) {
+  CsvTable table;
+  table.header = {"id", "text", "label"};
+  EXPECT_EQ(table.ColumnIndex("text"), 1);
+  EXPECT_EQ(table.ColumnIndex("missing"), -1);
+}
+
+TEST_F(CsvFileTest, MissingFileFails) {
+  Result<CsvTable> r = ReadCsvFile("/nonexistent/nope.csv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvFileTest, EmbeddedNewlineInQuotedField) {
+  std::ofstream out(path_);
+  out << "id,text\n1,\"two\nlines\"\n";
+  out.close();
+  Result<CsvTable> r = ReadCsvFile(path_);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(r->rows[0][1], "two\nlines");
+}
+
+TEST_F(CsvFileTest, CrlfLineEndings) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "id,text\r\n1,hello\r\n2,world\r\n";
+  out.close();
+  Result<CsvTable> r = ReadCsvFile(path_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1][1], "world");
+}
+
+TEST_F(CsvFileTest, LoadCorpusFromCsv) {
+  std::ofstream out(path_);
+  out << "id,text\n1,This is a Great Soap\n2,Another Ad Here\n";
+  out.close();
+  Result<Corpus> corpus = LoadCorpusFromCsv(path_, "text");
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->size(), 2u);
+  EXPECT_EQ(corpus->TokenText(0), "this is a great soap");
+}
+
+TEST_F(CsvFileTest, LoadCorpusMissingColumnFails) {
+  std::ofstream out(path_);
+  out << "id,text\n1,x\n";
+  out.close();
+  Result<Corpus> corpus = LoadCorpusFromCsv(path_, "body");
+  EXPECT_FALSE(corpus.ok());
+  EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Fuzz-style property: parsing arbitrary strings never crashes, and
+// format(parse(x)) is a fixed point (round-trip stability).
+class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvFuzzTest, ParseIsTotalAndRoundTripStable) {
+  uint64_t state = GetParam() * 0x9e3779b97f4a7c15ULL + 7;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const char kAlphabet[] = "ab,\"\n\r x";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string line;
+    const size_t len = next() % 40;
+    for (size_t i = 0; i < len; ++i) {
+      line.push_back(kAlphabet[next() % (sizeof(kAlphabet) - 1)]);
+    }
+    std::vector<std::string> fields = ParseCsvLine(line);
+    EXPECT_GE(fields.size(), 1u);
+    // Once parsed, formatting and re-parsing is the identity.
+    std::string formatted = FormatCsvLine(fields);
+    EXPECT_EQ(ParseCsvLine(formatted), fields);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST_F(CsvFileTest, PipelineRunsOnCsvLoadedCorpus) {
+  // End-to-end: CSV in, templates out (the CLI's code path).
+  std::ofstream out(path_);
+  out << "id,text\n";
+  for (int i = 0; i < 4; ++i) {
+    out << i << ",grand opening best massage in town call today " << i
+        << "\n";
+  }
+  for (int i = 0; i < 30; ++i) {
+    out << 100 + i << ",unique" << i * 3 << " unique" << i * 3 + 1
+        << " unique" << i * 3 + 2 << "\n";
+  }
+  out.close();
+  Result<Corpus> corpus = LoadCorpusFromCsv(path_, "text");
+  ASSERT_TRUE(corpus.ok());
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(*corpus);
+  ASSERT_EQ(r.templates.size(), 1u);
+  EXPECT_EQ(r.templates[0].members.size(), 4u);
+}
+
+TEST_F(CsvFileTest, TsvSeparator) {
+  std::ofstream out(path_);
+  out << "id\ttext\n1\thello there\n";
+  out.close();
+  Result<Corpus> corpus = LoadCorpusFromCsv(path_, "text", '\t');
+  ASSERT_TRUE(corpus.ok());
+  EXPECT_EQ(corpus->TokenText(0), "hello there");
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,235 @@
+#include "datagen/trafficking_gen.h"
+#include "datagen/twitter_gen.h"
+#include "datagen/wordlists.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(WordlistsTest, PoolsAreNonEmptyAndDistinct) {
+  EXPECT_GT(WordsFor(Language::kEnglish).size(), 300u);
+  EXPECT_GT(WordsFor(Language::kSpanish).size(), 100u);
+  EXPECT_GT(WordsFor(Language::kItalian).size(), 80u);
+  EXPECT_GT(WordsFor(Language::kJapanese).size(), 80u);
+  EXPECT_GT(FirstNames().size(), 20u);
+  EXPECT_GT(CityNames().size(), 20u);
+}
+
+TwitterGenOptions SmallTwitterOptions() {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 10;
+  o.num_bot_accounts = 5;
+  o.tweets_per_genuine_min = 3;
+  o.tweets_per_genuine_max = 6;
+  o.tweets_per_bot_min = 4;
+  o.tweets_per_bot_max = 8;
+  return o;
+}
+
+TEST(TwitterGenTest, LabelsAreParallelAndConsistent) {
+  TwitterGenerator gen(SmallTwitterOptions());
+  LabeledTweets data = gen.Generate(7);
+  EXPECT_GT(data.corpus.size(), 0u);
+  EXPECT_EQ(data.corpus.size(), data.account_id.size());
+  EXPECT_EQ(data.corpus.size(), data.is_bot.size());
+  EXPECT_EQ(data.corpus.size(), data.cluster_label.size());
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (data.is_bot[i]) {
+      EXPECT_EQ(data.cluster_label[i], data.account_id[i]);
+    } else {
+      EXPECT_EQ(data.cluster_label[i], -1);
+    }
+  }
+}
+
+TEST(TwitterGenTest, Deterministic) {
+  TwitterGenerator gen(SmallTwitterOptions());
+  LabeledTweets a = gen.Generate(42);
+  LabeledTweets b = gen.Generate(42);
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  for (size_t i = 0; i < a.corpus.size(); ++i) {
+    EXPECT_EQ(a.corpus.doc(static_cast<DocId>(i)).raw,
+              b.corpus.doc(static_cast<DocId>(i)).raw);
+  }
+}
+
+TEST(TwitterGenTest, SeedsChangeOutput) {
+  TwitterGenerator gen(SmallTwitterOptions());
+  LabeledTweets a = gen.Generate(1);
+  LabeledTweets b = gen.Generate(2);
+  bool any_diff = a.corpus.size() != b.corpus.size();
+  for (size_t i = 0; !any_diff && i < a.corpus.size(); ++i) {
+    any_diff = a.corpus.doc(static_cast<DocId>(i)).raw !=
+               b.corpus.doc(static_cast<DocId>(i)).raw;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TwitterGenTest, BotTweetsShareCampaignPhrasing) {
+  TwitterGenOptions o = SmallTwitterOptions();
+  o.bot_edit_prob = 0.0;
+  o.template_slots_min = 0;
+  o.template_slots_max = 0;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(11);
+  // With no edits and no slots, all tweets of one bot are identical.
+  std::unordered_map<int64_t, std::unordered_set<std::string>> texts;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (data.is_bot[i]) {
+      texts[data.account_id[i]].insert(
+          data.corpus.doc(static_cast<DocId>(i)).raw);
+    }
+  }
+  for (const auto& [account, set] : texts) {
+    EXPECT_EQ(set.size(), 1u) << "bot " << account;
+  }
+}
+
+TEST(TwitterGenTest, GenuineTweetsAreDiverse) {
+  TwitterGenerator gen(SmallTwitterOptions());
+  LabeledTweets data = gen.Generate(13);
+  std::unordered_set<std::string> genuine_texts;
+  size_t genuine_count = 0;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (!data.is_bot[i]) {
+      ++genuine_count;
+      genuine_texts.insert(data.corpus.doc(static_cast<DocId>(i)).raw);
+    }
+  }
+  // Nearly all genuine tweets should be unique.
+  EXPECT_GE(genuine_texts.size(), genuine_count * 9 / 10);
+}
+
+TEST(TwitterGenTest, SpanishMixProducesSpanishTokens) {
+  TwitterGenOptions o = SmallTwitterOptions();
+  o.english_fraction = 0.0;
+  o.spanish_fraction = 1.0;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(17);
+  // "de" / "la" are top-ranked Spanish tokens under Zipf sampling.
+  bool saw_spanish = data.corpus.vocab().Find("de") != kInvalidToken ||
+                     data.corpus.vocab().Find("la") != kInvalidToken ||
+                     data.corpus.vocab().Find("el") != kInvalidToken;
+  EXPECT_TRUE(saw_spanish);
+}
+
+TraffickingGenOptions SmallTraffickingOptions() {
+  TraffickingGenOptions o;
+  o.num_benign = 50;
+  o.num_spam_clusters = 2;
+  o.spam_cluster_size_min = 10;
+  o.spam_cluster_size_max = 20;
+  o.num_ht_clusters = 4;
+  o.ht_cluster_size_min = 4;
+  o.ht_cluster_size_max = 8;
+  return o;
+}
+
+TEST(TraffickingGenTest, PopulationCountsMatch) {
+  TraffickingGenerator gen(SmallTraffickingOptions());
+  LabeledAds data = gen.Generate(5);
+  EXPECT_EQ(data.CountType(AdType::kBenign), 50u);
+  EXPECT_GE(data.CountType(AdType::kSpam), 20u);
+  EXPECT_GE(data.CountType(AdType::kTrafficking), 16u);
+  EXPECT_EQ(data.corpus.size(),
+            data.CountType(AdType::kBenign) + data.CountType(AdType::kSpam) +
+                data.CountType(AdType::kTrafficking));
+}
+
+TEST(TraffickingGenTest, ClusterLabelsConsistentWithTypes) {
+  TraffickingGenerator gen(SmallTraffickingOptions());
+  LabeledAds data = gen.Generate(5);
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (data.type[i] == AdType::kBenign) {
+      EXPECT_EQ(data.cluster_label[i], -1);
+    } else {
+      EXPECT_GE(data.cluster_label[i], 0);
+    }
+  }
+}
+
+TEST(TraffickingGenTest, ExpertScoresInRange) {
+  TraffickingGenerator gen(SmallTraffickingOptions());
+  LabeledAds data = gen.Generate(5);
+  for (int s : data.expert_score) {
+    EXPECT_GE(s, 0);
+    EXPECT_LE(s, 6);
+  }
+}
+
+TEST(TraffickingGenTest, LabelNoiseCreatesDisagreement) {
+  TraffickingGenOptions o = SmallTraffickingOptions();
+  o.label_noise = 0.3;
+  TraffickingGenerator gen(o);
+  LabeledAds data = gen.Generate(5);
+  // Some HT ads must be scored < 4 and some benign ads >= 4.
+  bool ht_underscored = false;
+  bool benign_overscored = false;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (data.type[i] == AdType::kTrafficking && data.expert_score[i] < 4) {
+      ht_underscored = true;
+    }
+    if (data.type[i] == AdType::kBenign && data.expert_score[i] >= 4) {
+      benign_overscored = true;
+    }
+  }
+  EXPECT_TRUE(ht_underscored);
+  EXPECT_TRUE(benign_overscored);
+}
+
+TEST(TraffickingGenTest, SpamClustersAreNearExactDuplicates) {
+  TraffickingGenOptions o = SmallTraffickingOptions();
+  o.spam_edit_prob = 0.0;
+  TraffickingGenerator gen(o);
+  LabeledAds data = gen.Generate(9);
+  std::unordered_map<int64_t, std::unordered_set<std::string>> texts;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    if (data.type[i] == AdType::kSpam) {
+      texts[data.cluster_label[i]].insert(
+          data.corpus.doc(static_cast<DocId>(i)).raw);
+    }
+  }
+  for (const auto& [cluster, set] : texts) {
+    EXPECT_EQ(set.size(), 1u);
+  }
+}
+
+TEST(PoolWordTest, FirstRanksAreBaseWords) {
+  const std::vector<std::string> base = {"a", "b", "c"};
+  EXPECT_EQ(PoolWord(base, 0), "a");
+  EXPECT_EQ(PoolWord(base, 2), "c");
+}
+
+TEST(PoolWordTest, WrappedRanksGetSuffixes) {
+  const std::vector<std::string> base = {"a", "b", "c"};
+  EXPECT_EQ(PoolWord(base, 3), "a2");
+  EXPECT_EQ(PoolWord(base, 4), "b2");
+  EXPECT_EQ(PoolWord(base, 7), "b3");
+}
+
+TEST(PoolWordTest, DistinctRanksDistinctWords) {
+  const std::vector<std::string> base = {"x", "y"};
+  std::unordered_set<std::string> seen;
+  for (size_t r = 0; r < 100; ++r) {
+    EXPECT_TRUE(seen.insert(PoolWord(base, r)).second) << "rank " << r;
+  }
+}
+
+TEST(TraffickingGenTest, Deterministic) {
+  TraffickingGenerator gen(SmallTraffickingOptions());
+  LabeledAds a = gen.Generate(21);
+  LabeledAds b = gen.Generate(21);
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  for (size_t i = 0; i < a.corpus.size(); ++i) {
+    EXPECT_EQ(a.corpus.doc(static_cast<DocId>(i)).raw,
+              b.corpus.doc(static_cast<DocId>(i)).raw);
+  }
+  EXPECT_EQ(a.expert_score, b.expert_score);
+}
+
+}  // namespace
+}  // namespace infoshield

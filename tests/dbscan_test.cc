@@ -1,0 +1,81 @@
+#include "baselines/dbscan.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+// Two tight direction-groups plus one outlier (cosine distance).
+std::vector<Vec> TwoBlobs() {
+  std::vector<Vec> pts;
+  // Blob A around (1, 0).
+  pts.push_back({1.0f, 0.00f});
+  pts.push_back({1.0f, 0.02f});
+  pts.push_back({1.0f, -0.02f});
+  pts.push_back({1.0f, 0.01f});
+  // Blob B around (0, 1).
+  pts.push_back({0.00f, 1.0f});
+  pts.push_back({0.02f, 1.0f});
+  pts.push_back({-0.02f, 1.0f});
+  pts.push_back({0.01f, 1.0f});
+  // Outlier near (-1, -1) direction.
+  pts.push_back({-1.0f, -1.0f});
+  for (Vec& v : pts) L2Normalize(v);
+  return pts;
+}
+
+TEST(DbscanTest, FindsTwoBlobsAndNoise) {
+  DbscanOptions opts;
+  opts.eps = 0.05;
+  opts.min_pts = 3;
+  std::vector<int64_t> labels = Dbscan(TwoBlobs(), opts);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[4], labels[7]);
+  EXPECT_NE(labels[0], labels[4]);
+  EXPECT_EQ(labels[8], -1);
+  EXPECT_GE(labels[0], 0);
+}
+
+TEST(DbscanTest, AllNoiseWhenEpsTiny) {
+  std::vector<Vec> pts = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  DbscanOptions opts;
+  opts.eps = 1e-6;
+  opts.min_pts = 2;
+  for (int64_t l : Dbscan(pts, opts)) EXPECT_EQ(l, -1);
+}
+
+TEST(DbscanTest, OneClusterWhenEpsHuge) {
+  std::vector<Vec> pts = {{1, 0}, {0, 1}, {-1, 0}, {0, -1}};
+  DbscanOptions opts;
+  opts.eps = 3.0;  // cosine distance max is 2
+  opts.min_pts = 2;
+  std::vector<int64_t> labels = Dbscan(pts, opts);
+  for (int64_t l : labels) EXPECT_EQ(l, labels[0]);
+  EXPECT_GE(labels[0], 0);
+}
+
+TEST(DbscanTest, EmptyInput) {
+  EXPECT_TRUE(Dbscan({}, DbscanOptions{}).empty());
+}
+
+TEST(DbscanTest, MinPtsGateKeepsSmallGroupsNoise) {
+  std::vector<Vec> pts = {{1, 0}, {1, 0.01f}};  // only 2 points
+  for (Vec& v : pts) L2Normalize(v);
+  DbscanOptions opts;
+  opts.eps = 0.1;
+  opts.min_pts = 3;
+  for (int64_t l : Dbscan(pts, opts)) EXPECT_EQ(l, -1);
+}
+
+TEST(DbscanTest, ExactDuplicatesCluster) {
+  std::vector<Vec> pts(5, Vec{0.6f, 0.8f});
+  DbscanOptions opts;
+  opts.eps = 0.01;
+  opts.min_pts = 3;
+  std::vector<int64_t> labels = Dbscan(pts, opts);
+  for (int64_t l : labels) EXPECT_EQ(l, 0);
+}
+
+}  // namespace
+}  // namespace infoshield

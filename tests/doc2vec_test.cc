@@ -1,0 +1,69 @@
+#include "baselines/doc2vec.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+Corpus TopicCorpus() {
+  Corpus c;
+  for (int i = 0; i < 15; ++i) {
+    c.Add("finance stocks market trading profit investment money");
+    c.Add("soccer football goal match player team stadium");
+  }
+  return c;
+}
+
+TEST(Doc2VecTest, TrainsAndEmbeds) {
+  Corpus c = TopicCorpus();
+  Doc2VecOptions opts;
+  opts.dim = 16;
+  opts.epochs = 3;
+  Doc2Vec model(opts);
+  model.Train(c, 21);
+  Vec v = model.Embed(c.doc(0));
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_GT(L2Norm(v), 0.0f);
+}
+
+TEST(Doc2VecTest, SameTopicDocsCloserThanCrossTopic) {
+  Corpus c = TopicCorpus();
+  Doc2VecOptions opts;
+  opts.dim = 16;
+  opts.epochs = 10;
+  Doc2Vec model(opts);
+  model.Train(c, 23);
+  // Docs 0 and 2 are finance; doc 1 is soccer.
+  Vec f1 = model.Embed(c.doc(0));
+  Vec f2 = model.Embed(c.doc(2));
+  Vec s1 = model.Embed(c.doc(1));
+  EXPECT_LT(CosineDistance(f1, f2), CosineDistance(f1, s1));
+}
+
+TEST(Doc2VecTest, DistinctDocsGetDistinctVectors) {
+  Corpus c = TopicCorpus();
+  Doc2Vec model;
+  model.Train(c, 25);
+  EXPECT_NE(model.Embed(c.doc(0)), model.Embed(c.doc(1)));
+}
+
+TEST(Doc2VecTest, DeterministicTraining) {
+  Corpus c = TopicCorpus();
+  Doc2Vec m1;
+  Doc2Vec m2;
+  m1.Train(c, 27);
+  m2.Train(c, 27);
+  EXPECT_EQ(m1.Embed(c.doc(5)), m2.Embed(c.doc(5)));
+}
+
+TEST(Doc2VecDeathTest, EmbeddingForeignDocDies) {
+  Corpus c = TopicCorpus();
+  Doc2Vec model;
+  model.Train(c, 29);
+  Document foreign;
+  foreign.id = static_cast<DocId>(c.size() + 10);
+  EXPECT_DEATH(model.Embed(foreign), "Check failed");
+}
+
+}  // namespace
+}  // namespace infoshield

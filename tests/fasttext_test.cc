@@ -1,0 +1,79 @@
+#include "baselines/fasttext.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+Corpus SmallCorpus() {
+  Corpus c;
+  for (int i = 0; i < 20; ++i) {
+    c.Add("sweet young girl available tonight call now");
+    c.Add("old stone bridge crosses river near town");
+  }
+  return c;
+}
+
+TEST(FastTextTest, TrainsAndEmbeds) {
+  Corpus c = SmallCorpus();
+  FastTextOptions opts;
+  opts.dim = 16;
+  opts.epochs = 2;
+  opts.num_buckets = 1 << 12;
+  FastText model(opts);
+  model.Train(c, 9);
+  Vec v = model.Embed(c.doc(0));
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_GT(L2Norm(v), 0.0f);
+}
+
+TEST(FastTextTest, MisspellingsEmbedNearOriginal) {
+  // The subword property: "availablee" shares nearly all char n-grams
+  // with "available", so their composed vectors are close — unlike a
+  // completely different word.
+  Corpus c = SmallCorpus();
+  FastTextOptions opts;
+  opts.dim = 16;
+  opts.epochs = 3;
+  opts.num_buckets = 1 << 14;
+  FastText model(opts);
+  model.Train(c, 11);
+  Vec original = model.WordVectorFromString("available");
+  Vec misspelled = model.WordVectorFromString("availablee");
+  Vec unrelated = model.WordVectorFromString("xylophone");
+  EXPECT_LT(CosineDistance(original, misspelled),
+            CosineDistance(original, unrelated));
+}
+
+TEST(FastTextTest, OutOfVocabularyWordsGetVectors) {
+  Corpus c = SmallCorpus();
+  FastText model;
+  model.Train(c, 13);
+  Vec v = model.WordVectorFromString("neverseenbefore");
+  EXPECT_GT(L2Norm(v), 0.0f);
+}
+
+TEST(FastTextTest, DeterministicTraining) {
+  Corpus c = SmallCorpus();
+  FastTextOptions opts;
+  opts.dim = 8;
+  opts.epochs = 1;
+  opts.num_buckets = 1 << 10;
+  FastText m1(opts);
+  FastText m2(opts);
+  m1.Train(c, 17);
+  m2.Train(c, 17);
+  EXPECT_EQ(m1.Embed(c.doc(0)), m2.Embed(c.doc(0)));
+}
+
+TEST(FastTextTest, EmptyDocEmbedsToZero) {
+  Corpus c = SmallCorpus();
+  c.Add("");
+  FastText model;
+  model.Train(c, 19);
+  EXPECT_EQ(L2Norm(model.Embed(c.doc(static_cast<DocId>(c.size() - 1)))),
+            0.0f);
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,261 @@
+#include "core/fine_clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+std::vector<DocId> AllDocs(const Corpus& c) {
+  std::vector<DocId> ids(c.size());
+  for (size_t i = 0; i < c.size(); ++i) ids[i] = static_cast<DocId>(i);
+  return ids;
+}
+
+// Enlarges the corpus vocabulary with unique filler tokens (lg V drives
+// the MDL trade-off: with a toy-sized vocabulary, raw documents are so
+// cheap that templates rightly never pay off). The filler documents are
+// NOT part of any cluster under test.
+void PadVocabulary(Corpus& c, size_t num_words) {
+  std::string text;
+  for (size_t i = 0; i < num_words; ++i) {
+    if (!text.empty()) text.push_back(' ');
+    text += "filler" + std::to_string(i);
+    if (text.size() > 200) {
+      c.Add(text);
+      text.clear();
+    }
+  }
+  if (!text.empty()) c.Add(text);
+}
+
+TEST(FineClusteringTest, ExactDuplicatesFormOneTemplate) {
+  Corpus c;
+  for (int i = 0; i < 5; ++i) {
+    c.Add("buy cheap watches now great deal online store");
+  }
+  // Pad the vocabulary so lg V is realistic.
+  c.Add("unrelated filler words apple banana cherry dragon elephant fox");
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, {0, 1, 2, 3, 4}, cm);
+  ASSERT_EQ(r.templates.size(), 1u);
+  EXPECT_EQ(r.templates[0].members.size(), 5u);
+  EXPECT_TRUE(r.noise.empty());
+  EXPECT_LT(r.cost_after, r.cost_before);
+  EXPECT_LT(r.relative_length(), 1.0);
+}
+
+TEST(FineClusteringTest, DissimilarDocsBecomeNoise) {
+  Corpus c;
+  c.Add("alpha beta gamma delta epsilon zeta");
+  c.Add("uno dos tres cuatro cinco seis");
+  c.Add("red orange yellow green blue indigo");
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, AllDocs(c), cm);
+  EXPECT_TRUE(r.templates.empty());
+  EXPECT_EQ(r.noise.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.cost_after, r.cost_before);
+}
+
+TEST(FineClusteringTest, TwoTemplatesInOneCluster) {
+  Corpus c;
+  // Group A (4 docs) and group B (4 docs), unrelated to each other.
+  for (int i = 0; i < 4; ++i) {
+    c.Add("this is a great product and the price is great indeed");
+  }
+  for (int i = 0; i < 4; ++i) {
+    c.Add("i made money working from home call now or visit site");
+  }
+  std::vector<DocId> cluster = AllDocs(c);
+  PadVocabulary(c, 300);
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, cluster, cm);
+  ASSERT_EQ(r.templates.size(), 2u);
+  EXPECT_EQ(r.templates[0].members, (std::vector<DocId>{0, 1, 2, 3}));
+  EXPECT_EQ(r.templates[1].members, (std::vector<DocId>{4, 5, 6, 7}));
+}
+
+TEST(FineClusteringTest, SlotDetectedWhereDocsDiffer) {
+  Corpus c;
+  c.Add("this is a great soap and the 5 dollar price is great");
+  c.Add("this is a great chair and the 10 dollar price is great");
+  c.Add("this is a great hat and the 3 dollar price is great");
+  c.Add("this is a great lamp and the 8 dollar price is great");
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, AllDocs(c), cm);
+  ASSERT_EQ(r.templates.size(), 1u);
+  const Template& t = r.templates[0].tmpl;
+  EXPECT_GE(t.num_slots(), 1u);
+  // The template backbone keeps the shared phrasing.
+  std::string text = t.ToString(c.vocab());
+  EXPECT_NE(text.find("this is a great"), std::string::npos);
+  EXPECT_NE(text.find("dollar price is great"), std::string::npos);
+}
+
+TEST(FineClusteringTest, SingleDocClusterIsNoise) {
+  Corpus c;
+  c.Add("lonely document with no duplicate partner here");
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, {0}, cm);
+  EXPECT_TRUE(r.templates.empty());
+  EXPECT_EQ(r.noise, (std::vector<DocId>{0}));
+}
+
+TEST(FineClusteringTest, EmptyClusterIsFine) {
+  Corpus c;
+  c.Add("something");
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, {}, cm);
+  EXPECT_TRUE(r.templates.empty());
+  EXPECT_TRUE(r.noise.empty());
+}
+
+TEST(FineClusteringTest, NearDuplicatesWithEditsStillCluster) {
+  Corpus c;
+  c.Add("grand opening best massage in town call 5551234 today");
+  c.Add("grand opening best massage in town call 5559876 today");
+  c.Add("grand opening the best massage in town call 5554321");
+  c.Add("grand opening best massage town call 5551111 today now");
+  std::vector<DocId> cluster = AllDocs(c);
+  PadVocabulary(c, 300);
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, cluster, cm);
+  ASSERT_EQ(r.templates.size(), 1u);
+  EXPECT_EQ(r.templates[0].members.size(), 4u);
+}
+
+TEST(FineClusteringTest, ConsensusSearchExhaustiveMatchesDichotomous) {
+  Corpus c;
+  for (int i = 0; i < 6; ++i) {
+    c.Add("identical text for consensus search testing purposes here");
+  }
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+
+  FineOptions dicho;
+  FineOptions exhaustive;
+  exhaustive.exhaustive_consensus_search = true;
+  FineResult r1 = FineClustering(dicho).RunOnCluster(c, AllDocs(c), cm);
+  FineResult r2 = FineClustering(exhaustive).RunOnCluster(c, AllDocs(c), cm);
+  ASSERT_EQ(r1.templates.size(), 1u);
+  ASSERT_EQ(r2.templates.size(), 1u);
+  EXPECT_DOUBLE_EQ(r1.cost_after, r2.cost_after);
+}
+
+TEST(FineClusteringTest, CostNeverIncreases) {
+  Corpus c;
+  for (int i = 0; i < 3; ++i) c.Add("aaa bbb ccc ddd eee fff");
+  c.Add("zzz yyy xxx www vvv uuu");
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, AllDocs(c), cm);
+  EXPECT_LE(r.cost_after, r.cost_before);
+}
+
+TEST(FineClusteringTest, RelativeLengthRespectsLowerBound) {
+  Corpus c;
+  for (int i = 0; i < 10; ++i) {
+    c.Add("exact duplicate spam message here repeated verbatim each time");
+  }
+  FineClustering fine;
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult r = fine.RunOnCluster(c, AllDocs(c), cm);
+  ASSERT_EQ(r.templates.size(), 1u);
+  const double bound =
+      RelativeLengthLowerBound(1, 10, cm.lg_vocab());
+  EXPECT_GE(r.relative_length(), bound * 0.999);
+}
+
+TEST(FineClusteringTest, ProfileBackendFindsSameDuplicates) {
+  Corpus c;
+  for (int i = 0; i < 5; ++i) {
+    c.Add("buy cheap watches now great deal online store");
+  }
+  std::vector<DocId> cluster = AllDocs(c);
+  PadVocabulary(c, 300);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+
+  FineOptions poa_opts;
+  poa_opts.msa_backend = MsaBackend::kPoa;
+  FineOptions profile_opts;
+  profile_opts.msa_backend = MsaBackend::kProfile;
+  FineResult poa = FineClustering(poa_opts).RunOnCluster(c, cluster, cm);
+  FineResult profile =
+      FineClustering(profile_opts).RunOnCluster(c, cluster, cm);
+  ASSERT_EQ(poa.templates.size(), 1u);
+  ASSERT_EQ(profile.templates.size(), 1u);
+  EXPECT_EQ(poa.templates[0].members, profile.templates[0].members);
+  // On exact duplicates both backends recover the identical consensus.
+  EXPECT_EQ(poa.templates[0].tmpl.tokens, profile.templates[0].tmpl.tokens);
+  EXPECT_DOUBLE_EQ(poa.cost_after, profile.cost_after);
+}
+
+TEST(FineClusteringTest, NeighborSeedingMatchesFullScanOnCampaign) {
+  Corpus c;
+  std::vector<DocId> cluster;
+  for (int i = 0; i < 6; ++i) {
+    cluster.push_back(
+        c.Add("grand opening best massage in town call today " +
+              std::to_string(1000 + i)));
+  }
+  PadVocabulary(c, 300);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  // Full scan.
+  FineClustering fine;
+  FineResult full = fine.RunOnCluster(c, cluster, cm);
+  // Neighbor seeding with a shared phrase index: every campaign doc
+  // lists the same campaign phrase.
+  std::vector<std::vector<PhraseHash>> phrases(c.size());
+  for (DocId d : cluster) phrases[d] = {0xABCDEFULL};
+  FineResult seeded = fine.RunOnCluster(c, cluster, cm, &phrases);
+  ASSERT_EQ(full.templates.size(), 1u);
+  ASSERT_EQ(seeded.templates.size(), 1u);
+  EXPECT_EQ(full.templates[0].members, seeded.templates[0].members);
+  EXPECT_DOUBLE_EQ(full.cost_after, seeded.cost_after);
+}
+
+TEST(FineClusteringTest, NeighborSeedingIsolatesPhraseDisjointDocs) {
+  // Two docs that would pairwise compress but share no top phrase: with
+  // neighbor seeding they are never compared, so each becomes noise.
+  Corpus c;
+  std::vector<DocId> cluster;
+  cluster.push_back(c.Add("same words here every single time always"));
+  cluster.push_back(c.Add("same words here every single time always"));
+  PadVocabulary(c, 300);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  std::vector<std::vector<PhraseHash>> phrases(c.size());
+  phrases[cluster[0]] = {1};
+  phrases[cluster[1]] = {2};  // disjoint phrase sets
+  FineClustering fine;
+  FineResult r = fine.RunOnCluster(c, cluster, cm, &phrases);
+  EXPECT_TRUE(r.templates.empty());
+  EXPECT_EQ(r.noise.size(), 2u);
+}
+
+TEST(FineClusteringTest, DetectSlotsPublicApi) {
+  Corpus c;
+  c.Add("one two soap four five");
+  c.Add("one two chair four five");
+  c.Add("one two hat four five");
+  CostModel cm(10.0);
+  // Consensus is the shared backbone.
+  Vocabulary& v = const_cast<Corpus&>(c).mutable_vocab();
+  Template tmpl(std::vector<TokenId>{v.Find("one"), v.Find("two"),
+                                     v.Find("four"), v.Find("five")});
+  std::vector<Alignment> alignments;
+  for (const Document& d : c.docs()) {
+    alignments.push_back(NeedlemanWunsch(tmpl.tokens, d.tokens));
+  }
+  FineClustering fine;
+  fine.DetectSlots(tmpl, alignments, cm);
+  EXPECT_TRUE(tmpl.HasSlotAtGap(2));
+  EXPECT_EQ(tmpl.num_slots(), 1u);
+}
+
+}  // namespace
+}  // namespace infoshield

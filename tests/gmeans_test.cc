@@ -1,0 +1,115 @@
+#include "baselines/gmeans.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+using internal::AndersonDarlingStatistic;
+
+TEST(AndersonDarlingTest, GaussianSampleScoresLow) {
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(rng.NextGaussian());
+  EXPECT_LT(AndersonDarlingStatistic(std::move(samples)), 1.8692);
+}
+
+TEST(AndersonDarlingTest, BimodalSampleScoresHigh) {
+  Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 250; ++i) {
+    samples.push_back(-5.0 + 0.3 * rng.NextGaussian());
+    samples.push_back(5.0 + 0.3 * rng.NextGaussian());
+  }
+  EXPECT_GT(AndersonDarlingStatistic(std::move(samples)), 1.8692);
+}
+
+TEST(AndersonDarlingTest, DegenerateSamples) {
+  EXPECT_DOUBLE_EQ(AndersonDarlingStatistic({}), 0.0);
+  EXPECT_DOUBLE_EQ(AndersonDarlingStatistic({1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(AndersonDarlingStatistic({2.0, 2.0, 2.0}), 0.0);
+}
+
+TEST(GmeansTest, SingleGaussianStaysOneCluster) {
+  Rng rng(11);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back({static_cast<float>(rng.NextGaussian()),
+                   static_cast<float>(rng.NextGaussian())});
+  }
+  GmeansResult r = Gmeans(pts, GmeansOptions{}, 3);
+  EXPECT_EQ(r.num_clusters(), 1u);
+  for (int64_t l : r.labels) EXPECT_EQ(l, 0);
+}
+
+TEST(GmeansTest, TwoSeparatedGaussiansSplit) {
+  Rng rng(13);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 150; ++i) {
+    pts.push_back({static_cast<float>(20.0 + rng.NextGaussian()),
+                   static_cast<float>(rng.NextGaussian())});
+    pts.push_back({static_cast<float>(-20.0 + rng.NextGaussian()),
+                   static_cast<float>(rng.NextGaussian())});
+  }
+  GmeansResult r = Gmeans(pts, GmeansOptions{}, 5);
+  EXPECT_GE(r.num_clusters(), 2u);
+  // Points from different blobs are labeled differently.
+  EXPECT_NE(r.labels[0], r.labels[1]);
+  // Points from the same blob share labels.
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[1], r.labels[3]);
+}
+
+TEST(GmeansTest, FourBlobsFound) {
+  Rng rng(17);
+  std::vector<Vec> pts;
+  const float kCenters[4][2] = {{30, 30}, {-30, 30}, {30, -30}, {-30, -30}};
+  for (int c = 0; c < 4; ++c) {
+    for (int i = 0; i < 80; ++i) {
+      pts.push_back(
+          {kCenters[c][0] + static_cast<float>(rng.NextGaussian()),
+           kCenters[c][1] + static_cast<float>(rng.NextGaussian())});
+    }
+  }
+  GmeansResult r = Gmeans(pts, GmeansOptions{}, 7);
+  std::unordered_set<int64_t> distinct(r.labels.begin(), r.labels.end());
+  EXPECT_EQ(distinct.size(), 4u);
+}
+
+TEST(GmeansTest, MaxClustersRespected) {
+  Rng rng(19);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back({static_cast<float>(rng.NextDouble() * 1000),
+                   static_cast<float>(rng.NextDouble() * 1000)});
+  }
+  GmeansOptions opts;
+  opts.max_clusters = 4;
+  GmeansResult r = Gmeans(pts, opts, 11);
+  EXPECT_LE(r.num_clusters(), 4u);
+}
+
+TEST(GmeansTest, EmptyInput) {
+  GmeansResult r = Gmeans({}, GmeansOptions{}, 1);
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_EQ(r.num_clusters(), 0u);
+}
+
+TEST(GmeansTest, Deterministic) {
+  Rng rng(23);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back({static_cast<float>(rng.NextGaussian() * 5),
+                   static_cast<float>(rng.NextGaussian() * 5)});
+  }
+  GmeansResult a = Gmeans(pts, GmeansOptions{}, 99);
+  GmeansResult b = Gmeans(pts, GmeansOptions{}, 99);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+}  // namespace
+}  // namespace infoshield

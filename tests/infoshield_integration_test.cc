@@ -1,0 +1,183 @@
+// End-to-end pipeline tests on generated corpora: coarse + fine together,
+// against ground-truth labels from the data generators.
+
+#include <gtest/gtest.h>
+
+#include "core/infoshield.h"
+#include "datagen/trafficking_gen.h"
+#include "datagen/twitter_gen.h"
+#include "eval/metrics.h"
+
+namespace infoshield {
+namespace {
+
+TEST(IntegrationTest, TwitterBotsDetectedWithHighF1) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 30;
+  o.num_bot_accounts = 15;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(1234);
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+
+  std::vector<bool> predicted;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    predicted.push_back(r.IsSuspicious(static_cast<DocId>(i)));
+  }
+  std::vector<bool> truth(data.is_bot.begin(), data.is_bot.end());
+  BinaryMetrics m = ComputeBinaryMetrics(predicted, truth);
+  // The paper reports F1 > 90% on the Cresci sets; the synthetic
+  // substitute is comparable in difficulty.
+  EXPECT_GT(m.f1(), 0.85) << "precision=" << m.precision()
+                          << " recall=" << m.recall();
+  EXPECT_GT(m.precision(), 0.85);
+}
+
+TEST(IntegrationTest, TwitterClusterAriIsHigh) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 20;
+  o.num_bot_accounts = 10;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(777);
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+  double ari = AdjustedRandIndex(data.cluster_label, r.doc_template);
+  EXPECT_GT(ari, 0.6);
+}
+
+TEST(IntegrationTest, TraffickingPrecisionBeatsRecall) {
+  TraffickingGenOptions o;
+  o.num_benign = 150;
+  o.num_spam_clusters = 2;
+  o.spam_cluster_size_min = 15;
+  o.spam_cluster_size_max = 30;
+  o.num_ht_clusters = 10;
+  TraffickingGenerator gen(o);
+  LabeledAds data = gen.Generate(99);
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+
+  // Suspicious = clustered. Truth = organized activity (spam or HT).
+  std::vector<bool> predicted;
+  std::vector<bool> truth;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    predicted.push_back(r.IsSuspicious(static_cast<DocId>(i)));
+    truth.push_back(data.type[i] != AdType::kBenign);
+  }
+  BinaryMetrics m = ComputeBinaryMetrics(predicted, truth);
+  EXPECT_GT(m.precision(), 0.8);
+  EXPECT_GT(m.recall(), 0.5);
+}
+
+TEST(IntegrationTest, ClusterStatsRespectLemma1) {
+  TraffickingGenOptions o;
+  o.num_benign = 80;
+  o.num_spam_clusters = 2;
+  o.spam_cluster_size_min = 10;
+  o.spam_cluster_size_max = 20;
+  o.num_ht_clusters = 6;
+  TraffickingGenerator gen(o);
+  LabeledAds data = gen.Generate(31);
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+  ASSERT_GT(r.cluster_stats.size(), 0u);
+  for (const ClusterStats& s : r.cluster_stats) {
+    EXPECT_LE(s.cost_after, s.cost_before);
+    if (s.num_templates > 0) {
+      // Relative length may never beat the Lemma 1 lower bound.
+      EXPECT_GE(s.relative_length, s.lower_bound * 0.999)
+          << "cluster " << s.coarse_cluster_index << " t="
+          << s.num_templates << " n=" << s.num_docs;
+    }
+  }
+}
+
+TEST(IntegrationTest, DocTemplateMappingMatchesMembership) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 10;
+  o.num_bot_accounts = 5;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(555);
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+  for (size_t t = 0; t < r.templates.size(); ++t) {
+    for (DocId d : r.templates[t].members) {
+      EXPECT_EQ(r.doc_template[d], static_cast<int64_t>(t));
+    }
+  }
+  // Every suspicious doc belongs to exactly the template it maps to.
+  size_t total_members = 0;
+  for (const TemplateCluster& tc : r.templates) {
+    total_members += tc.members.size();
+  }
+  EXPECT_EQ(total_members, r.num_suspicious());
+}
+
+TEST(IntegrationTest, TimingBreakdownPopulated) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 5;
+  o.num_bot_accounts = 3;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(8);
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+  EXPECT_GE(r.coarse_seconds, 0.0);
+  EXPECT_GE(r.fine_seconds, 0.0);
+}
+
+TEST(IntegrationTest, EmptyCorpus) {
+  Corpus c;
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(c);
+  EXPECT_TRUE(r.templates.empty());
+  EXPECT_EQ(r.num_suspicious(), 0u);
+}
+
+TEST(IntegrationTest, ThreadCountDoesNotChangeResults) {
+  TwitterGenOptions o;
+  o.num_genuine_accounts = 15;
+  o.num_bot_accounts = 10;
+  TwitterGenerator gen(o);
+  LabeledTweets data = gen.Generate(2024);
+
+  InfoShieldOptions sequential;
+  sequential.num_threads = 1;
+  InfoShieldOptions parallel;
+  parallel.num_threads = 4;
+  InfoShieldResult r1 = InfoShield(sequential).Run(data.corpus);
+  InfoShieldResult r2 = InfoShield(parallel).Run(data.corpus);
+
+  EXPECT_EQ(r1.doc_template, r2.doc_template);
+  ASSERT_EQ(r1.templates.size(), r2.templates.size());
+  for (size_t t = 0; t < r1.templates.size(); ++t) {
+    EXPECT_EQ(r1.templates[t].tmpl.tokens, r2.templates[t].tmpl.tokens);
+    EXPECT_EQ(r1.templates[t].tmpl.slot_at_gap,
+              r2.templates[t].tmpl.slot_at_gap);
+    EXPECT_EQ(r1.templates[t].members, r2.templates[t].members);
+  }
+}
+
+TEST(IntegrationTest, MultilingualClustersFound) {
+  // Spanish near-duplicates among English noise: InfoShield must cluster
+  // the Spanish campaign without language-specific handling (paper
+  // Table IX / §V-F Advantage 1).
+  Corpus c;
+  c.Add("sismo magnitud 4 richter 23 km al sureste de puerto escondido");
+  c.Add("sismo magnitud 4 richter 25 km al sureste de puerto escondido");
+  c.Add("sismo magnitud 5 richter 23 km al sureste de puerto escondido");
+  c.Add("the weather is lovely today in the northern mountain valleys");
+  c.Add("stock markets closed higher after strong earnings this quarter");
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(c);
+  ASSERT_EQ(r.templates.size(), 1u);
+  EXPECT_EQ(r.templates[0].members, (std::vector<DocId>{0, 1, 2}));
+  EXPECT_EQ(r.doc_template[3], -1);
+  EXPECT_EQ(r.doc_template[4], -1);
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,107 @@
+#include "io/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter w;
+  w.BeginObject().EndObject();
+  EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(JsonWriterTest, KeyValuePairs) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("name")
+      .String("infoshield")
+      .Key("count")
+      .Int(42)
+      .Key("ratio")
+      .Double(0.5)
+      .Key("on")
+      .Bool(true)
+      .Key("missing")
+      .Null()
+      .EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"infoshield\",\"count\":42,\"ratio\":0.5,"
+            "\"on\":true,\"missing\":null}");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter w;
+  w.BeginObject()
+      .Key("list")
+      .BeginArray()
+      .Int(1)
+      .Int(2)
+      .BeginObject()
+      .Key("x")
+      .Int(3)
+      .EndObject()
+      .EndArray()
+      .EndObject();
+  EXPECT_EQ(w.str(), "{\"list\":[1,2,{\"x\":3}]}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(EscapeJsonString("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(EscapeJsonString(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray().Double(1.0 / 0.0).EndArray();
+  EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonWriterDeathTest, ValueWithoutKeyInObjectDies) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginObject().Int(1);
+      },
+      "Check failed");
+}
+
+TEST(JsonWriterDeathTest, KeyOutsideObjectDies) {
+  EXPECT_DEATH(
+      {
+        JsonWriter w;
+        w.BeginArray().Key("x");
+      },
+      "Check failed");
+}
+
+TEST(ResultToJsonTest, SerializesToyRun) {
+  Corpus c;
+  c.Add("buy cheap watches now great deal online store very cheap");
+  c.Add("buy cheap watches now great deal online store very cheap");
+  c.Add("buy cheap watches now great deal online store very cheap");
+  c.Add("totally unrelated words elsewhere entirely different");
+  // Realistic vocabulary so the MDL trade-off favors a template.
+  for (int i = 0; i < 20; ++i) {
+    std::string filler;
+    for (int j = 0; j < 10; ++j) {
+      filler += "pad" + std::to_string(i * 10 + j) + " ";
+    }
+    c.Add(filler);
+  }
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(c);
+  std::string json = ResultToJson(r, c);
+  EXPECT_NE(json.find("\"num_documents\":24"), std::string::npos);
+  EXPECT_NE(json.find("\"templates\":["), std::string::npos);
+  EXPECT_NE(json.find("buy cheap watches"), std::string::npos);
+  // Balanced braces as a cheap well-formedness smoke check.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+}  // namespace
+}  // namespace infoshield

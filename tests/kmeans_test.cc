@@ -1,0 +1,103 @@
+#include "baselines/kmeans.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+TEST(KmeansTest, SeparatesObviousClusters) {
+  std::vector<Vec> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back({10.0f + i * 0.01f, 0.0f});
+    pts.push_back({-10.0f - i * 0.01f, 0.0f});
+  }
+  KmeansOptions opts;
+  opts.k = 2;
+  KmeansResult r = Kmeans(pts, opts, 7);
+  ASSERT_EQ(r.labels.size(), pts.size());
+  // Even indices in one cluster, odd in the other.
+  for (size_t i = 2; i < pts.size(); i += 2) {
+    EXPECT_EQ(r.labels[i], r.labels[0]);
+    EXPECT_EQ(r.labels[i + 1], r.labels[1]);
+  }
+  EXPECT_NE(r.labels[0], r.labels[1]);
+}
+
+TEST(KmeansTest, InertiaIsLowForTightClusters) {
+  std::vector<Vec> pts;
+  for (int i = 0; i < 20; ++i) pts.push_back({1.0f, 1.0f});
+  KmeansOptions opts;
+  opts.k = 1;
+  KmeansResult r = Kmeans(pts, opts, 3);
+  EXPECT_NEAR(r.inertia, 0.0, 1e-9);
+  EXPECT_NEAR(r.centroids[0][0], 1.0f, 1e-6);
+}
+
+TEST(KmeansTest, KLargerThanNClamps) {
+  std::vector<Vec> pts = {{0, 0}, {1, 1}};
+  KmeansOptions opts;
+  opts.k = 10;
+  KmeansResult r = Kmeans(pts, opts, 5);
+  EXPECT_LE(r.centroids.size(), 2u);
+}
+
+TEST(KmeansTest, EmptyInput) {
+  KmeansResult r = Kmeans({}, KmeansOptions{}, 1);
+  EXPECT_TRUE(r.labels.empty());
+  EXPECT_TRUE(r.centroids.empty());
+}
+
+TEST(KmeansTest, DeterministicForFixedSeed) {
+  Rng rng(11);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back({static_cast<float>(rng.NextGaussian()),
+                   static_cast<float>(rng.NextGaussian())});
+  }
+  KmeansOptions opts;
+  opts.k = 4;
+  KmeansResult a = Kmeans(pts, opts, 99);
+  KmeansResult b = Kmeans(pts, opts, 99);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.inertia, b.inertia);
+}
+
+TEST(KmeansTest, AllLabelsWithinRange) {
+  Rng rng(13);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 30; ++i) {
+    pts.push_back({static_cast<float>(rng.NextGaussian()),
+                   static_cast<float>(rng.NextGaussian()),
+                   static_cast<float>(rng.NextGaussian())});
+  }
+  KmeansOptions opts;
+  opts.k = 5;
+  KmeansResult r = Kmeans(pts, opts, 17);
+  for (int64_t l : r.labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 5);
+  }
+}
+
+TEST(KmeansTest, MoreClustersNeverWorseInertia) {
+  Rng rng(19);
+  std::vector<Vec> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back({static_cast<float>(rng.NextGaussian() * 3),
+                   static_cast<float>(rng.NextGaussian() * 3)});
+  }
+  KmeansOptions k2;
+  k2.k = 2;
+  KmeansOptions k8;
+  k8.k = 8;
+  // k-means++ with more centroids should (all but pathologically) fit
+  // tighter; allow a generous margin for local optima.
+  EXPECT_LE(Kmeans(pts, k8, 23).inertia, Kmeans(pts, k2, 23).inertia * 1.2);
+}
+
+}  // namespace
+}  // namespace infoshield

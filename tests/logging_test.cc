@@ -1,0 +1,40 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(LoggingTest, ChecksPassOnTrueCondition) {
+  CHECK(true) << "never printed";
+  CHECK_EQ(1, 1);
+  CHECK_NE(1, 2);
+  CHECK_LT(1, 2);
+  CHECK_LE(2, 2);
+  CHECK_GT(3, 2);
+  CHECK_GE(3, 3);
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, CheckEqPrintsValues) {
+  EXPECT_DEATH({ CHECK_EQ(2 + 2, 5); }, "4 vs. 5");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH({ LOG(FATAL) << "fatal path"; }, "fatal path");
+}
+
+TEST(LoggingTest, SeverityFilterRoundTrips) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  LOG(INFO) << "suppressed";
+  SetMinLogSeverity(original);
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,160 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(BinaryMetricsTest, PerfectPrediction) {
+  std::vector<bool> truth = {true, false, true, false};
+  BinaryMetrics m = ComputeBinaryMetrics(truth, truth);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(BinaryMetricsTest, CountsCells) {
+  std::vector<bool> pred = {true, true, false, false, true};
+  std::vector<bool> truth = {true, false, true, false, true};
+  BinaryMetrics m = ComputeBinaryMetrics(pred, truth);
+  EXPECT_EQ(m.true_positives, 2u);
+  EXPECT_EQ(m.false_positives, 1u);
+  EXPECT_EQ(m.false_negatives, 1u);
+  EXPECT_EQ(m.true_negatives, 1u);
+  EXPECT_DOUBLE_EQ(m.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 2.0 / 3.0);
+}
+
+TEST(BinaryMetricsTest, DegenerateDenominators) {
+  // No positives predicted and none actual.
+  std::vector<bool> none = {false, false};
+  BinaryMetrics m = ComputeBinaryMetrics(none, none);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(m.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 1.0);
+}
+
+TEST(BinaryMetricsTest, HighPrecisionLowRecall) {
+  // Predict one of four positives.
+  std::vector<bool> pred = {true, false, false, false};
+  std::vector<bool> truth = {true, true, true, true};
+  BinaryMetrics m = ComputeBinaryMetrics(pred, truth);
+  EXPECT_DOUBLE_EQ(m.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.25);
+}
+
+TEST(AriTest, IdenticalPartitionsScoreOne) {
+  std::vector<int64_t> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(labels, labels), 1.0);
+}
+
+TEST(AriTest, RelabelingInvariant) {
+  std::vector<int64_t> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int64_t> b = {7, 7, 3, 3, 9, 9};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), 1.0);
+}
+
+TEST(AriTest, KnownValue) {
+  // Classic example: [0,0,1,1] vs [0,0,0,1].
+  std::vector<int64_t> a = {0, 0, 1, 1};
+  std::vector<int64_t> b = {0, 0, 0, 1};
+  // Contingency: n_00=2, n_10=1, n_11=1. sum_ij=1; sum_a=2; sum_b=3+0=3;
+  // total=6; expected=1; max=2.5; ARI = (1-1)/(2.5-1) = 0.
+  EXPECT_NEAR(AdjustedRandIndex(a, b), 0.0, 1e-12);
+}
+
+TEST(AriTest, OppositePartitionIsNonPositive) {
+  std::vector<int64_t> a = {0, 0, 0, 1, 1, 1};
+  std::vector<int64_t> b = {0, 1, 2, 0, 1, 2};
+  EXPECT_LE(AdjustedRandIndex(a, b), 0.0);
+}
+
+TEST(AriTest, NoiseExpandsToSingletons) {
+  // All -1 on both sides: every item its own cluster on both sides ->
+  // identical partitions -> ARI 1.
+  std::vector<int64_t> noise = {-1, -1, -1};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(noise, noise), 1.0);
+}
+
+TEST(AriTest, ClusteringNoiseHurtsScore) {
+  // Truth: all distinct. Prediction: everything in one cluster.
+  std::vector<int64_t> truth = {-1, -1, -1, -1};
+  std::vector<int64_t> pred = {0, 0, 0, 0};
+  EXPECT_LE(AdjustedRandIndex(truth, pred), 0.0);
+}
+
+TEST(AriTest, PartialAgreement) {
+  std::vector<int64_t> truth = {0, 0, 0, 1, 1, 1, -1, -1};
+  std::vector<int64_t> good = {5, 5, 5, 9, 9, 9, -1, -1};
+  std::vector<int64_t> worse = {5, 5, 9, 9, 9, 9, 5, -1};
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(truth, good), 1.0);
+  EXPECT_LT(AdjustedRandIndex(truth, worse),
+            AdjustedRandIndex(truth, good));
+}
+
+TEST(AriTest, EmptyInput) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex({}, {}), 1.0);
+}
+
+TEST(AriDeathTest, SizeMismatchDies) {
+  std::vector<int64_t> a = {0};
+  std::vector<int64_t> b = {0, 1};
+  EXPECT_DEATH(AdjustedRandIndex(a, b), "Check failed");
+}
+
+TEST(AgreementTest, PerfectAgreementIsAllOnes) {
+  std::vector<int64_t> labels = {0, 0, 1, 1, 2, 2};
+  ClusteringAgreement ca = ComputeClusteringAgreement(labels, labels);
+  EXPECT_DOUBLE_EQ(ca.homogeneity, 1.0);
+  EXPECT_DOUBLE_EQ(ca.completeness, 1.0);
+  EXPECT_DOUBLE_EQ(ca.v_measure, 1.0);
+  EXPECT_DOUBLE_EQ(ca.nmi, 1.0);
+}
+
+TEST(AgreementTest, RelabelingInvariant) {
+  std::vector<int64_t> a = {0, 0, 1, 1};
+  std::vector<int64_t> b = {9, 9, 4, 4};
+  ClusteringAgreement ca = ComputeClusteringAgreement(a, b);
+  EXPECT_NEAR(ca.v_measure, 1.0, 1e-12);
+  EXPECT_NEAR(ca.nmi, 1.0, 1e-12);
+}
+
+TEST(AgreementTest, OverSplittingHurtsCompletenessNotHomogeneity) {
+  // Prediction splits each true class in two: every predicted cluster is
+  // pure (homogeneity 1) but classes are scattered (completeness < 1).
+  std::vector<int64_t> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  std::vector<int64_t> pred = {0, 0, 1, 1, 2, 2, 3, 3};
+  ClusteringAgreement ca = ComputeClusteringAgreement(truth, pred);
+  EXPECT_NEAR(ca.homogeneity, 1.0, 1e-12);
+  EXPECT_LT(ca.completeness, 1.0);
+  EXPECT_LT(ca.v_measure, 1.0);
+}
+
+TEST(AgreementTest, OverMergingHurtsHomogeneityNotCompleteness) {
+  std::vector<int64_t> truth = {0, 0, 1, 1, 2, 2};
+  std::vector<int64_t> pred = {0, 0, 0, 0, 0, 0};
+  ClusteringAgreement ca = ComputeClusteringAgreement(truth, pred);
+  EXPECT_LT(ca.homogeneity, 1.0);
+  EXPECT_NEAR(ca.completeness, 1.0, 1e-12);
+}
+
+TEST(AgreementTest, BoundsHold) {
+  std::vector<int64_t> truth = {0, 0, 1, 1, 2, -1, -1, 3};
+  std::vector<int64_t> pred = {1, 1, 1, 0, -1, -1, 2, 2};
+  ClusteringAgreement ca = ComputeClusteringAgreement(truth, pred);
+  for (double v : {ca.homogeneity, ca.completeness, ca.v_measure, ca.nmi}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(AgreementTest, EmptyInput) {
+  ClusteringAgreement ca = ComputeClusteringAgreement({}, {});
+  EXPECT_DOUBLE_EQ(ca.v_measure, 1.0);
+}
+
+}  // namespace
+}  // namespace infoshield

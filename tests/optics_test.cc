@@ -1,0 +1,103 @@
+#include "baselines/optics.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+std::vector<Vec> TwoBlobsAndOutlier(Rng& rng) {
+  std::vector<Vec> pts;
+  auto add_blob = [&](Vec base, size_t count) {
+    for (size_t i = 0; i < count; ++i) {
+      Vec v = base;
+      for (float& x : v) {
+        x += 0.01f * static_cast<float>(rng.NextGaussian());
+      }
+      L2Normalize(v);
+      pts.push_back(std::move(v));
+    }
+  };
+  add_blob({1, 0, 0}, 8);
+  add_blob({0, 1, 0}, 8);
+  pts.push_back({0, 0, 1});  // outlier
+  return pts;
+}
+
+TEST(OpticsTest, OrderingCoversAllPoints) {
+  Rng rng(1);
+  std::vector<Vec> pts = TwoBlobsAndOutlier(rng);
+  OpticsResult r = Optics(pts, OpticsOptions{});
+  EXPECT_EQ(r.ordering.size(), pts.size());
+  std::unordered_set<uint32_t> seen(r.ordering.begin(), r.ordering.end());
+  EXPECT_EQ(seen.size(), pts.size());
+}
+
+TEST(OpticsTest, DbscanExtractionSeparatesBlobs) {
+  Rng rng(2);
+  std::vector<Vec> pts = TwoBlobsAndOutlier(rng);
+  OpticsResult r = Optics(pts, OpticsOptions{});
+  std::vector<int64_t> labels = r.ExtractDbscan(0.05);
+  std::unordered_set<int64_t> a(labels.begin(), labels.begin() + 8);
+  std::unordered_set<int64_t> b(labels.begin() + 8, labels.begin() + 16);
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_NE(*a.begin(), *b.begin());
+  EXPECT_GE(*a.begin(), 0);
+  EXPECT_EQ(labels[16], -1);  // outlier is noise
+}
+
+TEST(OpticsTest, CorePointsHaveCoreDistance) {
+  Rng rng(3);
+  std::vector<Vec> pts = TwoBlobsAndOutlier(rng);
+  OpticsOptions opts;
+  opts.min_pts = 3;
+  OpticsResult r = Optics(pts, opts);
+  // Blob members are core points (within max_eps of >= 3 points).
+  for (size_t i = 0; i < 16; ++i) {
+    EXPECT_NE(r.core_distance[i], OpticsResult::kUndefinedReachability);
+    EXPECT_GE(r.core_distance[i], 0.0);
+  }
+}
+
+TEST(OpticsTest, ReachabilityLowInsideBlobs) {
+  Rng rng(4);
+  std::vector<Vec> pts = TwoBlobsAndOutlier(rng);
+  OpticsResult r = Optics(pts, OpticsOptions{});
+  // Points reached after the first of their blob have small reachability.
+  size_t small_reach = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (r.reachability[i] != OpticsResult::kUndefinedReachability &&
+        r.reachability[i] < 0.05) {
+      ++small_reach;
+    }
+  }
+  EXPECT_GE(small_reach, 14u);  // all blob members except the two seeds
+}
+
+TEST(OpticsTest, EmptyInput) {
+  OpticsResult r = Optics({}, OpticsOptions{});
+  EXPECT_TRUE(r.ordering.empty());
+  EXPECT_TRUE(r.ExtractDbscan(0.1).empty());
+}
+
+TEST(OpticsTest, TighterCutYieldsMoreNoise) {
+  Rng rng(5);
+  std::vector<Vec> pts = TwoBlobsAndOutlier(rng);
+  OpticsResult r = Optics(pts, OpticsOptions{});
+  auto count_noise = [](const std::vector<int64_t>& labels) {
+    size_t noise = 0;
+    for (int64_t l : labels) {
+      if (l == -1) ++noise;
+    }
+    return noise;
+  };
+  EXPECT_GE(count_noise(r.ExtractDbscan(1e-6)),
+            count_noise(r.ExtractDbscan(0.5)));
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,123 @@
+#include "msa/pairwise.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+using Tokens = std::vector<TokenId>;
+
+TEST(NeedlemanWunschTest, IdenticalSequencesAllMatch) {
+  Tokens a = {1, 2, 3, 4};
+  Alignment al = NeedlemanWunsch(a, a);
+  EXPECT_EQ(al.length(), 4u);
+  EXPECT_EQ(al.matches(), 4u);
+  EXPECT_EQ(al.unmatched(), 0u);
+}
+
+TEST(NeedlemanWunschTest, SingleSubstitution) {
+  Alignment al = NeedlemanWunsch({1, 2, 3}, {1, 9, 3});
+  EXPECT_EQ(al.matches(), 2u);
+  EXPECT_EQ(al.substitutions(), 1u);
+  EXPECT_EQ(al.length(), 3u);
+}
+
+TEST(NeedlemanWunschTest, InsertionAndDeletion) {
+  // b has an extra token -> one insertion.
+  Alignment ins = NeedlemanWunsch({1, 2}, {1, 5, 2});
+  EXPECT_EQ(ins.insertions(), 1u);
+  EXPECT_EQ(ins.matches(), 2u);
+  // b is missing a token -> one deletion.
+  Alignment del = NeedlemanWunsch({1, 5, 2}, {1, 2});
+  EXPECT_EQ(del.deletions(), 1u);
+  EXPECT_EQ(del.matches(), 2u);
+}
+
+TEST(NeedlemanWunschTest, EmptySequences) {
+  Alignment both = NeedlemanWunsch({}, {});
+  EXPECT_EQ(both.length(), 0u);
+  Alignment left = NeedlemanWunsch({1, 2}, {});
+  EXPECT_EQ(left.deletions(), 2u);
+  Alignment right = NeedlemanWunsch({}, {1, 2});
+  EXPECT_EQ(right.insertions(), 2u);
+}
+
+TEST(NeedlemanWunschTest, CompletelyDifferent) {
+  Alignment al = NeedlemanWunsch({1, 2, 3}, {4, 5, 6});
+  EXPECT_EQ(al.matches(), 0u);
+  // With match=1/mismatch=-1/gap=-1, substitutions and ins+del pairs tie
+  // at the same score; either way all columns are unmatched.
+  EXPECT_EQ(al.unmatched(), al.length());
+}
+
+TEST(NeedlemanWunschTest, ConsistencyCheckerAcceptsTruth) {
+  Tokens a = {1, 2, 3, 4, 5};
+  Tokens b = {1, 3, 4, 9, 5};
+  Alignment al = NeedlemanWunsch(a, b);
+  EXPECT_TRUE(AlignmentIsConsistent(al, a, b));
+}
+
+TEST(NeedlemanWunschTest, ConsistencyCheckerRejectsWrongPair) {
+  Tokens a = {1, 2, 3};
+  Tokens b = {1, 2, 4};
+  Alignment al = NeedlemanWunsch(a, b);
+  EXPECT_FALSE(AlignmentIsConsistent(al, a, a));
+  EXPECT_FALSE(AlignmentIsConsistent(al, b, b));
+}
+
+TEST(NeedlemanWunschTest, PaperDoc4Example) {
+  // Template: "this is a great X and the Y dollar price is great"
+  // Doc4:     "this is great blue pen and the 3 dollar price is so good"
+  // The paper (§III-A) describes doc4 as one deletion (a), insertions,
+  // and a substitution (great -> good). Verify the alignment is
+  // consistent and the edit structure is in that ballpark.
+  Vocabulary v;
+  auto intern_all = [&v](std::initializer_list<const char*> words) {
+    Tokens out;
+    for (const char* w : words) out.push_back(v.Intern(w));
+    return out;
+  };
+  Tokens tmpl = intern_all({"this", "is", "a", "great", "soap", "and",
+                            "the", "5", "dollar", "price", "is", "great"});
+  Tokens doc4 = intern_all({"this", "is", "great", "blue", "pen", "and",
+                            "the", "3", "dollar", "price", "is", "so",
+                            "good"});
+  Alignment al = NeedlemanWunsch(tmpl, doc4);
+  EXPECT_TRUE(AlignmentIsConsistent(al, tmpl, doc4));
+  EXPECT_GE(al.matches(), 8u);  // the shared backbone
+}
+
+// Property test over random sequences: reconstruction always holds and
+// the column count never exceeds |a| + |b|.
+class PairwisePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairwisePropertyTest, RandomPairsReconstruct) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    Tokens a;
+    Tokens b;
+    const size_t la = rng.NextIndex(20);
+    const size_t lb = rng.NextIndex(20);
+    for (size_t i = 0; i < la; ++i) {
+      a.push_back(static_cast<TokenId>(rng.NextIndex(8)));
+    }
+    for (size_t i = 0; i < lb; ++i) {
+      b.push_back(static_cast<TokenId>(rng.NextIndex(8)));
+    }
+    Alignment al = NeedlemanWunsch(a, b);
+    EXPECT_TRUE(AlignmentIsConsistent(al, a, b));
+    EXPECT_LE(al.length(), a.size() + b.size());
+    EXPECT_GE(al.length(), std::max(a.size(), b.size()));
+    EXPECT_EQ(al.matches() + al.substitutions() + al.insertions() +
+                  al.deletions(),
+              al.length());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairwisePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 17, 99, 1234));
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,151 @@
+#include "msa/poa.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace infoshield {
+namespace {
+
+using Tokens = std::vector<TokenId>;
+
+TEST(PoaTest, SingleSequenceIsItsOwnConsensus) {
+  Tokens seq = {1, 2, 3, 4};
+  PoaGraph g(seq);
+  EXPECT_EQ(g.num_sequences(), 1u);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.ConsensusAtThreshold(0), seq);
+  EXPECT_TRUE(g.ConsensusAtThreshold(1).empty());
+}
+
+TEST(PoaTest, IdenticalSequencesFuseCompletely) {
+  Tokens seq = {5, 6, 7};
+  PoaGraph g(seq);
+  g.AddSequence(seq);
+  g.AddSequence(seq);
+  EXPECT_EQ(g.num_sequences(), 3u);
+  EXPECT_EQ(g.node_count(), 3u);  // full fusion, no new nodes
+  EXPECT_EQ(g.max_support(), 3u);
+  EXPECT_EQ(g.ConsensusAtThreshold(2), seq);
+}
+
+TEST(PoaTest, SubstitutionCreatesBranch) {
+  PoaGraph g({1, 2, 3});
+  g.AddSequence({1, 9, 3});
+  EXPECT_EQ(g.node_count(), 4u);  // 1,2,3 + branch node 9
+  // Shared tokens have support 2; the variant tokens support 1.
+  Tokens consensus = g.ConsensusAtThreshold(1);
+  EXPECT_EQ(consensus, (Tokens{1, 3}));
+}
+
+TEST(PoaTest, InsertionAddsNode) {
+  PoaGraph g({1, 2});
+  g.AddSequence({1, 7, 2});
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.ConsensusAtThreshold(1), (Tokens{1, 2}));
+  EXPECT_EQ(g.ConsensusAtThreshold(0), (Tokens{1, 7, 2}));
+}
+
+TEST(PoaTest, DeletionKeepsSupportLow) {
+  PoaGraph g({1, 2, 3});
+  g.AddSequence({1, 3});
+  // Node 2 only supported by the first sequence.
+  EXPECT_EQ(g.ConsensusAtThreshold(1), (Tokens{1, 3}));
+}
+
+TEST(PoaTest, MajorityConsensusEmerges) {
+  // Template "a b c d" posted 3 times with one divergent document.
+  PoaGraph g({10, 20, 30, 40});
+  g.AddSequence({10, 20, 30, 40});
+  g.AddSequence({10, 20, 99, 30, 40});
+  g.AddSequence({77, 88});
+  EXPECT_EQ(g.ConsensusAtThreshold(2), (Tokens{10, 20, 30, 40}));
+}
+
+TEST(PoaTest, EmptyFirstSequence) {
+  PoaGraph g(Tokens{});
+  EXPECT_EQ(g.node_count(), 0u);
+  g.AddSequence({1, 2});
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.ConsensusAtThreshold(0), (Tokens{1, 2}));
+}
+
+TEST(PoaTest, EmptyLaterSequence) {
+  PoaGraph g({1, 2});
+  g.AddSequence({});
+  EXPECT_EQ(g.num_sequences(), 2u);
+  EXPECT_EQ(g.node_count(), 2u);
+}
+
+TEST(PoaTest, SupportNeverExceedsSequenceCount) {
+  PoaGraph g({1, 2, 3});
+  for (int i = 0; i < 5; ++i) g.AddSequence({1, 2, 3});
+  EXPECT_EQ(g.max_support(), 6u);
+  for (uint32_t s : g.SupportByTopoOrder()) {
+    EXPECT_LE(s, g.num_sequences());
+  }
+}
+
+TEST(PoaTest, ConsensusMonotoneInThreshold) {
+  PoaGraph g({1, 2, 3, 4, 5});
+  g.AddSequence({1, 2, 9, 4, 5});
+  g.AddSequence({1, 2, 4, 5});
+  size_t prev = g.ConsensusAtThreshold(0).size();
+  for (size_t h = 1; h <= g.num_sequences(); ++h) {
+    size_t cur = g.ConsensusAtThreshold(h).size();
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+}
+
+// Property test: fusing random near-duplicates never breaks the DAG
+// invariants (RecomputeTopoOrder CHECKs acyclicity internally) and the
+// consensus at the max threshold is the intersection-ish backbone.
+class PoaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PoaPropertyTest, RandomNearDuplicatesKeepInvariants) {
+  Rng rng(GetParam());
+  Tokens base;
+  const size_t len = 8 + rng.NextIndex(10);
+  for (size_t i = 0; i < len; ++i) {
+    base.push_back(static_cast<TokenId>(100 + i));
+  }
+  PoaGraph g(base);
+  const size_t num_seqs = 3 + rng.NextIndex(6);
+  for (size_t s = 0; s < num_seqs; ++s) {
+    Tokens variant;
+    for (TokenId t : base) {
+      double r = rng.NextDouble();
+      if (r < 0.05) continue;  // delete
+      if (r < 0.10) {
+        variant.push_back(static_cast<TokenId>(rng.NextIndex(50)));  // sub
+      } else if (r < 0.15) {
+        variant.push_back(static_cast<TokenId>(rng.NextIndex(50)));
+        variant.push_back(t);  // insert
+      } else {
+        variant.push_back(t);
+      }
+    }
+    g.AddSequence(variant);
+  }
+  EXPECT_EQ(g.num_sequences(), num_seqs + 1);
+  // Threshold 0 keeps every node; thresholds weakly shrink the consensus.
+  size_t prev = g.ConsensusAtThreshold(0).size();
+  EXPECT_EQ(prev, g.node_count());
+  for (size_t h = 1; h <= g.num_sequences(); ++h) {
+    size_t cur = g.ConsensusAtThreshold(h).size();
+    EXPECT_LE(cur, prev);
+    prev = cur;
+  }
+  // Supports are within bounds.
+  for (uint32_t s : g.SupportByTopoOrder()) {
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, g.num_sequences());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoaPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,178 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (a.NextUint64() != b.NextUint64()) ++differing;
+  }
+  EXPECT_GT(differing, 15);
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Rng rng(9);
+  std::vector<int> seen(8, 0);
+  for (int i = 0; i < 4000; ++i) {
+    ++seen[rng.NextBounded(8)];
+  }
+  for (int count : seen) EXPECT_GT(count, 300);  // ~500 expected
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliApproximatesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  const int n = 20000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIndependentOfConsumption) {
+  Rng a(31);
+  Rng b(31);
+  // Consume from a only.
+  for (int i = 0; i < 10; ++i) a.NextUint64();
+  Rng fa = a.Fork(5);
+  Rng fb = b.Fork(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fa.NextUint64(), fb.NextUint64());
+  }
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng a(37);
+  Rng f1 = a.Fork(1);
+  Rng f2 = a.Fork(2);
+  EXPECT_NE(f1.NextUint64(), f2.NextUint64());
+}
+
+TEST(ZipfTest, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(41);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(zipf.Sample(rng), 0u);
+}
+
+TEST(ZipfTest, StaysInRange) {
+  ZipfSampler zipf(100, 1.1);
+  Rng rng(43);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.Sample(rng), 100u);
+  }
+}
+
+TEST(ZipfTest, RankZeroIsMostFrequent) {
+  ZipfSampler zipf(50, 1.0);
+  Rng rng(47);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.Sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], counts[49] * 5);
+}
+
+TEST(ZipfTest, FrequencyRatioRoughlyZipfian) {
+  // For s=1, P(rank 0)/P(rank 1) should be ~2.
+  ZipfSampler zipf(1000, 1.0);
+  Rng rng(53);
+  int c0 = 0;
+  int c1 = 0;
+  for (int i = 0; i < 200000; ++i) {
+    size_t r = zipf.Sample(rng);
+    if (r == 0) ++c0;
+    if (r == 1) ++c1;
+  }
+  EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.3);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  uint64_t s1 = 0;
+  uint64_t s2 = 0;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace infoshield

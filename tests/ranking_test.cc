@@ -1,0 +1,128 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+// Corpus with a strong (exact-duplicate) campaign and a weaker (noisy)
+// one, plus vocabulary padding.
+struct Fixture {
+  Corpus corpus;
+  InfoShieldResult result;
+  CostModel cm = CostModel(1.0);  // replaced in Make()
+};
+
+Fixture Make() {
+  Fixture f;
+  for (int i = 0; i < 8; ++i) {
+    f.corpus.Add("strong campaign exact duplicate message repeated all day");
+  }
+  f.corpus.Add("weak campaign message with light variation alpha beta here");
+  f.corpus.Add("weak campaign message with light variation gamma delta now");
+  f.corpus.Add("weak campaign message with some variation epsilon zeta too");
+  std::string filler;
+  for (int i = 0; i < 300; ++i) {
+    filler += "pad" + std::to_string(i) + " ";
+    if (filler.size() > 200) {
+      f.corpus.Add(filler);
+      filler.clear();
+    }
+  }
+  if (!filler.empty()) f.corpus.Add(filler);
+  InfoShield shield;
+  f.result = shield.Run(f.corpus);
+  f.cm = CostModel::ForVocabulary(f.corpus.vocab());
+  return f;
+}
+
+TEST(RankingTest, StrongDuplicationRanksFirst) {
+  Fixture f = Make();
+  ASSERT_GE(f.result.templates.size(), 2u);
+  std::vector<RankedTemplate> ranked =
+      RankTemplates(f.result, f.corpus, f.cm);
+  ASSERT_EQ(ranked.size(), f.result.templates.size());
+  // Ranked ascending by slack.
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].slack, ranked[i].slack);
+  }
+  // The 8-duplicate campaign ranks above the noisy 3-doc one.
+  const TemplateCluster& top =
+      f.result.templates[ranked[0].template_index];
+  EXPECT_EQ(top.members.size(), 8u);
+}
+
+TEST(RankingTest, RelativeLengthRespectsBound) {
+  Fixture f = Make();
+  for (const RankedTemplate& r : RankTemplates(f.result, f.corpus, f.cm)) {
+    EXPECT_GE(r.relative_length, r.lower_bound * 0.999);
+    EXPECT_LE(r.relative_length, 1.5);  // sanity
+    EXPECT_GE(r.slack, -1e-9);
+  }
+}
+
+TEST(RankingTest, EmptyResult) {
+  Corpus c;
+  c.Add("single doc");
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(c);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  EXPECT_TRUE(RankTemplates(r, c, cm).empty());
+}
+
+TEST(AnomalyTest, CompressionRatiosParallelMembers) {
+  Fixture f = Make();
+  for (const TemplateCluster& tc : f.result.templates) {
+    std::vector<double> ratios =
+        MemberCompressionRatios(tc, f.corpus, f.cm);
+    ASSERT_EQ(ratios.size(), tc.members.size());
+    for (double r : ratios) {
+      EXPECT_GT(r, 0.0);
+      EXPECT_LT(r, 1.5);
+    }
+  }
+}
+
+TEST(AnomalyTest, DivergentMemberFlagged) {
+  // A cluster of near-exact duplicates plus one heavily edited member:
+  // §V-D1 — the divergent document has a worse compression rate.
+  Corpus c;
+  std::vector<DocId> cluster;
+  for (int i = 0; i < 6; ++i) {
+    cluster.push_back(c.Add(
+        "campaign text here same every time word for word always exact"));
+  }
+  cluster.push_back(c.Add(
+      "campaign text here same every time word for word plus rambling "
+      "extras appended"));
+  std::string filler;
+  for (int i = 0; i < 300; ++i) {
+    filler += "pad" + std::to_string(i) + " ";
+    if (filler.size() > 200) {
+      c.Add(filler);
+      filler.clear();
+    }
+  }
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineClustering fine;
+  FineResult fr = fine.RunOnCluster(c, cluster, cm);
+  ASSERT_EQ(fr.templates.size(), 1u);
+  ASSERT_EQ(fr.templates[0].members.size(), 7u);
+  std::vector<size_t> flagged =
+      FlagAnomalousMembers(fr.templates[0], c, cm);
+  ASSERT_EQ(flagged.size(), 1u);
+  // The flagged member is the divergent 7th document.
+  EXPECT_EQ(fr.templates[0].members[flagged[0]], cluster.back());
+}
+
+TEST(AnomalyTest, UniformClusterFlagsNothing) {
+  Fixture f = Make();
+  for (const TemplateCluster& tc : f.result.templates) {
+    if (tc.members.size() == 8) {  // the exact-duplicate campaign
+      EXPECT_TRUE(FlagAnomalousMembers(tc, f.corpus, f.cm).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace infoshield

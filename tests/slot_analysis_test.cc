@@ -1,0 +1,102 @@
+#include "core/slot_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/infoshield.h"
+
+namespace infoshield {
+namespace {
+
+using internal::ClassifyFills;
+
+TEST(ClassifyFillsTest, EmptyIsEmpty) {
+  EXPECT_EQ(ClassifyFills({}), SlotContentKind::kEmpty);
+}
+
+TEST(ClassifyFillsTest, PhoneNumbers) {
+  EXPECT_EQ(ClassifyFills({"5551234567", "5559876543"}),
+            SlotContentKind::kPhone);
+  EXPECT_EQ(ClassifyFills({"call 5551234567", "5550001111"}),
+            SlotContentKind::kPhone);
+}
+
+TEST(ClassifyFillsTest, Urls) {
+  EXPECT_EQ(ClassifyFills({"http://scam.com", "https://fraud.net"}),
+            SlotContentKind::kUrl);
+  EXPECT_EQ(ClassifyFills({"visit scam.com", "see fraud.com"}),
+            SlotContentKind::kUrl);
+}
+
+TEST(ClassifyFillsTest, TimeBeatsPriceWhenBothFire) {
+  // "until 9pm" mentions a number but is schedule content.
+  EXPECT_EQ(ClassifyFills({"until 9pm", "open late night", "10am daily"}),
+            SlotContentKind::kTime);
+}
+
+TEST(ClassifyFillsTest, Prices) {
+  EXPECT_EQ(ClassifyFills({"60 special", "80 dollar", "50"}),
+            SlotContentKind::kPrice);
+}
+
+TEST(ClassifyFillsTest, Names) {
+  EXPECT_EQ(ClassifyFills({"amy", "bella", "cici", "dana"}),
+            SlotContentKind::kName);
+}
+
+TEST(ClassifyFillsTest, FreeTextFallback) {
+  EXPECT_EQ(ClassifyFills({"on this job today", "from home often maybe",
+                           "in another town entirely"}),
+            SlotContentKind::kFreeText);
+}
+
+TEST(ClassifyFillsTest, LongNumbers) {
+  // 4-6 digit numbers that are neither phone-length nor price-length.
+  EXPECT_EQ(ClassifyFills({"123456", "98765"}), SlotContentKind::kNumeric);
+}
+
+TEST(SlotAnalysisTest, ProfilesTemplateSlots) {
+  Corpus c;
+  c.Add("sweet amy here call 5551234567 until 9pm special 60 yes ok");
+  c.Add("sweet bella here call 5559876543 until 10pm special 80 yes ok");
+  c.Add("sweet cici here call 5550001111 late night special 50 yes ok");
+  c.Add("sweet dana here call 5552223333 until 9am special 70 yes ok");
+  // Vocabulary padding so MDL accepts the template.
+  for (int i = 0; i < 25; ++i) {
+    std::string filler;
+    for (int j = 0; j < 10; ++j) {
+      filler += "pad" + std::to_string(i * 10 + j) + " ";
+    }
+    c.Add(filler);
+  }
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(c);
+  ASSERT_GE(r.templates.size(), 1u);
+  const TemplateCluster& tc = r.templates[0];
+  ASSERT_GE(tc.tmpl.num_slots(), 2u);
+
+  std::vector<SlotProfile> profiles = AnalyzeSlots(tc, c);
+  ASSERT_EQ(profiles.size(), tc.tmpl.num_slots());
+  // At least one slot reads as phone and one as name-or-time-or-price.
+  bool has_phone = false;
+  for (const SlotProfile& p : profiles) {
+    if (p.kind == SlotContentKind::kPhone) has_phone = true;
+    EXPECT_LE(p.empty_fraction, 1.0);
+    EXPECT_GE(p.distinct_fraction, 0.0);
+    EXPECT_LE(p.examples.size(), 5u);
+  }
+  EXPECT_TRUE(has_phone);
+
+  std::string rendered = RenderSlotProfiles(profiles);
+  EXPECT_NE(rendered.find("slot@"), std::string::npos);
+  EXPECT_NE(rendered.find("phone"), std::string::npos);
+}
+
+TEST(SlotAnalysisTest, KindNamesAreStable) {
+  EXPECT_STREQ(SlotContentKindToString(SlotContentKind::kPhone), "phone");
+  EXPECT_STREQ(SlotContentKindToString(SlotContentKind::kTime), "time");
+  EXPECT_STREQ(SlotContentKindToString(SlotContentKind::kFreeText),
+               "free-text");
+}
+
+}  // namespace
+}  // namespace infoshield

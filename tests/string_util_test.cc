@@ -1,0 +1,68 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("HeLLo123"), "hello123");
+  // Multibyte UTF-8 unchanged.
+  EXPECT_EQ(ToLowerAscii("CAFÉ"), "cafÉ");
+}
+
+TEST(StripAsciiWhitespaceTest, Strips) {
+  EXPECT_EQ(StripAsciiWhitespace("  x  "), "x");
+  EXPECT_EQ(StripAsciiWhitespace("x"), "x");
+  EXPECT_EQ(StripAsciiWhitespace("   "), "");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("http://x", "http"));
+  EXPECT_FALSE(StartsWith("x", "http"));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.1f", 0.25), "0.2");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+}  // namespace
+}  // namespace infoshield

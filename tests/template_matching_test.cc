@@ -1,0 +1,129 @@
+#include "baselines/template_matching.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+using internal::MinHashSignature;
+using internal::SignatureSimilarity;
+
+TEST(MinHashTest, IdenticalSequencesIdenticalSignatures) {
+  std::vector<TokenId> seq = {1, 2, 3, 4, 5, 6};
+  auto a = MinHashSignature(seq, 3, 64, 7);
+  auto b = MinHashSignature(seq, 3, 64, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_DOUBLE_EQ(SignatureSimilarity(a, b), 1.0);
+}
+
+TEST(MinHashTest, DisjointSequencesDisagree) {
+  std::vector<TokenId> a_seq = {1, 2, 3, 4, 5, 6};
+  std::vector<TokenId> b_seq = {10, 20, 30, 40, 50, 60};
+  auto a = MinHashSignature(a_seq, 3, 64, 7);
+  auto b = MinHashSignature(b_seq, 3, 64, 7);
+  EXPECT_LT(SignatureSimilarity(a, b), 0.2);
+}
+
+TEST(MinHashTest, SimilarityTracksOverlap) {
+  // 9 shared shingle positions out of ~12.
+  std::vector<TokenId> base = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  std::vector<TokenId> variant = base;
+  variant[11] = 99;
+  auto a = MinHashSignature(base, 3, 128, 3);
+  auto b = MinHashSignature(variant, 3, 128, 3);
+  double sim = SignatureSimilarity(a, b);
+  EXPECT_GT(sim, 0.5);
+  EXPECT_LT(sim, 1.0);
+}
+
+TEST(MinHashTest, ShortSequencesHandled) {
+  std::vector<TokenId> tiny = {5};
+  auto sig = MinHashSignature(tiny, 3, 32, 1);
+  EXPECT_EQ(sig.size(), 32u);
+  // Shingle width clamps to the sequence length, so a second identical
+  // single-token doc matches.
+  EXPECT_EQ(sig, MinHashSignature(tiny, 3, 32, 1));
+}
+
+TEST(TemplateMatchingTest, ClustersNearDuplicates) {
+  Corpus c;
+  for (int i = 0; i < 4; ++i) {
+    c.Add("buy cheap watches now great deal online store best price today");
+  }
+  c.Add("completely different text about gardens and mountain hiking");
+  c.Add("another unrelated sentence mentioning cooking and recipes only");
+  TemplateMatchingResult r = TemplateMatching(c, TemplateMatchingOptions{});
+  EXPECT_EQ(r.num_clusters, 1u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(r.labels[i], 0);
+    EXPECT_TRUE(r.suspicious[i]);
+  }
+  EXPECT_EQ(r.labels[4], -1);
+  EXPECT_EQ(r.labels[5], -1);
+}
+
+TEST(TemplateMatchingTest, SeparatesDistinctCampaigns) {
+  Corpus c;
+  for (int i = 0; i < 3; ++i) {
+    c.Add("alpha beta gamma delta epsilon zeta eta theta iota kappa");
+  }
+  for (int i = 0; i < 3; ++i) {
+    c.Add("uno dos tres cuatro cinco seis siete ocho nueve diez");
+  }
+  TemplateMatchingResult r = TemplateMatching(c, TemplateMatchingOptions{});
+  EXPECT_EQ(r.num_clusters, 2u);
+  EXPECT_EQ(r.labels[0], r.labels[2]);
+  EXPECT_EQ(r.labels[3], r.labels[5]);
+  EXPECT_NE(r.labels[0], r.labels[3]);
+}
+
+TEST(TemplateMatchingTest, NearDuplicatesWithSmallEdits) {
+  Corpus c;
+  c.Add("grand opening best massage in town call 5551234 today now yes");
+  c.Add("grand opening best massage in town call 5559876 today now yes");
+  c.Add("grand opening best massage in town call 5554321 today now yes");
+  TemplateMatchingOptions opts;
+  opts.jaccard_threshold = 0.4;
+  TemplateMatchingResult r = TemplateMatching(c, opts);
+  EXPECT_EQ(r.num_clusters, 1u);
+  EXPECT_TRUE(r.suspicious[0] && r.suspicious[1] && r.suspicious[2]);
+}
+
+TEST(TemplateMatchingTest, EmptyCorpusAndEmptyDocs) {
+  Corpus empty;
+  TemplateMatchingResult r0 =
+      TemplateMatching(empty, TemplateMatchingOptions{});
+  EXPECT_TRUE(r0.labels.empty());
+
+  Corpus c;
+  c.Add("");
+  c.Add("");
+  c.Add("real words here for contrast purposes only");
+  TemplateMatchingResult r = TemplateMatching(c, TemplateMatchingOptions{});
+  // Empty docs never cluster (no shingles).
+  EXPECT_EQ(r.labels[0], -1);
+  EXPECT_EQ(r.labels[1], -1);
+}
+
+TEST(TemplateMatchingTest, PairCountersPopulated) {
+  Corpus c;
+  for (int i = 0; i < 5; ++i) {
+    c.Add("identical spam text repeated again and again verbatim here");
+  }
+  TemplateMatchingResult r = TemplateMatching(c, TemplateMatchingOptions{});
+  EXPECT_GT(r.candidate_pairs, 0u);
+  EXPECT_GT(r.verified_pairs, 0u);
+  EXPECT_LE(r.verified_pairs, r.candidate_pairs);
+}
+
+TEST(TemplateMatchingDeathTest, BandsMustDivideHashes) {
+  Corpus c;
+  c.Add("a b c");
+  TemplateMatchingOptions opts;
+  opts.num_hashes = 64;
+  opts.bands = 7;
+  EXPECT_DEATH(TemplateMatching(c, opts), "Check failed");
+}
+
+}  // namespace
+}  // namespace infoshield

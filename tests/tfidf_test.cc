@@ -1,0 +1,163 @@
+#include "tfidf/tfidf_index.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+Corpus SmallCorpus() {
+  Corpus c;
+  c.Add("the quick brown fox jumps");
+  c.Add("the quick brown fox runs");
+  c.Add("the lazy dog sleeps all day");
+  return c;
+}
+
+TEST(TfidfTest, DocumentFrequencyCountsDocsNotOccurrences) {
+  Corpus c;
+  c.Add("spam spam spam");
+  c.Add("spam once");
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  TokenId spam = c.vocab().Find("spam");
+  PhraseHash h = HashNgram(&spam, 1);
+  EXPECT_EQ(index.DocumentFrequency(h), 2u);  // 2 docs, not 4 occurrences
+}
+
+TEST(TfidfTest, UnseenPhraseHasZeroDf) {
+  TfidfIndex index;
+  index.Build(SmallCorpus(), TfidfOptions{});
+  EXPECT_EQ(index.DocumentFrequency(0xDEADBEEF), 0u);
+}
+
+TEST(TfidfTest, CommonPhraseScoresZero) {
+  // "the" appears in every document: idf = log(3/3) = 0.
+  Corpus c = SmallCorpus();
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  TokenId the = c.vocab().Find("the");
+  EXPECT_DOUBLE_EQ(index.Score(HashNgram(&the, 1), 1), 0.0);
+}
+
+TEST(TfidfTest, RarerPhraseScoresHigher) {
+  Corpus c = SmallCorpus();
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  TokenId quick = c.vocab().Find("quick");  // df 2
+  TokenId lazy = c.vocab().Find("lazy");    // df 1
+  EXPECT_GT(index.Score(HashNgram(&lazy, 1), 1),
+            index.Score(HashNgram(&quick, 1), 1));
+}
+
+TEST(TfidfTest, TopPhrasesSkipDfOne) {
+  Corpus c = SmallCorpus();
+  TfidfOptions opts;
+  opts.min_df = 2;
+  TfidfIndex index;
+  index.Build(c, opts);
+  // Doc 2 shares only "the" (df 3) with others; all other phrases are
+  // df-1 and skipped, so at most "the"-based shared phrases survive.
+  for (const ScoredPhrase& p : index.TopPhrases(c.doc(2))) {
+    EXPECT_GE(index.DocumentFrequency(p.hash), 2u);
+  }
+}
+
+TEST(TfidfTest, TopPhrasesRespectFraction) {
+  Corpus c;
+  // 20 tokens, all distinct n-grams; top_fraction 0.1 over distinct
+  // phrases, min 1.
+  c.Add("a b c d e f g h i j k l m n o p q r s t");
+  c.Add("a b c d e f g h i j k l m n o p q r s t");
+  TfidfOptions opts;
+  opts.max_ngram = 1;
+  opts.top_fraction = 0.1;
+  TfidfIndex index;
+  index.Build(c, opts);
+  std::vector<ScoredPhrase> top = index.TopPhrases(c.doc(0));
+  EXPECT_EQ(top.size(), 2u);  // ceil(0.1 * 20)
+}
+
+TEST(TfidfTest, MinPhrasesPerDocGuaranteesOne) {
+  Corpus c;
+  c.Add("x y");
+  c.Add("x y");
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  EXPECT_EQ(index.TopPhrases(c.doc(0)).size(), 1u);
+}
+
+TEST(TfidfTest, MinNgramExcludesUnigrams) {
+  // Default min_ngram = 2: a single shared word is not an eligible top
+  // phrase (it would percolate the coarse graph), but a shared bigram is.
+  Corpus c;
+  c.Add("alpha beta gamma");
+  c.Add("alpha delta epsilon");  // shares only the unigram "alpha"
+  c.Add("zeta beta gamma");      // shares the bigram "beta gamma" with doc 0
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  for (const ScoredPhrase& p : index.TopPhrases(c.doc(0))) {
+    TokenId alpha = c.vocab().Find("alpha");
+    EXPECT_NE(p.hash, HashNgram(&alpha, 1));
+  }
+}
+
+TEST(TfidfTest, MinNgramClampedToMaxNgram) {
+  // max_ngram = 1 (the Fig. 4 sweep's left end) keeps unigrams eligible
+  // even though min_ngram defaults to 2.
+  Corpus c;
+  c.Add("common words here");
+  c.Add("common words there");
+  TfidfOptions opts;
+  opts.max_ngram = 1;
+  TfidfIndex index;
+  index.Build(c, opts);
+  EXPECT_FALSE(index.TopPhrases(c.doc(0)).empty());
+}
+
+TEST(TfidfTest, ScoresSortedDescending) {
+  Corpus c = SmallCorpus();
+  TfidfOptions opts;
+  opts.top_fraction = 1.0;
+  opts.min_df = 1;
+  TfidfIndex index;
+  index.Build(c, opts);
+  std::vector<ScoredPhrase> top = index.TopPhrases(c.doc(0));
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(TfidfTest, MaxNgramLimitsPhraseLength) {
+  Corpus c;
+  c.Add("one two three four five six");
+  c.Add("one two three four five six");
+  TfidfOptions opts1;
+  opts1.max_ngram = 1;
+  TfidfIndex index1;
+  index1.Build(c, opts1);
+  TfidfOptions opts5;
+  opts5.max_ngram = 5;
+  TfidfIndex index5;
+  index5.Build(c, opts5);
+  EXPECT_LT(index1.num_phrases(), index5.num_phrases());
+}
+
+TEST(TfidfTest, EmptyCorpus) {
+  Corpus c;
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  EXPECT_EQ(index.num_documents(), 0u);
+  EXPECT_EQ(index.num_phrases(), 0u);
+}
+
+TEST(TfidfTest, EmptyDocumentYieldsNoPhrases) {
+  Corpus c;
+  c.Add("");
+  c.Add("words here");
+  TfidfIndex index;
+  index.Build(c, TfidfOptions{});
+  EXPECT_TRUE(index.TopPhrases(c.doc(0)).empty());
+}
+
+}  // namespace
+}  // namespace infoshield

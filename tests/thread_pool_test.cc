@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, MultipleWaitRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  const size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ThreadPool::ParallelFor(4, n, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, SequentialFallback) {
+  std::vector<int> order;
+  ThreadPool::ParallelFor(1, 5, [&](size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: single-threaded path
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, ZeroCountIsNoop) {
+  ThreadPool::ParallelFor(4, 0, [](size_t) { FAIL(); });
+  SUCCEED();
+}
+
+TEST(ParallelForTest, ResultsMatchSequential) {
+  const size_t n = 200;
+  std::vector<double> parallel(n);
+  std::vector<double> sequential(n);
+  auto work = [](size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 50; ++k) x = x * 1.0000001 + 0.5;
+    return x;
+  };
+  ThreadPool::ParallelFor(8, n, [&](size_t i) { parallel[i] = work(i); });
+  for (size_t i = 0; i < n; ++i) sequential[i] = work(i);
+  EXPECT_EQ(parallel, sequential);
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,135 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(TokenizerTest, BasicWhitespace) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("hello world"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, LowercasesAscii) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("Hello WORLD"),
+            (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(TokenizerTest, StripsPunctuation) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("great, soap! (cheap)"),
+            (std::vector<std::string>{"great", "soap", "cheap"}));
+}
+
+TEST(TokenizerTest, KeepsDigitsAndMixedTokens) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("call 555-1234 now"),
+            (std::vector<std::string>{"call", "555", "1234", "now"}));
+  EXPECT_EQ(t.Tokenize("30K"), (std::vector<std::string>{"30k"}));
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  \t\n ").empty());
+  EXPECT_TRUE(t.Tokenize("...!!!").empty());
+}
+
+TEST(TokenizerTest, PreservesUtf8Sequences) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("sureste de Méjico"),
+            (std::vector<std::string>{"sureste", "de", "méjico"}));
+  // Japanese text survives as a single token per whitespace run.
+  EXPECT_EQ(t.Tokenize("こんにちは 世界"),
+            (std::vector<std::string>{"こんにちは", "世界"}));
+}
+
+TEST(TokenizerTest, UrlsStayIntact) {
+  Tokenizer t;
+  std::vector<std::string> toks = t.Tokenize("visit http://scam.com today");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "visit");
+  EXPECT_EQ(toks[1], "http://scam.com");
+  EXPECT_EQ(toks[2], "today");
+}
+
+TEST(TokenizerTest, HttpsUrls) {
+  Tokenizer t;
+  std::vector<std::string> toks = t.Tokenize("see https://t.co/AbC123");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[1], "https://t.co/abc123");
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("Hello"), (std::vector<std::string>{"Hello"}));
+}
+
+TEST(TokenizerTest, KeepPunctuationOption) {
+  TokenizerOptions opts;
+  opts.strip_punctuation = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("great, deal"),
+            (std::vector<std::string>{"great,", "deal"}));
+}
+
+TEST(TokenizerTest, DropDigitsOption) {
+  TokenizerOptions opts;
+  opts.keep_digits = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("abc123def"),
+            (std::vector<std::string>{"abc", "def"}));
+}
+
+// Fuzz-style property test: arbitrary byte soup must tokenize without
+// crashing, produce non-empty tokens, and intern into valid vocab ids.
+class TokenizerFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerFuzzTest, RandomBytesAreSafe) {
+  // Simple xorshift so this file needs no extra includes.
+  uint64_t state = GetParam() * 0x9e3779b97f4a7c15ULL + 1;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  Tokenizer t;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string input;
+    const size_t len = next() % 120;
+    for (size_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(next() & 0xFF));
+    }
+    std::vector<std::string> tokens = t.Tokenize(input);
+    size_t total_bytes = 0;
+    for (const std::string& tok : tokens) {
+      EXPECT_FALSE(tok.empty());
+      total_bytes += tok.size();
+    }
+    // Tokens never contain more bytes than the input.
+    EXPECT_LE(total_bytes, input.size());
+    // Tokenization is deterministic.
+    EXPECT_EQ(t.Tokenize(input), tokens);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TokenizerTest, TruncatedUtf8AtEndOfInput) {
+  Tokenizer t;
+  // 0xC3 starts a 2-byte sequence but the input ends: must not crash or
+  // read out of bounds.
+  std::string truncated = "abc";
+  truncated.push_back(static_cast<char>(0xC3));
+  std::vector<std::string> toks = t.Tokenize(truncated);
+  ASSERT_EQ(toks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,78 @@
+// Parameterized pipeline invariants on trafficking-style corpora,
+// complementing the Twitter sweep in pipeline_property_test.cc.
+
+#include <gtest/gtest.h>
+
+#include "core/infoshield.h"
+#include "core/ranking.h"
+#include "datagen/trafficking_gen.h"
+#include "eval/metrics.h"
+
+namespace infoshield {
+namespace {
+
+struct Case {
+  uint64_t seed;
+  size_t benign;
+  size_t ht_clusters;
+  double edit_prob;
+};
+
+class TraffickingPipelineTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(TraffickingPipelineTest, InvariantsHold) {
+  const Case& p = GetParam();
+  TraffickingGenOptions o;
+  o.num_benign = p.benign;
+  o.num_spam_clusters = 2;
+  o.spam_cluster_size_min = 15;
+  o.spam_cluster_size_max = 30;
+  o.num_ht_clusters = p.ht_clusters;
+  o.ht_edit_prob = p.edit_prob;
+  TraffickingGenerator gen(o);
+  LabeledAds data = gen.Generate(p.seed);
+
+  InfoShield shield;
+  InfoShieldResult r = shield.Run(data.corpus);
+
+  // Detection quality floor: organized activity found with high
+  // precision (the paper's headline property for this domain).
+  std::vector<bool> predicted;
+  std::vector<bool> truth;
+  for (size_t i = 0; i < data.corpus.size(); ++i) {
+    predicted.push_back(r.IsSuspicious(static_cast<DocId>(i)));
+    truth.push_back(data.type[i] != AdType::kBenign);
+  }
+  BinaryMetrics m = ComputeBinaryMetrics(predicted, truth);
+  EXPECT_GT(m.precision(), 0.8) << "seed " << p.seed;
+  EXPECT_GT(m.recall(), 0.5) << "seed " << p.seed;
+
+  // Ranking invariants: ordered by slack; every template present once.
+  const CostModel cm = CostModel::ForVocabulary(data.corpus.vocab());
+  std::vector<RankedTemplate> ranked = RankTemplates(r, data.corpus, cm);
+  ASSERT_EQ(ranked.size(), r.templates.size());
+  std::vector<bool> seen(r.templates.size(), false);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (i > 0) EXPECT_LE(ranked[i - 1].slack, ranked[i].slack);
+    ASSERT_LT(ranked[i].template_index, seen.size());
+    EXPECT_FALSE(seen[ranked[i].template_index]);
+    seen[ranked[i].template_index] = true;
+    EXPECT_GE(ranked[i].relative_length, ranked[i].lower_bound * 0.999);
+  }
+
+  // Agreement metrics are well-formed against the generator's labels.
+  ClusteringAgreement ca =
+      ComputeClusteringAgreement(data.cluster_label, r.doc_template);
+  EXPECT_GE(ca.v_measure, 0.0);
+  EXPECT_LE(ca.v_measure, 1.0);
+  EXPECT_GT(ca.nmi, 0.3) << "clustering should carry real signal";
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TraffickingPipelineTest,
+                         ::testing::Values(Case{1, 100, 8, 0.02},
+                                           Case{2, 200, 12, 0.05},
+                                           Case{3, 150, 6, 0.10},
+                                           Case{4, 50, 15, 0.04}));
+
+}  // namespace
+}  // namespace infoshield

@@ -1,0 +1,46 @@
+#include "mdl/universal_code.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(UniversalCodeTest, SmallValues) {
+  EXPECT_DOUBLE_EQ(UniversalCodeLength(0), 1.0);
+  EXPECT_DOUBLE_EQ(UniversalCodeLength(1), 1.0);
+  EXPECT_DOUBLE_EQ(UniversalCodeLength(2), 3.0);  // 2*1 + 1
+  EXPECT_DOUBLE_EQ(UniversalCodeLength(4), 5.0);  // 2*2 + 1
+}
+
+TEST(UniversalCodeTest, MatchesPaperApproximation) {
+  // <n> ~= 2 lg n + 1 (paper Table VI).
+  for (uint64_t n : {10ull, 100ull, 1000ull, 1000000ull}) {
+    EXPECT_DOUBLE_EQ(UniversalCodeLength(n),
+                     2.0 * std::log2(static_cast<double>(n)) + 1.0);
+  }
+}
+
+TEST(UniversalCodeTest, MonotoneNondecreasing) {
+  double prev = 0.0;
+  for (uint64_t n = 0; n < 1000; ++n) {
+    double cur = UniversalCodeLength(n);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(Log2BitsTest, DegenerateCases) {
+  EXPECT_DOUBLE_EQ(Log2Bits(0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Bits(1), 0.0);
+  EXPECT_DOUBLE_EQ(Log2Bits(2), 1.0);
+  EXPECT_DOUBLE_EQ(Log2Bits(1024), 10.0);
+}
+
+TEST(Log2BitsTest, SubadditivityOverProducts) {
+  EXPECT_NEAR(Log2Bits(8 * 16), Log2Bits(8) + Log2Bits(16), 1e-12);
+}
+
+}  // namespace
+}  // namespace infoshield

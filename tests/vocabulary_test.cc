@@ -1,0 +1,67 @@
+#include "text/vocabulary.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("a"), 0u);
+  EXPECT_EQ(v.Intern("b"), 1u);
+  EXPECT_EQ(v.Intern("a"), 0u);  // idempotent
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(VocabularyTest, FindReturnsInvalidForUnknown) {
+  Vocabulary v;
+  v.Intern("known");
+  EXPECT_EQ(v.Find("known"), 0u);
+  EXPECT_EQ(v.Find("unknown"), kInvalidToken);
+}
+
+TEST(VocabularyTest, WordRoundTrips) {
+  Vocabulary v;
+  TokenId id = v.Intern("escondido");
+  EXPECT_EQ(v.Word(id), "escondido");
+}
+
+TEST(VocabularyTest, EmptyProperties) {
+  Vocabulary v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(VocabularyTest, BitsPerWordClampedAtTwo) {
+  Vocabulary v;
+  EXPECT_DOUBLE_EQ(v.BitsPerWord(), 1.0);  // lg 2 with V clamped to 2
+  v.Intern("one");
+  EXPECT_DOUBLE_EQ(v.BitsPerWord(), 1.0);
+}
+
+TEST(VocabularyTest, BitsPerWordGrowsLogarithmically) {
+  Vocabulary v;
+  for (int i = 0; i < 1024; ++i) v.Intern("w" + std::to_string(i));
+  EXPECT_DOUBLE_EQ(v.BitsPerWord(), 10.0);
+}
+
+TEST(VocabularyDeathTest, WordOutOfRangeDies) {
+  Vocabulary v;
+  v.Intern("only");
+  EXPECT_DEATH(v.Word(99), "Check failed");
+}
+
+TEST(VocabularyTest, HandlesManyWords) {
+  Vocabulary v;
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(v.Intern("tok" + std::to_string(i)),
+              static_cast<TokenId>(i));
+  }
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_EQ(v.Word(1234), "tok1234");
+}
+
+}  // namespace
+}  // namespace infoshield

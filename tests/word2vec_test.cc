@@ -1,0 +1,110 @@
+#include "baselines/word2vec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace infoshield {
+namespace {
+
+// A corpus where "cat"/"dog" share contexts and "stone" does not.
+Corpus ContextCorpus() {
+  Corpus c;
+  for (int i = 0; i < 30; ++i) {
+    c.Add("the cat sat on the mat");
+    c.Add("the dog sat on the mat");
+    c.Add("heavy stone fell into deep water");
+  }
+  return c;
+}
+
+TEST(Word2VecTest, TrainsAndEmbeds) {
+  Corpus c = ContextCorpus();
+  Word2VecOptions opts;
+  opts.dim = 16;
+  opts.epochs = 2;
+  Word2Vec model(opts);
+  model.Train(c, 7);
+  Vec v = model.Embed(c.doc(0));
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_GT(L2Norm(v), 0.0f);
+}
+
+TEST(Word2VecTest, SharedContextWordsAreCloser) {
+  Corpus c = ContextCorpus();
+  Word2VecOptions opts;
+  opts.dim = 16;
+  opts.epochs = 5;
+  Word2Vec model(opts);
+  model.Train(c, 42);
+  Vec cat = model.WordVector(c.vocab().Find("cat"));
+  Vec dog = model.WordVector(c.vocab().Find("dog"));
+  Vec stone = model.WordVector(c.vocab().Find("stone"));
+  EXPECT_LT(CosineDistance(cat, dog), CosineDistance(cat, stone));
+}
+
+TEST(Word2VecTest, NearDuplicateDocsEmbedClose) {
+  Corpus c = ContextCorpus();
+  Word2VecOptions opts;
+  opts.dim = 16;
+  Word2Vec model(opts);
+  model.Train(c, 3);
+  // Docs 0 and 1 ("cat" vs "dog" sentence) vs doc 2 (stone sentence).
+  Vec a = model.Embed(c.doc(0));
+  Vec b = model.Embed(c.doc(1));
+  Vec d = model.Embed(c.doc(2));
+  EXPECT_LT(CosineDistance(a, b), CosineDistance(a, d));
+}
+
+TEST(Word2VecTest, DeterministicTraining) {
+  Corpus c = ContextCorpus();
+  Word2Vec m1;
+  Word2Vec m2;
+  m1.Train(c, 5);
+  m2.Train(c, 5);
+  EXPECT_EQ(m1.Embed(c.doc(0)), m2.Embed(c.doc(0)));
+}
+
+TEST(Word2VecTest, EmptyDocumentEmbedsToZero) {
+  Corpus c = ContextCorpus();
+  c.Add("");
+  Word2Vec model;
+  model.Train(c, 1);
+  Vec v = model.Embed(c.doc(static_cast<DocId>(c.size() - 1)));
+  EXPECT_EQ(L2Norm(v), 0.0f);
+}
+
+TEST(EmbeddingMathTest, VectorOps) {
+  Vec a = {3, 4};
+  Vec b = {4, 3};
+  EXPECT_FLOAT_EQ(Dot(a, b), 24.0f);
+  EXPECT_FLOAT_EQ(L2Norm(a), 5.0f);
+  EXPECT_FLOAT_EQ(EuclideanDistance(a, b), std::sqrt(2.0f));
+  Vec c = a;
+  L2Normalize(c);
+  EXPECT_NEAR(L2Norm(c), 1.0f, 1e-6);
+  EXPECT_NEAR(CosineDistance(a, a), 0.0f, 1e-6);
+  EXPECT_FLOAT_EQ(CosineDistance({0, 0}, {1, 0}), 2.0f);  // degenerate
+}
+
+TEST(EmbeddingMathTest, FastSigmoidMonotone) {
+  EXPECT_FLOAT_EQ(FastSigmoid(10.0f), 1.0f);
+  EXPECT_FLOAT_EQ(FastSigmoid(-10.0f), 0.0f);
+  EXPECT_NEAR(FastSigmoid(0.0f), 0.5f, 1e-5);
+  EXPECT_LT(FastSigmoid(-1.0f), FastSigmoid(1.0f));
+}
+
+TEST(EmbedCorpusTest, NormalizesAllDocs) {
+  Corpus c = ContextCorpus();
+  Word2Vec model;
+  model.Train(c, 2);
+  std::vector<Vec> embs = EmbedCorpus(model, c);
+  ASSERT_EQ(embs.size(), c.size());
+  for (const Vec& v : embs) {
+    float n = L2Norm(v);
+    EXPECT_TRUE(n == 0.0f || std::abs(n - 1.0f) < 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace infoshield
