@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_precision"
+  "../bench/bench_fig1_precision.pdb"
+  "CMakeFiles/bench_fig1_precision.dir/bench_fig1_precision.cc.o"
+  "CMakeFiles/bench_fig1_precision.dir/bench_fig1_precision.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

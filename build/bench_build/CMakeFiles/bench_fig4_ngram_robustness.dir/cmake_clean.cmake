@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_ngram_robustness"
+  "../bench/bench_fig4_ngram_robustness.pdb"
+  "CMakeFiles/bench_fig4_ngram_robustness.dir/bench_fig4_ngram_robustness.cc.o"
+  "CMakeFiles/bench_fig4_ngram_robustness.dir/bench_fig4_ngram_robustness.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_ngram_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_trafficking"
+  "../bench/bench_table8_trafficking.pdb"
+  "CMakeFiles/bench_table8_trafficking.dir/bench_table8_trafficking.cc.o"
+  "CMakeFiles/bench_table8_trafficking.dir/bench_table8_trafficking.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_trafficking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

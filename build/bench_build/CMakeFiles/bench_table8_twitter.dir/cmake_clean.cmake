@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table8_twitter"
+  "../bench/bench_table8_twitter.pdb"
+  "CMakeFiles/bench_table8_twitter.dir/bench_table8_twitter.cc.o"
+  "CMakeFiles/bench_table8_twitter.dir/bench_table8_twitter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_twitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

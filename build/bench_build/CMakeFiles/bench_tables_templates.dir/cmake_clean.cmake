@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables_templates"
+  "../bench/bench_tables_templates.pdb"
+  "CMakeFiles/bench_tables_templates.dir/bench_tables_templates.cc.o"
+  "CMakeFiles/bench_tables_templates.dir/bench_tables_templates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

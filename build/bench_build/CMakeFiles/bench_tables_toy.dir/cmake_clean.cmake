@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tables_toy"
+  "../bench/bench_tables_toy.pdb"
+  "CMakeFiles/bench_tables_toy.dir/bench_tables_toy.cc.o"
+  "CMakeFiles/bench_tables_toy.dir/bench_tables_toy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables_toy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multilingual.dir/multilingual.cpp.o"
+  "CMakeFiles/example_multilingual.dir/multilingual.cpp.o.d"
+  "multilingual"
+  "multilingual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multilingual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_plagiarism.dir/plagiarism.cpp.o"
+  "CMakeFiles/example_plagiarism.dir/plagiarism.cpp.o.d"
+  "plagiarism"
+  "plagiarism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_plagiarism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

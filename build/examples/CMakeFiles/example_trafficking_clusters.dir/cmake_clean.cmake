@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trafficking_clusters.dir/trafficking_clusters.cpp.o"
+  "CMakeFiles/example_trafficking_clusters.dir/trafficking_clusters.cpp.o.d"
+  "trafficking_clusters"
+  "trafficking_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trafficking_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_twitter_bot_detection.dir/twitter_bot_detection.cpp.o"
+  "CMakeFiles/example_twitter_bot_detection.dir/twitter_bot_detection.cpp.o.d"
+  "twitter_bot_detection"
+  "twitter_bot_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_twitter_bot_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_twitter_bot_detection.
+# This may be replaced when dependencies are built.

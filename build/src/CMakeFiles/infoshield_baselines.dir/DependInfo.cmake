@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dbscan.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/dbscan.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/dbscan.cc.o.d"
+  "/root/repo/src/baselines/doc2vec.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/doc2vec.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/doc2vec.cc.o.d"
+  "/root/repo/src/baselines/embedding.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/embedding.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/embedding.cc.o.d"
+  "/root/repo/src/baselines/fasttext.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/fasttext.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/fasttext.cc.o.d"
+  "/root/repo/src/baselines/gmeans.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/gmeans.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/gmeans.cc.o.d"
+  "/root/repo/src/baselines/hdbscan.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/hdbscan.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/hdbscan.cc.o.d"
+  "/root/repo/src/baselines/kmeans.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/kmeans.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/kmeans.cc.o.d"
+  "/root/repo/src/baselines/logreg.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/logreg.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/logreg.cc.o.d"
+  "/root/repo/src/baselines/optics.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/optics.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/optics.cc.o.d"
+  "/root/repo/src/baselines/pipeline.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/pipeline.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/pipeline.cc.o.d"
+  "/root/repo/src/baselines/template_matching.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/template_matching.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/template_matching.cc.o.d"
+  "/root/repo/src/baselines/word2vec.cc" "src/CMakeFiles/infoshield_baselines.dir/baselines/word2vec.cc.o" "gcc" "src/CMakeFiles/infoshield_baselines.dir/baselines/word2vec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

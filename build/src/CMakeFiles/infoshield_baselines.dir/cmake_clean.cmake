@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_baselines.dir/baselines/dbscan.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/dbscan.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/doc2vec.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/doc2vec.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/embedding.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/embedding.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/fasttext.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/fasttext.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/gmeans.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/gmeans.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/hdbscan.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/hdbscan.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/kmeans.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/kmeans.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/logreg.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/logreg.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/optics.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/optics.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/pipeline.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/pipeline.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/template_matching.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/template_matching.cc.o.d"
+  "CMakeFiles/infoshield_baselines.dir/baselines/word2vec.cc.o"
+  "CMakeFiles/infoshield_baselines.dir/baselines/word2vec.cc.o.d"
+  "libinfoshield_baselines.a"
+  "libinfoshield_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_coarse.dir/coarse/coarse_clustering.cc.o"
+  "CMakeFiles/infoshield_coarse.dir/coarse/coarse_clustering.cc.o.d"
+  "libinfoshield_coarse.a"
+  "libinfoshield_coarse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_coarse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/fine_clustering.cc" "src/CMakeFiles/infoshield_core.dir/core/fine_clustering.cc.o" "gcc" "src/CMakeFiles/infoshield_core.dir/core/fine_clustering.cc.o.d"
+  "/root/repo/src/core/infoshield.cc" "src/CMakeFiles/infoshield_core.dir/core/infoshield.cc.o" "gcc" "src/CMakeFiles/infoshield_core.dir/core/infoshield.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/CMakeFiles/infoshield_core.dir/core/ranking.cc.o" "gcc" "src/CMakeFiles/infoshield_core.dir/core/ranking.cc.o.d"
+  "/root/repo/src/core/slot_analysis.cc" "src/CMakeFiles/infoshield_core.dir/core/slot_analysis.cc.o" "gcc" "src/CMakeFiles/infoshield_core.dir/core/slot_analysis.cc.o.d"
+  "/root/repo/src/core/template.cc" "src/CMakeFiles/infoshield_core.dir/core/template.cc.o" "gcc" "src/CMakeFiles/infoshield_core.dir/core/template.cc.o.d"
+  "/root/repo/src/core/visualize.cc" "src/CMakeFiles/infoshield_core.dir/core/visualize.cc.o" "gcc" "src/CMakeFiles/infoshield_core.dir/core/visualize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_coarse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_tfidf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

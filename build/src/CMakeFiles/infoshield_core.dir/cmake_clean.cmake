@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_core.dir/core/fine_clustering.cc.o"
+  "CMakeFiles/infoshield_core.dir/core/fine_clustering.cc.o.d"
+  "CMakeFiles/infoshield_core.dir/core/infoshield.cc.o"
+  "CMakeFiles/infoshield_core.dir/core/infoshield.cc.o.d"
+  "CMakeFiles/infoshield_core.dir/core/ranking.cc.o"
+  "CMakeFiles/infoshield_core.dir/core/ranking.cc.o.d"
+  "CMakeFiles/infoshield_core.dir/core/slot_analysis.cc.o"
+  "CMakeFiles/infoshield_core.dir/core/slot_analysis.cc.o.d"
+  "CMakeFiles/infoshield_core.dir/core/template.cc.o"
+  "CMakeFiles/infoshield_core.dir/core/template.cc.o.d"
+  "CMakeFiles/infoshield_core.dir/core/visualize.cc.o"
+  "CMakeFiles/infoshield_core.dir/core/visualize.cc.o.d"
+  "libinfoshield_core.a"
+  "libinfoshield_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

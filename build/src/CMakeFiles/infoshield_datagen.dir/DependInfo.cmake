@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/plagiarism_gen.cc" "src/CMakeFiles/infoshield_datagen.dir/datagen/plagiarism_gen.cc.o" "gcc" "src/CMakeFiles/infoshield_datagen.dir/datagen/plagiarism_gen.cc.o.d"
+  "/root/repo/src/datagen/trafficking_gen.cc" "src/CMakeFiles/infoshield_datagen.dir/datagen/trafficking_gen.cc.o" "gcc" "src/CMakeFiles/infoshield_datagen.dir/datagen/trafficking_gen.cc.o.d"
+  "/root/repo/src/datagen/twitter_gen.cc" "src/CMakeFiles/infoshield_datagen.dir/datagen/twitter_gen.cc.o" "gcc" "src/CMakeFiles/infoshield_datagen.dir/datagen/twitter_gen.cc.o.d"
+  "/root/repo/src/datagen/wordlists.cc" "src/CMakeFiles/infoshield_datagen.dir/datagen/wordlists.cc.o" "gcc" "src/CMakeFiles/infoshield_datagen.dir/datagen/wordlists.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

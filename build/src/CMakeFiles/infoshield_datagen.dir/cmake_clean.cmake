@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_datagen.dir/datagen/plagiarism_gen.cc.o"
+  "CMakeFiles/infoshield_datagen.dir/datagen/plagiarism_gen.cc.o.d"
+  "CMakeFiles/infoshield_datagen.dir/datagen/trafficking_gen.cc.o"
+  "CMakeFiles/infoshield_datagen.dir/datagen/trafficking_gen.cc.o.d"
+  "CMakeFiles/infoshield_datagen.dir/datagen/twitter_gen.cc.o"
+  "CMakeFiles/infoshield_datagen.dir/datagen/twitter_gen.cc.o.d"
+  "CMakeFiles/infoshield_datagen.dir/datagen/wordlists.cc.o"
+  "CMakeFiles/infoshield_datagen.dir/datagen/wordlists.cc.o.d"
+  "libinfoshield_datagen.a"
+  "libinfoshield_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

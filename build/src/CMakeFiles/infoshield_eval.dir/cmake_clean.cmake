@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/infoshield_eval.dir/eval/metrics.cc.o.d"
+  "libinfoshield_eval.a"
+  "libinfoshield_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connected_components.cc" "src/CMakeFiles/infoshield_graph.dir/graph/connected_components.cc.o" "gcc" "src/CMakeFiles/infoshield_graph.dir/graph/connected_components.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/CMakeFiles/infoshield_graph.dir/graph/union_find.cc.o" "gcc" "src/CMakeFiles/infoshield_graph.dir/graph/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_graph.dir/graph/connected_components.cc.o"
+  "CMakeFiles/infoshield_graph.dir/graph/connected_components.cc.o.d"
+  "CMakeFiles/infoshield_graph.dir/graph/union_find.cc.o"
+  "CMakeFiles/infoshield_graph.dir/graph/union_find.cc.o.d"
+  "libinfoshield_graph.a"
+  "libinfoshield_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

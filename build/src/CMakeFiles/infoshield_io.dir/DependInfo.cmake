@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/infoshield_io.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/infoshield_io.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/json_writer.cc" "src/CMakeFiles/infoshield_io.dir/io/json_writer.cc.o" "gcc" "src/CMakeFiles/infoshield_io.dir/io/json_writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

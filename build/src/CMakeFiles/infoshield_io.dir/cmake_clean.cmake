@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_io.dir/io/csv.cc.o"
+  "CMakeFiles/infoshield_io.dir/io/csv.cc.o.d"
+  "CMakeFiles/infoshield_io.dir/io/json_writer.cc.o"
+  "CMakeFiles/infoshield_io.dir/io/json_writer.cc.o.d"
+  "libinfoshield_io.a"
+  "libinfoshield_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_mdl.dir/mdl/cost_model.cc.o"
+  "CMakeFiles/infoshield_mdl.dir/mdl/cost_model.cc.o.d"
+  "CMakeFiles/infoshield_mdl.dir/mdl/universal_code.cc.o"
+  "CMakeFiles/infoshield_mdl.dir/mdl/universal_code.cc.o.d"
+  "libinfoshield_mdl.a"
+  "libinfoshield_mdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_mdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

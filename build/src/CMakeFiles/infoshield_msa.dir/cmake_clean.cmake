@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_msa.dir/msa/pairwise.cc.o"
+  "CMakeFiles/infoshield_msa.dir/msa/pairwise.cc.o.d"
+  "CMakeFiles/infoshield_msa.dir/msa/poa.cc.o"
+  "CMakeFiles/infoshield_msa.dir/msa/poa.cc.o.d"
+  "CMakeFiles/infoshield_msa.dir/msa/profile_msa.cc.o"
+  "CMakeFiles/infoshield_msa.dir/msa/profile_msa.cc.o.d"
+  "libinfoshield_msa.a"
+  "libinfoshield_msa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_msa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/corpus.cc" "src/CMakeFiles/infoshield_text.dir/text/corpus.cc.o" "gcc" "src/CMakeFiles/infoshield_text.dir/text/corpus.cc.o.d"
+  "/root/repo/src/text/ngram.cc" "src/CMakeFiles/infoshield_text.dir/text/ngram.cc.o" "gcc" "src/CMakeFiles/infoshield_text.dir/text/ngram.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/infoshield_text.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/infoshield_text.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocabulary.cc" "src/CMakeFiles/infoshield_text.dir/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/infoshield_text.dir/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_text.dir/text/corpus.cc.o"
+  "CMakeFiles/infoshield_text.dir/text/corpus.cc.o.d"
+  "CMakeFiles/infoshield_text.dir/text/ngram.cc.o"
+  "CMakeFiles/infoshield_text.dir/text/ngram.cc.o.d"
+  "CMakeFiles/infoshield_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/infoshield_text.dir/text/tokenizer.cc.o.d"
+  "CMakeFiles/infoshield_text.dir/text/vocabulary.cc.o"
+  "CMakeFiles/infoshield_text.dir/text/vocabulary.cc.o.d"
+  "libinfoshield_text.a"
+  "libinfoshield_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

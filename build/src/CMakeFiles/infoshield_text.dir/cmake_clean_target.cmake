@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libinfoshield_text.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_tfidf.dir/tfidf/tfidf_index.cc.o"
+  "CMakeFiles/infoshield_tfidf.dir/tfidf/tfidf_index.cc.o.d"
+  "libinfoshield_tfidf.a"
+  "libinfoshield_tfidf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_tfidf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for infoshield_tfidf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_util.dir/util/flags.cc.o"
+  "CMakeFiles/infoshield_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/infoshield_util.dir/util/logging.cc.o"
+  "CMakeFiles/infoshield_util.dir/util/logging.cc.o.d"
+  "CMakeFiles/infoshield_util.dir/util/random.cc.o"
+  "CMakeFiles/infoshield_util.dir/util/random.cc.o.d"
+  "CMakeFiles/infoshield_util.dir/util/status.cc.o"
+  "CMakeFiles/infoshield_util.dir/util/status.cc.o.d"
+  "CMakeFiles/infoshield_util.dir/util/string_util.cc.o"
+  "CMakeFiles/infoshield_util.dir/util/string_util.cc.o.d"
+  "CMakeFiles/infoshield_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/infoshield_util.dir/util/thread_pool.cc.o.d"
+  "libinfoshield_util.a"
+  "libinfoshield_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

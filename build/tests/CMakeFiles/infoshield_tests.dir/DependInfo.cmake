@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/coarse_clustering_test.cc" "tests/CMakeFiles/infoshield_tests.dir/coarse_clustering_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/coarse_clustering_test.cc.o.d"
+  "/root/repo/tests/connected_components_test.cc" "tests/CMakeFiles/infoshield_tests.dir/connected_components_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/connected_components_test.cc.o.d"
+  "/root/repo/tests/corpus_test.cc" "tests/CMakeFiles/infoshield_tests.dir/corpus_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/corpus_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/infoshield_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/infoshield_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/infoshield_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/dbscan_test.cc" "tests/CMakeFiles/infoshield_tests.dir/dbscan_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/dbscan_test.cc.o.d"
+  "/root/repo/tests/doc2vec_test.cc" "tests/CMakeFiles/infoshield_tests.dir/doc2vec_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/doc2vec_test.cc.o.d"
+  "/root/repo/tests/fasttext_test.cc" "tests/CMakeFiles/infoshield_tests.dir/fasttext_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/fasttext_test.cc.o.d"
+  "/root/repo/tests/fine_clustering_test.cc" "tests/CMakeFiles/infoshield_tests.dir/fine_clustering_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/fine_clustering_test.cc.o.d"
+  "/root/repo/tests/flags_test.cc" "tests/CMakeFiles/infoshield_tests.dir/flags_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/flags_test.cc.o.d"
+  "/root/repo/tests/gmeans_test.cc" "tests/CMakeFiles/infoshield_tests.dir/gmeans_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/gmeans_test.cc.o.d"
+  "/root/repo/tests/hdbscan_test.cc" "tests/CMakeFiles/infoshield_tests.dir/hdbscan_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/hdbscan_test.cc.o.d"
+  "/root/repo/tests/infoshield_integration_test.cc" "tests/CMakeFiles/infoshield_tests.dir/infoshield_integration_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/infoshield_integration_test.cc.o.d"
+  "/root/repo/tests/json_writer_test.cc" "tests/CMakeFiles/infoshield_tests.dir/json_writer_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/json_writer_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/infoshield_tests.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/logging_test.cc" "tests/CMakeFiles/infoshield_tests.dir/logging_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/logging_test.cc.o.d"
+  "/root/repo/tests/logreg_test.cc" "tests/CMakeFiles/infoshield_tests.dir/logreg_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/logreg_test.cc.o.d"
+  "/root/repo/tests/metrics_test.cc" "tests/CMakeFiles/infoshield_tests.dir/metrics_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/metrics_test.cc.o.d"
+  "/root/repo/tests/ngram_test.cc" "tests/CMakeFiles/infoshield_tests.dir/ngram_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/ngram_test.cc.o.d"
+  "/root/repo/tests/optics_test.cc" "tests/CMakeFiles/infoshield_tests.dir/optics_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/optics_test.cc.o.d"
+  "/root/repo/tests/pairwise_test.cc" "tests/CMakeFiles/infoshield_tests.dir/pairwise_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/pairwise_test.cc.o.d"
+  "/root/repo/tests/pipeline_property_test.cc" "tests/CMakeFiles/infoshield_tests.dir/pipeline_property_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/pipeline_property_test.cc.o.d"
+  "/root/repo/tests/plagiarism_gen_test.cc" "tests/CMakeFiles/infoshield_tests.dir/plagiarism_gen_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/plagiarism_gen_test.cc.o.d"
+  "/root/repo/tests/poa_test.cc" "tests/CMakeFiles/infoshield_tests.dir/poa_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/poa_test.cc.o.d"
+  "/root/repo/tests/profile_msa_test.cc" "tests/CMakeFiles/infoshield_tests.dir/profile_msa_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/profile_msa_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/infoshield_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/ranking_test.cc" "tests/CMakeFiles/infoshield_tests.dir/ranking_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/ranking_test.cc.o.d"
+  "/root/repo/tests/slot_analysis_test.cc" "tests/CMakeFiles/infoshield_tests.dir/slot_analysis_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/slot_analysis_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/infoshield_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/string_util_test.cc" "tests/CMakeFiles/infoshield_tests.dir/string_util_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/string_util_test.cc.o.d"
+  "/root/repo/tests/template_matching_test.cc" "tests/CMakeFiles/infoshield_tests.dir/template_matching_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/template_matching_test.cc.o.d"
+  "/root/repo/tests/template_test.cc" "tests/CMakeFiles/infoshield_tests.dir/template_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/template_test.cc.o.d"
+  "/root/repo/tests/tfidf_test.cc" "tests/CMakeFiles/infoshield_tests.dir/tfidf_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/tfidf_test.cc.o.d"
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/infoshield_tests.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/thread_pool_test.cc.o.d"
+  "/root/repo/tests/tokenizer_test.cc" "tests/CMakeFiles/infoshield_tests.dir/tokenizer_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/tokenizer_test.cc.o.d"
+  "/root/repo/tests/toy_example_test.cc" "tests/CMakeFiles/infoshield_tests.dir/toy_example_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/toy_example_test.cc.o.d"
+  "/root/repo/tests/trafficking_pipeline_test.cc" "tests/CMakeFiles/infoshield_tests.dir/trafficking_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/trafficking_pipeline_test.cc.o.d"
+  "/root/repo/tests/union_find_test.cc" "tests/CMakeFiles/infoshield_tests.dir/union_find_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/union_find_test.cc.o.d"
+  "/root/repo/tests/universal_code_test.cc" "tests/CMakeFiles/infoshield_tests.dir/universal_code_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/universal_code_test.cc.o.d"
+  "/root/repo/tests/visualize_test.cc" "tests/CMakeFiles/infoshield_tests.dir/visualize_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/visualize_test.cc.o.d"
+  "/root/repo/tests/vocabulary_test.cc" "tests/CMakeFiles/infoshield_tests.dir/vocabulary_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/vocabulary_test.cc.o.d"
+  "/root/repo/tests/word2vec_test.cc" "tests/CMakeFiles/infoshield_tests.dir/word2vec_test.cc.o" "gcc" "tests/CMakeFiles/infoshield_tests.dir/word2vec_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/infoshield_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_coarse.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_tfidf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_mdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_msa.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/infoshield_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

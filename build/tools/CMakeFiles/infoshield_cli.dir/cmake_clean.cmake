@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/infoshield_cli.dir/infoshield_cli.cc.o"
+  "CMakeFiles/infoshield_cli.dir/infoshield_cli.cc.o.d"
+  "infoshield"
+  "infoshield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/infoshield_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
