@@ -7,6 +7,7 @@
 #define INFOSHIELD_BASELINES_DOC2VEC_H_
 
 #include "baselines/embedding.h"
+#include "text/corpus.h"
 
 namespace infoshield {
 

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "text/corpus.h"
+#include "text/vocabulary.h"
+#include "util/random.h"
 
 namespace infoshield {
 

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "baselines/embedding.h"
+#include "text/corpus.h"
 
 namespace infoshield {
 

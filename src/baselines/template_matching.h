@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "text/corpus.h"
+#include "text/vocabulary.h"
 
 namespace infoshield {
 

@@ -6,6 +6,8 @@
 #define INFOSHIELD_BASELINES_WORD2VEC_H_
 
 #include "baselines/embedding.h"
+#include "text/corpus.h"
+#include "text/vocabulary.h"
 
 namespace infoshield {
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "text/corpus.h"
+#include "text/ngram.h"
 #include "tfidf/tfidf_index.h"
 
 namespace infoshield {

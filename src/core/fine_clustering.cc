@@ -1,12 +1,16 @@
 #include "core/fine_clustering.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "util/audit.h"
 #include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace infoshield {
 
@@ -326,7 +330,65 @@ FineResult FineClustering::RunOnCluster(
   }
 
   result.cost_after = best_total;
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateFineResult(result, corpus, doc_ids, &cm));
   return result;
+}
+
+Status ValidateTemplateCluster(const TemplateCluster& cluster,
+                               const Corpus& corpus,
+                               const CostModel* cost_model) {
+  INFOSHIELD_RETURN_IF_ERROR(cluster.tmpl.ValidateInvariants());
+  audit::Auditor a("TemplateCluster");
+  a.Expect(cluster.encodings.size() == cluster.members.size(),
+           StrFormat("%zu encodings for %zu members",
+                     cluster.encodings.size(), cluster.members.size()));
+  std::unordered_set<DocId> seen;
+  for (DocId d : cluster.members) {
+    a.Expect(d < corpus.size(),
+             StrFormat("member %u outside the %zu-document corpus", d,
+                       corpus.size()));
+    a.Expect(seen.insert(d).second, StrFormat("member %u listed twice", d));
+  }
+  INFOSHIELD_RETURN_IF_ERROR(a.Finish());
+  for (size_t i = 0; i < cluster.members.size(); ++i) {
+    INFOSHIELD_RETURN_IF_ERROR(
+        ValidateDocEncoding(cluster.tmpl, corpus.doc(cluster.members[i]).tokens,
+                            cluster.encodings[i], cost_model));
+  }
+  return Status::Ok();
+}
+
+Status ValidateFineResult(const FineResult& result, const Corpus& corpus,
+                          const std::vector<DocId>& cluster_docs,
+                          const CostModel* cost_model) {
+  for (const TemplateCluster& tc : result.templates) {
+    INFOSHIELD_RETURN_IF_ERROR(
+        ValidateTemplateCluster(tc, corpus, cost_model));
+  }
+  audit::Auditor a("FineResult");
+  std::unordered_set<DocId> assigned;
+  for (const TemplateCluster& tc : result.templates) {
+    for (DocId d : tc.members) {
+      a.Expect(assigned.insert(d).second,
+               StrFormat("document %u claimed by two templates", d));
+    }
+  }
+  for (DocId d : result.noise) {
+    a.Expect(assigned.insert(d).second,
+             StrFormat("noise document %u also claimed by a template", d));
+  }
+  std::unordered_set<DocId> expected(cluster_docs.begin(), cluster_docs.end());
+  a.Expect(assigned == expected,
+           StrFormat("templates + noise cover %zu documents, cluster has "
+                     "%zu",
+                     assigned.size(), expected.size()));
+  a.Expect(std::isfinite(result.cost_before) && result.cost_before >= 0.0,
+           "cost_before is negative or non-finite");
+  a.Expect(std::isfinite(result.cost_after) && result.cost_after >= 0.0,
+           "cost_after is negative or non-finite");
+  a.Expect(result.cost_after <= result.cost_before,
+           "accepted model costs more than the empty model");
+  return a.Finish();
 }
 
 }  // namespace infoshield

@@ -31,6 +31,8 @@
 #include "msa/profile_msa.h"
 #include "text/corpus.h"
 #include "text/ngram.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -124,6 +126,23 @@ class FineClustering {
 
   FineOptions options_;
 };
+
+// Deep invariant audits (util/audit.h).
+//
+// ValidateTemplateCluster: the template itself is well-formed, members
+// are distinct valid documents, encodings run parallel to members, and
+// every encoding's edit trace replays to its member's token sequence.
+Status ValidateTemplateCluster(const TemplateCluster& cluster,
+                               const Corpus& corpus,
+                               const CostModel* cost_model = nullptr);
+
+// ValidateFineResult: every template cluster validates, template members
+// and noise exactly partition `cluster_docs`, and the costs are finite
+// with cost_after <= cost_before (the model is only ever accepted when it
+// compresses).
+Status ValidateFineResult(const FineResult& result, const Corpus& corpus,
+                          const std::vector<DocId>& cluster_docs,
+                          const CostModel* cost_model = nullptr);
 
 }  // namespace infoshield
 

@@ -1,5 +1,10 @@
 #include "core/infoshield.h"
 
+#include <cmath>
+
+#include "util/audit.h"
+#include "util/status.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -62,7 +67,58 @@ InfoShieldResult InfoShield::Run(const Corpus& corpus) const {
     }
   }
   result.fine_seconds = timer.ElapsedSeconds();
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateInfoShieldResult(result, corpus));
   return result;
+}
+
+Status ValidateInfoShieldResult(const InfoShieldResult& result,
+                                const Corpus& corpus) {
+  for (const TemplateCluster& tc : result.templates) {
+    INFOSHIELD_RETURN_IF_ERROR(ValidateTemplateCluster(tc, corpus));
+  }
+  audit::Auditor a("InfoShieldResult");
+  a.Expect(result.doc_template.size() == corpus.size(),
+           StrFormat("doc_template has %zu labels for %zu documents",
+                     result.doc_template.size(), corpus.size()));
+  a.Expect(result.template_coarse_cluster.size() == result.templates.size(),
+           StrFormat("template_coarse_cluster has %zu entries for %zu "
+                     "templates",
+                     result.template_coarse_cluster.size(),
+                     result.templates.size()));
+  // Labels and member lists must be exact inverses.
+  size_t member_total = 0;
+  for (size_t t = 0; t < result.templates.size(); ++t) {
+    member_total += result.templates[t].members.size();
+    for (DocId d : result.templates[t].members) {
+      if (d < result.doc_template.size()) {
+        a.Expect(result.doc_template[d] == static_cast<int64_t>(t),
+                 StrFormat("document %u is a member of template %zu but "
+                           "carries label %lld",
+                           d, t,
+                           static_cast<long long>(result.doc_template[d])));
+      }
+    }
+  }
+  size_t labeled = 0;
+  for (size_t d = 0; d < result.doc_template.size(); ++d) {
+    const int64_t label = result.doc_template[d];
+    a.Expect(label >= -1 &&
+                 label < static_cast<int64_t>(result.templates.size()),
+             StrFormat("document %zu has out-of-range label %lld", d,
+                       static_cast<long long>(label)));
+    if (label >= 0) ++labeled;
+  }
+  a.Expect(labeled == member_total,
+           StrFormat("%zu labeled documents but %zu template members",
+                     labeled, member_total));
+  for (const ClusterStats& s : result.cluster_stats) {
+    a.Expect(std::isfinite(s.cost_before) && s.cost_before >= 0.0 &&
+                 std::isfinite(s.cost_after) && s.cost_after >= 0.0,
+             StrFormat("cluster %zu stats carry negative or non-finite "
+                       "costs",
+                       s.coarse_cluster_index));
+  }
+  return a.Finish();
 }
 
 }  // namespace infoshield

@@ -15,6 +15,7 @@
 #include "coarse/coarse_clustering.h"
 #include "core/fine_clustering.h"
 #include "text/corpus.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -72,6 +73,15 @@ class InfoShield {
  private:
   InfoShieldOptions options_;
 };
+
+// Deep invariant audit (util/audit.h): every template cluster validates
+// against the corpus, doc_template is a consistent inverse of the
+// clusters' member lists (label i <=> member of templates[i]), the
+// parallel template_coarse_cluster array lines up, and the per-cluster
+// stats carry finite costs. Returns OK or an Internal status listing
+// every violation.
+Status ValidateInfoShieldResult(const InfoShieldResult& result,
+                                const Corpus& corpus);
 
 }  // namespace infoshield
 

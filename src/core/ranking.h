@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/fine_clustering.h"
 #include "core/infoshield.h"
 #include "mdl/cost_model.h"
 #include "text/corpus.h"

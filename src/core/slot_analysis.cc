@@ -1,8 +1,11 @@
 #include "core/slot_analysis.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
+#include "util/audit.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace infoshield {
@@ -207,7 +210,38 @@ std::vector<SlotProfile> AnalyzeSlots(const TemplateCluster& cluster,
     }
     profile.examples = std::move(examples);
   }
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateSlotProfiles(profiles, cluster.tmpl));
   return profiles;
+}
+
+Status ValidateSlotProfiles(const std::vector<SlotProfile>& profiles,
+                            const Template& tmpl) {
+  INFOSHIELD_RETURN_IF_ERROR(tmpl.ValidateInvariants());
+  audit::Auditor a("SlotProfiles");
+  const std::vector<size_t> gaps = tmpl.SlotGaps();
+  a.Expect(profiles.size() == gaps.size(),
+           StrFormat("%zu profiles for %zu enabled slots", profiles.size(),
+                     gaps.size()));
+  for (size_t s = 0; s < profiles.size(); ++s) {
+    const SlotProfile& p = profiles[s];
+    if (s < gaps.size()) {
+      a.Expect(p.gap == gaps[s],
+               StrFormat("profile #%zu covers gap %zu, expected %zu", s,
+                         p.gap, gaps[s]));
+    }
+    a.Expect(p.empty_fraction >= 0.0 && p.empty_fraction <= 1.0,
+             StrFormat("profile #%zu empty_fraction outside [0, 1]", s));
+    a.Expect(p.distinct_fraction >= 0.0 && p.distinct_fraction <= 1.0,
+             StrFormat("profile #%zu distinct_fraction outside [0, 1]", s));
+    a.Expect(std::isfinite(p.mean_words) && p.mean_words >= 0.0,
+             StrFormat("profile #%zu mean_words negative or non-finite", s));
+    if (p.kind == SlotContentKind::kEmpty) {
+      a.Expect(p.examples.empty() && p.mean_words == 0.0,
+               StrFormat("profile #%zu classified empty but carries fills",
+                         s));
+    }
+  }
+  return a.Finish();
 }
 
 std::string RenderSlotProfiles(const std::vector<SlotProfile>& profiles) {

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "core/fine_clustering.h"
+#include "core/template.h"
 #include "text/corpus.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -58,6 +60,14 @@ std::vector<SlotProfile> AnalyzeSlots(const TemplateCluster& cluster,
 
 // One-line-per-slot human-readable summary.
 std::string RenderSlotProfiles(const std::vector<SlotProfile>& profiles);
+
+// Deep invariant audit (util/audit.h): profiles cover exactly the
+// template's enabled slot gaps in ascending order, fractions lie in
+// [0, 1], mean word counts are finite and non-negative, and a kEmpty
+// classification is consistent with an empty-fill slot. Returns OK or an
+// Internal status listing every violation.
+Status ValidateSlotProfiles(const std::vector<SlotProfile>& profiles,
+                            const Template& tmpl);
 
 namespace internal {
 // Exposed for tests: classifies a bag of fill strings.

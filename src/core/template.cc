@@ -1,8 +1,12 @@
 #include "core/template.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "util/audit.h"
 #include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace infoshield {
 
@@ -152,7 +156,178 @@ DocEncoding EncodeDocumentWithAlignment(const Template& tmpl,
   }
 
   enc.base_cost = cost_model.AlignmentCostBase(s);
+#if defined(INFOSHIELD_AUDIT)
+  if (audit::AuditingEnabled()) {
+    // Recover the document from the alignment's b-side tokens so the
+    // replay check can run without the caller's original sequence.
+    std::vector<TokenId> doc_tokens;
+    for (const AlignOp& op : alignment.ops) {
+      if (op.type != AlignOpType::kDelete) doc_tokens.push_back(op.b_token);
+    }
+    INFOSHIELD_AUDIT_INVARIANTS(
+        ValidateDocEncoding(tmpl, doc_tokens, enc, &cost_model));
+  }
+#endif
   return enc;
+}
+
+Status Template::ValidateInvariants() const {
+  audit::Auditor a("Template");
+  a.Expect(slot_at_gap.empty() || slot_at_gap.size() == tokens.size() + 1,
+           StrFormat("slot table has %zu entries for %zu tokens",
+                     slot_at_gap.size(), tokens.size()));
+  for (size_t g = 0; g < slot_at_gap.size(); ++g) {
+    a.Expect(slot_at_gap[g] == 0 || slot_at_gap[g] == 1,
+             StrFormat("slot_at_gap[%zu] is %u, not 0/1", g,
+                       unsigned{slot_at_gap[g]}));
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    a.Expect(tokens[i] != kInvalidToken,
+             StrFormat("constant token #%zu is the invalid sentinel", i));
+  }
+  return a.Finish();
+}
+
+Status ValidateDocEncoding(const Template& tmpl,
+                           const std::vector<TokenId>& doc_tokens,
+                           const DocEncoding& enc,
+                           const CostModel* cost_model) {
+  INFOSHIELD_RETURN_IF_ERROR(tmpl.ValidateInvariants());
+  audit::Auditor a("DocEncoding");
+
+  // Replay the columns: template tokens are consumed in order by
+  // constant, deletion, and substitution columns; document tokens are
+  // reproduced in order by constant, slot-fill, insertion, and
+  // substitution columns. Gap attribution may only step forward, by one,
+  // after a constant or deletion column (Algorithm 3).
+  size_t t_cursor = 0;
+  std::vector<TokenId> replayed;
+  replayed.reserve(doc_tokens.size());
+  std::vector<std::vector<TokenId>> fills_by_gap(tmpl.length() + 1);
+  uint32_t prev_gap = 0;
+  ColumnKind prev_kind = ColumnKind::kConstant;
+  for (size_t i = 0; i < enc.columns.size(); ++i) {
+    const AnnotatedColumn& col = enc.columns[i];
+    if (!a.Expect(col.gap <= tmpl.length(),
+                  StrFormat("column #%zu gap %u past template length %zu", i,
+                            col.gap, tmpl.length()))) {
+      break;
+    }
+    if (i > 0) {
+      const uint32_t step = col.gap - prev_gap;
+      const bool advanced_legally =
+          step == 0 || (step == 1 && (prev_kind == ColumnKind::kConstant ||
+                                      prev_kind == ColumnKind::kDeletion));
+      a.Expect(col.gap >= prev_gap && advanced_legally,
+               StrFormat("column #%zu gap %u does not follow %u legally", i,
+                         col.gap, prev_gap));
+    }
+    const bool consumes_template = col.kind == ColumnKind::kConstant ||
+                                   col.kind == ColumnKind::kDeletion ||
+                                   col.kind == ColumnKind::kSubstitution;
+    if (consumes_template) {
+      if (!a.Expect(t_cursor < tmpl.length(),
+                    StrFormat("column #%zu consumes a template token past "
+                              "the end",
+                              i))) {
+        break;
+      }
+      a.Expect(col.template_token == tmpl.tokens[t_cursor],
+               StrFormat("column #%zu template token mismatch at "
+                         "position %zu",
+                         i, t_cursor));
+      ++t_cursor;
+    }
+    switch (col.kind) {
+      case ColumnKind::kConstant:
+        a.Expect(col.doc_token == col.template_token,
+                 StrFormat("constant column #%zu carries a different "
+                           "document token",
+                           i));
+        replayed.push_back(col.doc_token);
+        break;
+      case ColumnKind::kSlotFill:
+        a.Expect(tmpl.HasSlotAtGap(col.gap),
+                 StrFormat("slot fill at gap %u, but the template has no "
+                           "slot there",
+                           col.gap));
+        fills_by_gap[col.gap].push_back(col.doc_token);
+        replayed.push_back(col.doc_token);
+        break;
+      case ColumnKind::kInsertion:
+      case ColumnKind::kSubstitution:
+        replayed.push_back(col.doc_token);
+        break;
+      case ColumnKind::kDeletion:
+        break;
+    }
+    prev_gap = col.gap;
+    prev_kind = col.kind;
+  }
+  a.Expect(t_cursor == tmpl.length(),
+           StrFormat("columns consume %zu of %zu template tokens", t_cursor,
+                     tmpl.length()));
+  a.Expect(replayed == doc_tokens,
+           StrFormat("edit trace replays to %zu tokens that differ from "
+                     "the %zu-token document",
+                     replayed.size(), doc_tokens.size()));
+
+  // Slot bookkeeping: one word list per enabled gap, ascending, matching
+  // the slot-fill columns exactly.
+  const std::vector<size_t> slot_gaps = tmpl.SlotGaps();
+  a.Expect(enc.slot_words.size() == slot_gaps.size(),
+           StrFormat("%zu slot word lists for %zu enabled slots",
+                     enc.slot_words.size(), slot_gaps.size()));
+  if (enc.slot_words.size() == slot_gaps.size()) {
+    for (size_t s = 0; s < slot_gaps.size(); ++s) {
+      a.Expect(enc.slot_words[s] == fills_by_gap[slot_gaps[s]],
+               StrFormat("slot %zu (gap %zu) word list disagrees with the "
+                         "slot-fill columns",
+                         s, slot_gaps[s]));
+    }
+  }
+
+  // The cost summary must recount from the columns.
+  EncodingSummary recount;
+  for (const AnnotatedColumn& col : enc.columns) {
+    switch (col.kind) {
+      case ColumnKind::kConstant:
+        ++recount.alignment_length;
+        break;
+      case ColumnKind::kSlotFill:
+        break;
+      case ColumnKind::kInsertion:
+      case ColumnKind::kSubstitution:
+        ++recount.alignment_length;
+        ++recount.unmatched;
+        ++recount.inserted_or_substituted;
+        break;
+      case ColumnKind::kDeletion:
+        ++recount.alignment_length;
+        ++recount.unmatched;
+        break;
+    }
+  }
+  a.Expect(enc.summary.alignment_length == recount.alignment_length &&
+               enc.summary.unmatched == recount.unmatched &&
+               enc.summary.inserted_or_substituted ==
+                   recount.inserted_or_substituted,
+           "summary counters do not recount from the columns");
+  std::vector<size_t> slot_counts;
+  slot_counts.reserve(enc.slot_words.size());
+  for (const auto& words : enc.slot_words) slot_counts.push_back(words.size());
+  a.Expect(enc.summary.slot_word_counts == slot_counts,
+           "summary slot word counts disagree with slot_words");
+  INFOSHIELD_RETURN_IF_ERROR(ValidateEncodingSummary(enc.summary));
+
+  a.Expect(std::isfinite(enc.base_cost) && enc.base_cost >= 0.0,
+           "base_cost is negative or non-finite");
+  if (cost_model != nullptr) {
+    a.Expect(std::abs(enc.base_cost -
+                      cost_model->AlignmentCostBase(enc.summary)) <= 1e-9,
+             "base_cost disagrees with AlignmentCostBase(summary)");
+  }
+  return a.Finish();
 }
 
 }  // namespace infoshield

@@ -27,6 +27,8 @@
 #include "mdl/cost_model.h"
 #include "msa/pairwise.h"
 #include "text/corpus.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -49,6 +51,12 @@ struct Template {
 
   // Human-readable form with '*' for slots, e.g. "this is a great * and".
   std::string ToString(const Vocabulary& vocab) const;
+
+  // Deep invariant audit (util/audit.h): the slot table is either empty
+  // or exactly tokens.size() + 1 entries of 0/1, and every constant token
+  // is a valid (non-sentinel) id. Returns OK or an Internal status
+  // listing every violation.
+  Status ValidateInvariants() const;
 };
 
 // How one alignment column is rendered/charged after slot absorption.
@@ -91,6 +99,20 @@ DocEncoding EncodeDocument(const Template& tmpl,
 DocEncoding EncodeDocumentWithAlignment(const Template& tmpl,
                                         const Alignment& alignment,
                                         const CostModel& cost_model);
+
+// Deep audit of one document's encoding against its template: the edit
+// trace replays losslessly to the original token sequence (constants,
+// slot fills, insertions and substitutions concatenate back to
+// `doc_tokens`; constants/deletions/substitutions consume the template's
+// tokens in order), gap attribution is monotone and only advances on
+// constant/deleted columns, slot fills land on enabled gaps and agree
+// with `slot_words`, and the cost summary recounts from the columns.
+// When `cost_model` is given, also verifies base_cost matches it. Returns
+// OK or an Internal status listing every violation.
+Status ValidateDocEncoding(const Template& tmpl,
+                           const std::vector<TokenId>& doc_tokens,
+                           const DocEncoding& enc,
+                           const CostModel* cost_model = nullptr);
 
 }  // namespace infoshield
 

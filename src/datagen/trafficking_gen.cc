@@ -31,16 +31,8 @@ void Append(std::string& s, const std::string& w) {
   s += w;
 }
 
-// A handful of words from one pool.
-void AppendFrom(std::string& s, const std::vector<std::string>& pool,
-                size_t count, Rng& rng) {
-  for (size_t i = 0; i < count; ++i) {
-    Append(s, pool[rng.NextIndex(pool.size())]);
-  }
-}
-
-// Like AppendFrom, but draws ranks over an extended pool (PoolWord) so
-// that independent draws rarely repeat exact wording.
+// A handful of words from one pool, drawing ranks over an extended pool
+// (PoolWord) so that independent draws rarely repeat exact wording.
 void AppendFromExtended(std::string& s, const std::vector<std::string>& pool,
                         size_t effective_size, size_t count, Rng& rng) {
   const size_t size = std::max(effective_size, pool.size());

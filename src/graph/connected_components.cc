@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "util/audit.h"
+
 namespace infoshield {
 
 Components ExtractComponents(UnionFind& uf, size_t min_component_size) {
+  INFOSHIELD_AUDIT_INVARIANTS(uf.ValidateInvariants());
   std::unordered_map<uint32_t, std::vector<uint32_t>> by_root;
   const size_t n = uf.num_elements();
   for (uint32_t i = 0; i < n; ++i) {

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace infoshield {
 
 class UnionFind {
@@ -28,7 +30,16 @@ class UnionFind {
   size_t num_elements() const { return parent_.size(); }
   size_t num_sets() const { return num_sets_; }
 
+  // Deep invariant audit (util/audit.h): the parent array is an acyclic
+  // forest with in-range entries, every root's stored size equals its
+  // actual member count (sizes sum to n), and num_sets matches the root
+  // count. Returns OK or an Internal status listing every violation.
+  // Does not mutate the structure (no path compression).
+  Status ValidateInvariants() const;
+
  private:
+  friend class UnionFindTestPeer;
+
   std::vector<uint32_t> parent_;
   std::vector<uint32_t> size_;
   size_t num_sets_;

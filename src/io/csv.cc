@@ -1,4 +1,5 @@
 #include "io/csv.h"
+#include "util/status.h"
 
 #include <fstream>
 #include <sstream>

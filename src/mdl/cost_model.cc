@@ -1,11 +1,17 @@
 #include "mdl/cost_model.h"
 
+#include <cmath>
+
+#include "util/audit.h"
 #include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace infoshield {
 
 CostModel::CostModel(double lg_vocab) : lg_vocab_(lg_vocab) {
   CHECK_GT(lg_vocab, 0.0);
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
 }
 
 CostModel CostModel::ForVocabulary(const Vocabulary& vocab) {
@@ -53,6 +59,58 @@ double CostModel::AlignmentCostBase(const EncodingSummary& s) const {
 double CostModel::EncodedDocCost(size_t num_templates,
                                  const EncodingSummary& s) const {
   return Log2Bits(num_templates) + AlignmentCostBase(s);
+}
+
+Status CostModel::ValidateInvariants() const {
+  audit::Auditor a("CostModel");
+  a.Expect(std::isfinite(lg_vocab_) && lg_vocab_ > 0.0,
+           "lg_vocab is non-finite or non-positive");
+
+  auto finite_nonneg = [&a](double bits, const char* what) {
+    a.Expect(std::isfinite(bits) && bits >= 0.0,
+             StrFormat("%s is negative or non-finite", what));
+  };
+  const size_t kLengths[] = {0, 1, 2, 5, 32, 1000, 100000};
+  double prev_unencoded = 0.0;
+  for (size_t l : kLengths) {
+    finite_nonneg(UnencodedDocCost(l), "UnencodedDocCost");
+    a.Expect(UnencodedDocCost(l) >= prev_unencoded,
+             StrFormat("UnencodedDocCost not monotone at l=%zu", l));
+    prev_unencoded = UnencodedDocCost(l);
+    for (size_t slots : {size_t{0}, size_t{1}, l}) {
+      finite_nonneg(TemplateCost(l, slots), "TemplateCost");
+    }
+  }
+  a.Expect(SlotCost(0) == 1.0, "S(0) != 1 bit");
+  double prev_slot = 0.0;
+  for (size_t w : {size_t{0}, size_t{1}, size_t{3}, size_t{50}}) {
+    finite_nonneg(SlotCost(w), "SlotCost");
+    a.Expect(SlotCost(w) >= prev_slot,
+             StrFormat("SlotCost not monotone at w=%zu", w));
+    prev_slot = SlotCost(w);
+  }
+  for (size_t l : kLengths) {
+    EncodingSummary s;
+    s.alignment_length = l;
+    s.unmatched = l / 2;
+    s.inserted_or_substituted = l / 4;
+    s.slot_word_counts = {0, 2};
+    finite_nonneg(AlignmentCostBase(s), "AlignmentCostBase");
+    a.Expect(EncodedDocCost(3, s) >= AlignmentCostBase(s),
+             "EncodedDocCost below AlignmentCostBase");
+  }
+  return a.Finish();
+}
+
+Status ValidateEncodingSummary(const EncodingSummary& s) {
+  audit::Auditor a("EncodingSummary");
+  a.Expect(s.unmatched <= s.alignment_length,
+           StrFormat("unmatched %zu exceeds alignment length %zu",
+                     s.unmatched, s.alignment_length));
+  a.Expect(s.inserted_or_substituted <= s.unmatched,
+           StrFormat("inserted_or_substituted %zu exceeds unmatched %zu",
+                     s.inserted_or_substituted, s.unmatched));
+  return a.Finish();
 }
 
 double RelativeLength(double cost_after, double cost_before) {

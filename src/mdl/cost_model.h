@@ -39,6 +39,7 @@
 
 #include "mdl/universal_code.h"
 #include "text/vocabulary.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -87,9 +88,21 @@ class CostModel {
   // Full encoded-document cost: lg t + AlignmentCostBase.
   double EncodedDocCost(size_t num_templates, const EncodingSummary& s) const;
 
+  // Deep invariant audit (util/audit.h): probes every cost formula over a
+  // grid of shapes and verifies all produced costs are finite and
+  // non-negative, with the expected monotonicities (longer documents and
+  // more slot words never cost less). Returns OK or an Internal status
+  // listing every violation.
+  Status ValidateInvariants() const;
+
  private:
   double lg_vocab_;
 };
+
+// Audits the internal consistency of one encoding summary: the unmatched
+// count cannot exceed the alignment length, and inserted/substituted
+// words are a subset of the unmatched columns.
+Status ValidateEncodingSummary(const EncodingSummary& s);
 
 // Relative length (Eq. 7): cost after compression / cost before.
 double RelativeLength(double cost_after, double cost_before);

@@ -2,6 +2,10 @@
 
 #include <cmath>
 
+#include "util/audit.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
 namespace infoshield {
 
 double UniversalCodeLength(uint64_t n) {
@@ -12,6 +16,43 @@ double UniversalCodeLength(uint64_t n) {
 double Log2Bits(uint64_t n) {
   if (n <= 1) return 0.0;
   return std::log2(static_cast<double>(n));
+}
+
+Status AuditUniversalCode() {
+  audit::Auditor a("UniversalCode");
+  a.Expect(UniversalCodeLength(0) == 1.0, "<0> != 1 bit");
+  a.Expect(UniversalCodeLength(1) == 1.0, "<1> != 1 bit");
+  a.Expect(Log2Bits(0) == 0.0, "lg(0) != 0");
+  a.Expect(Log2Bits(1) == 0.0, "lg(1) != 0");
+
+  double prev_ucl = UniversalCodeLength(0);
+  double prev_lg = Log2Bits(0);
+  for (uint64_t n = 1; n <= (uint64_t{1} << 40); n *= 3) {
+    const double ucl = UniversalCodeLength(n);
+    const double lg = Log2Bits(n);
+    const double expected_ucl =
+        n <= 1 ? 1.0 : 2.0 * std::log2(static_cast<double>(n)) + 1.0;
+    const double expected_lg =
+        n <= 1 ? 0.0 : std::log2(static_cast<double>(n));
+    a.Expect(std::isfinite(ucl) && ucl >= 0.0,
+             StrFormat("<%llu> is negative or non-finite",
+                       static_cast<unsigned long long>(n)));
+    a.Expect(std::abs(ucl - expected_ucl) <= 1e-9,
+             StrFormat("<%llu> deviates from 2*lg n + 1",
+                       static_cast<unsigned long long>(n)));
+    a.Expect(std::abs(lg - expected_lg) <= 1e-9,
+             StrFormat("lg(%llu) deviates from log2",
+                       static_cast<unsigned long long>(n)));
+    a.Expect(ucl >= prev_ucl,
+             StrFormat("<n> not monotone at n=%llu",
+                       static_cast<unsigned long long>(n)));
+    a.Expect(lg >= prev_lg,
+             StrFormat("lg(n) not monotone at n=%llu",
+                       static_cast<unsigned long long>(n)));
+    prev_ucl = ucl;
+    prev_lg = lg;
+  }
+  return a.Finish();
 }
 
 }  // namespace infoshield

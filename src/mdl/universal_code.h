@@ -11,6 +11,8 @@
 
 #include <cstdint>
 
+#include "util/status.h"
+
 namespace infoshield {
 
 // <n> = 2*lg(n) + 1 for n >= 1; 1 bit for n == 0.
@@ -18,6 +20,14 @@ double UniversalCodeLength(uint64_t n);
 
 // lg(L) with lg(0) = lg(1) = 0 (choosing among <= 1 alternative is free).
 double Log2Bits(uint64_t n);
+
+// Deep invariant audit (util/audit.h): probes both primitives over a
+// geometric grid of arguments and verifies UniversalCodeLength(n) matches
+// the 2·lg n + 1 definition (1 bit for n <= 1), Log2Bits matches lg n
+// (0 for n <= 1), and both are finite, non-negative, and monotone
+// non-decreasing. Returns OK or an Internal status listing every
+// violation.
+Status AuditUniversalCode();
 
 }  // namespace infoshield
 

@@ -4,7 +4,10 @@
 #include <limits>
 #include <queue>
 
+#include "util/audit.h"
 #include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace infoshield {
 
@@ -29,6 +32,7 @@ PoaGraph::PoaGraph(const std::vector<TokenId>& first,
   }
   num_sequences_ = 1;
   RecomputeTopoOrder();
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
 }
 
 uint32_t PoaGraph::NewNode(TokenId token) {
@@ -81,6 +85,7 @@ void PoaGraph::AddSequence(const std::vector<TokenId>& seq) {
       prev = id;
     }
     RecomputeTopoOrder();
+    INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
     return;
   }
 
@@ -225,6 +230,7 @@ void PoaGraph::AddSequence(const std::vector<TokenId>& seq) {
   }
   CHECK_EQ(col, m);
   RecomputeTopoOrder();
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
 }
 
 std::vector<TokenId> PoaGraph::ConsensusAtThreshold(size_t h) const {
@@ -239,6 +245,80 @@ size_t PoaGraph::max_support() const {
   size_t best = 0;
   for (const Node& n : nodes_) best = std::max<size_t>(best, n.support);
   return best;
+}
+
+Status PoaGraph::ValidateInvariants() const {
+  audit::Auditor a("PoaGraph");
+  const size_t n = nodes_.size();
+
+  // Topological bookkeeping: topo_order_ is a permutation of the node ids
+  // and topo_rank_ is its exact inverse.
+  a.Expect(topo_order_.size() == n,
+           StrFormat("topo_order_ has %zu entries for %zu nodes",
+                     topo_order_.size(), n));
+  a.Expect(topo_rank_.size() == n,
+           StrFormat("topo_rank_ has %zu entries for %zu nodes",
+                     topo_rank_.size(), n));
+  if (topo_order_.size() == n && topo_rank_.size() == n) {
+    std::vector<char> seen(n, 0);
+    for (size_t i = 0; i < n; ++i) {
+      uint32_t id = topo_order_[i];
+      if (!a.Expect(id < n, StrFormat("topo_order_[%zu]=%u out of range",
+                                      i, id))) {
+        continue;
+      }
+      a.Expect(!seen[id], StrFormat("node %u appears twice in topo_order_",
+                                    id));
+      seen[id] = 1;
+      a.Expect(topo_rank_[id] == i,
+               StrFormat("topo_rank_[%u]=%u but topo_order_[%zu]=%u", id,
+                         topo_rank_[id], i, id));
+    }
+  }
+
+  const bool ranks_usable = topo_rank_.size() == n;
+  for (uint32_t u = 0; u < n; ++u) {
+    const Node& node = nodes_[u];
+    a.Expect(node.support >= 1 && node.support <= num_sequences_,
+             StrFormat("node %u support %u outside [1, %zu]", u,
+                       node.support, num_sequences_));
+    std::vector<uint32_t> sorted_out = node.out;
+    std::sort(sorted_out.begin(), sorted_out.end());
+    a.Expect(std::adjacent_find(sorted_out.begin(), sorted_out.end()) ==
+                 sorted_out.end(),
+             StrFormat("node %u has duplicate out-edges", u));
+    for (uint32_t v : node.out) {
+      a.Expect(v != u, StrFormat("node %u has a self-edge", u));
+      if (!a.Expect(v < n, StrFormat("edge %u->%u points past %zu nodes",
+                                     u, v, n))) {
+        continue;
+      }
+      // Every out-edge is mirrored by exactly one in-edge.
+      const auto& in = nodes_[v].in;
+      a.Expect(std::count(in.begin(), in.end(), u) == 1,
+               StrFormat("edge %u->%u not mirrored once in nodes_[%u].in",
+                         u, v, v));
+      // A true topological order: edges only go up in rank. This is also
+      // the acyclicity proof — any cycle would need a rank-decreasing
+      // edge.
+      if (ranks_usable && v < n) {
+        a.Expect(topo_rank_[u] < topo_rank_[v],
+                 StrFormat("edge %u->%u violates topo order (rank %u >= %u)",
+                           u, v, topo_rank_[u], topo_rank_[v]));
+      }
+    }
+    for (uint32_t p : node.in) {
+      if (!a.Expect(p < n, StrFormat("in-edge %u->%u points past %zu nodes",
+                                     p, u, n))) {
+        continue;
+      }
+      const auto& out = nodes_[p].out;
+      a.Expect(std::count(out.begin(), out.end(), u) == 1,
+               StrFormat("in-edge %u->%u not mirrored once in nodes_[%u].out",
+                         p, u, p));
+    }
+  }
+  return a.Finish();
 }
 
 std::vector<uint32_t> PoaGraph::SupportByTopoOrder() const {

@@ -24,6 +24,7 @@
 #include "msa/aligner.h"
 #include "msa/pairwise.h"
 #include "text/vocabulary.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -50,7 +51,16 @@ class PoaGraph : public MsaAligner {
   // Support of each node, indexed by topological order (for tests).
   std::vector<uint32_t> SupportByTopoOrder() const;
 
+  // Deep invariant audit (util/audit.h): the graph is a DAG, the stored
+  // topo_order_/topo_rank_ form a consistent topological order (every
+  // edge goes from lower to higher rank), in/out edge lists mirror each
+  // other exactly, and node supports lie in [1, num_sequences]. Returns
+  // OK or an Internal status listing every violation.
+  Status ValidateInvariants() const;
+
  private:
+  friend class PoaGraphTestPeer;
+
   struct Node {
     TokenId token;
     uint32_t support;

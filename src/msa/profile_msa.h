@@ -18,6 +18,7 @@
 
 #include "msa/aligner.h"
 #include "msa/pairwise.h"
+#include "text/vocabulary.h"
 
 namespace infoshield {
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "text/corpus.h"
+#include "text/vocabulary.h"
 
 namespace infoshield {
 

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
-#include "util/logging.h"
+#include "util/audit.h"
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace infoshield {
 
@@ -22,6 +24,7 @@ void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options) {
       ++df_[hash];
     }
   }
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
 }
 
 size_t TfidfIndex::DocumentFrequency(PhraseHash phrase) const {
@@ -66,7 +69,41 @@ std::vector<ScoredPhrase> TfidfIndex::TopPhrases(const Document& doc) const {
               return a.hash < b.hash;
             });
   scored.resize(keep);
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateTopPhrases(scored));
   return scored;
+}
+
+Status TfidfIndex::ValidateInvariants() const {
+  audit::Auditor a("TfidfIndex");
+  a.Expect(options_.top_fraction >= 0.0 && options_.top_fraction <= 1.0,
+           StrFormat("top_fraction %.3f outside [0, 1]",
+                     options_.top_fraction));
+  a.Expect(options_.max_ngram >= 1, "max_ngram is 0");
+  for (const auto& [hash, df] : df_) {
+    if (df < 1 || df > num_documents_) {
+      a.Expect(false,
+               StrFormat("phrase %llu has df %u outside [1, %zu]",
+                         static_cast<unsigned long long>(hash), df,
+                         num_documents_));
+    }
+  }
+  return a.Finish();
+}
+
+Status ValidateTopPhrases(const std::vector<ScoredPhrase>& phrases) {
+  audit::Auditor a("TopPhrases");
+  for (size_t i = 0; i < phrases.size(); ++i) {
+    a.Expect(std::isfinite(phrases[i].score),
+             StrFormat("phrase #%zu has non-finite score", i));
+    if (i == 0) continue;
+    const ScoredPhrase& prev = phrases[i - 1];
+    const ScoredPhrase& cur = phrases[i];
+    a.Expect(prev.score > cur.score ||
+                 (prev.score == cur.score && prev.hash < cur.hash),
+             StrFormat("phrases #%zu..#%zu out of order or duplicated",
+                       i - 1, i));
+  }
+  return a.Finish();
 }
 
 }  // namespace infoshield

@@ -22,6 +22,7 @@
 
 #include "text/corpus.h"
 #include "text/ngram.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -71,11 +72,21 @@ class TfidfIndex {
   size_t num_phrases() const { return df_.size(); }
   const TfidfOptions& options() const { return options_; }
 
+  // Deep invariant audit (util/audit.h): every document frequency lies in
+  // [1, num_documents] and the stored options are sane. Returns OK or an
+  // Internal status listing every violation.
+  Status ValidateInvariants() const;
+
  private:
   TfidfOptions options_;
   size_t num_documents_ = 0;
   std::unordered_map<PhraseHash, uint32_t> df_;
 };
+
+// Audits a TopPhrases result: scores are finite, the list is sorted by
+// score descending (hash ascending on ties) and contains no duplicate
+// phrase hash.
+Status ValidateTopPhrases(const std::vector<ScoredPhrase>& phrases);
 
 }  // namespace infoshield
 

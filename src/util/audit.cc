@@ -1,0 +1,38 @@
+#include "util/audit.h"
+#include "util/status.h"
+
+#include <atomic>
+
+namespace infoshield {
+namespace audit {
+
+namespace {
+std::atomic<bool> g_auditing_enabled{true};
+}  // namespace
+
+bool AuditingEnabled() {
+  return g_auditing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetAuditingEnabled(bool enabled) {
+  g_auditing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Auditor::Expect(bool ok, const std::string& what) {
+  if (!ok) failures_.push_back(what);
+  return ok;
+}
+
+Status Auditor::Finish() const {
+  if (failures_.empty()) return Status::Ok();
+  std::string message = subject_;
+  message += ": ";
+  for (size_t i = 0; i < failures_.size(); ++i) {
+    if (i > 0) message += "; ";
+    message += failures_[i];
+  }
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace audit
+}  // namespace infoshield

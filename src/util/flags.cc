@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace infoshield {

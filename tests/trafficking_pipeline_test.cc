@@ -53,7 +53,9 @@ TEST_P(TraffickingPipelineTest, InvariantsHold) {
   ASSERT_EQ(ranked.size(), r.templates.size());
   std::vector<bool> seen(r.templates.size(), false);
   for (size_t i = 0; i < ranked.size(); ++i) {
-    if (i > 0) EXPECT_LE(ranked[i - 1].slack, ranked[i].slack);
+    if (i > 0) {
+      EXPECT_LE(ranked[i - 1].slack, ranked[i].slack);
+    }
     ASSERT_LT(ranked[i].template_index, seen.size());
     EXPECT_FALSE(seen[ranked[i].template_index]);
     seen[ranked[i].template_index] = true;

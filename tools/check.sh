@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Full correctness gate for InfoShield.
+#
+#   tools/check.sh          lint, then the whole test suite under
+#                           ASan+UBSan and again under TSan (both with
+#                           -Werror and the deep invariant auditors on).
+#   tools/check.sh --fast   lint + an ASan+UBSan run of the unit tests
+#                           only (slow sweep/pipeline suites and the TSan
+#                           pass are skipped). Suitable as a pre-merge
+#                           smoke check.
+#
+# Build trees go to build-asan/ and build-tsan/ next to build/ (all
+# gitignored). Exits non-zero on the first failing stage.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    -h|--help)
+      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "unknown argument: $arg (try --help)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+SUPP_DIR="$ROOT/tools/sanitizers"
+
+# Runtime options: fail hard on any report, keep stacks readable.
+export ASAN_OPTIONS="detect_stack_use_after_return=1:strict_string_checks=1:check_initialization_order=1:detect_leaks=1:abort_on_error=1"
+export LSAN_OPTIONS="suppressions=$SUPP_DIR/lsan.supp:report_objects=1"
+export UBSAN_OPTIONS="suppressions=$SUPP_DIR/ubsan.supp:print_stacktrace=1:halt_on_error=1"
+export TSAN_OPTIONS="suppressions=$SUPP_DIR/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+configure_and_build() {
+  local dir="$1" sanitize="$2"
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DINFOSHIELD_WERROR=ON \
+    -DINFOSHIELD_AUDIT=ON \
+    -DINFOSHIELD_SANITIZE="$sanitize" \
+    > /dev/null
+  cmake --build "$dir" -j "$JOBS"
+}
+
+step "lint (tools/lint.py + clang-tidy when available)"
+configure_and_build build-asan "address,undefined"
+python3 tools/lint.py --clang-tidy-build-dir "$ROOT/build-asan"
+
+if [[ "$FAST" == "1" ]]; then
+  step "ASan+UBSan unit tests (--fast: sweep/pipeline suites skipped)"
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -E 'Sweep|Pipeline|Integration|EndToEnd'
+  step "fast check passed (TSan pass skipped; run tools/check.sh for it)"
+  exit 0
+fi
+
+step "ASan+UBSan full test suite (audited, -Werror)"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+step "TSan full test suite (thread_pool + parallel fine stage included)"
+configure_and_build build-tsan "thread"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+step "all checks passed"
