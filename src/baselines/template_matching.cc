@@ -88,6 +88,9 @@ TemplateMatchingResult TemplateMatching(
       }
       buckets[h].push_back(static_cast<uint32_t>(i));
     }
+    // determinism: the (docs[0], docs[k]) pair set per bucket is fixed by
+    // the deterministic bucket contents; union order only moves roots,
+    // and ExtractComponents canonicalizes component emission.
     for (const auto& [hash, docs] : buckets) {
       if (docs.size() < 2) continue;
       // Verify each doc against the bucket's first member (transitive

@@ -1,5 +1,6 @@
 #include "coarse/coarse_clustering.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "graph/connected_components.h"
@@ -45,6 +46,10 @@ CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
       result.clusters.push_back(std::move(group));
     }
   }
+  // Canonical emission order: undersized groups arrive sorted by their
+  // first member, so their documents interleave; sort so the singleton
+  // list is the same ascending sequence however the groups fell out.
+  std::sort(result.singletons.begin(), result.singletons.end());
   return result;
 }
 

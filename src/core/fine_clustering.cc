@@ -135,6 +135,7 @@ void FineClustering::DetectSlots(Template& tmpl,
       }
     }
   }
+  // determinism: unordered gather, sorted before use on the next line.
   std::vector<size_t> candidates(candidate_set.begin(), candidate_set.end());
   std::sort(candidates.begin(), candidates.end());
 
@@ -227,6 +228,7 @@ FineResult FineClustering::RunOnCluster(
           if (d != seed && !is_claimed(d)) neighbor_set.insert(d);
         }
       }
+      // determinism: unordered gather, sorted before use on the next line.
       pool.assign(neighbor_set.begin(), neighbor_set.end());
       std::sort(pool.begin(), pool.end());
     } else {
@@ -330,6 +332,11 @@ FineResult FineClustering::RunOnCluster(
   }
 
   result.cost_after = best_total;
+  // Canonical emission order: rejected documents accumulate in seed-scan
+  // order, which depends on how earlier templates carved up the cluster;
+  // sorting makes the noise list (and anything downstream that prints
+  // it) independent of that history.
+  std::sort(result.noise.begin(), result.noise.end());
   INFOSHIELD_AUDIT_INVARIANTS(ValidateFineResult(result, corpus, doc_ids, &cm));
   return result;
 }

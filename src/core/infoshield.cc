@@ -3,8 +3,11 @@
 #include <cmath>
 
 #include "util/audit.h"
+#include "util/logging.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -33,13 +36,24 @@ InfoShieldResult InfoShield::Run(const Corpus& corpus) const {
   const CostModel cost_model = CostModel::ForVocabulary(corpus.vocab());
   FineClustering fine(options_.fine);
   // Clusters are independent; fan them out, then merge in cluster order
-  // so the result is identical for any thread count.
+  // so the result is identical for any thread count. Workers write only
+  // their own fine_results[ci] slot; everything they share goes through
+  // `progress`, whose fields carry the GUARDED_BY contract.
+  struct FineProgress {
+    Mutex mu;
+    size_t clusters_done GUARDED_BY(mu) = 0;
+    size_t templates_found GUARDED_BY(mu) = 0;
+  };
+  FineProgress progress;
   std::vector<FineResult> fine_results(coarse_result.clusters.size());
   ThreadPool::ParallelFor(
       options_.num_threads, coarse_result.clusters.size(), [&](size_t ci) {
         fine_results[ci] =
             fine.RunOnCluster(corpus, coarse_result.clusters[ci],
                               cost_model, &coarse_result.doc_top_phrases);
+        MutexLock lock(&progress.mu);
+        ++progress.clusters_done;
+        progress.templates_found += fine_results[ci].templates.size();
       });
   for (size_t ci = 0; ci < coarse_result.clusters.size(); ++ci) {
     FineResult& fr = fine_results[ci];
@@ -67,6 +81,13 @@ InfoShieldResult InfoShield::Run(const Corpus& corpus) const {
     }
   }
   result.fine_seconds = timer.ElapsedSeconds();
+  {
+    // The guarded tallies and the deterministic merge must agree; a
+    // mismatch means a worker raced or a cluster was dropped.
+    MutexLock lock(&progress.mu);
+    CHECK_EQ(progress.clusters_done, coarse_result.clusters.size());
+    CHECK_EQ(progress.templates_found, result.templates.size());
+  }
   INFOSHIELD_AUDIT_INVARIANTS(ValidateInfoShieldResult(result, corpus));
   return result;
 }

@@ -203,6 +203,7 @@ std::vector<SlotProfile> AnalyzeSlots(const TemplateCluster& cluster,
                             static_cast<double>(fills.size());
     profile.kind = internal::ClassifyFills(fills);
 
+    // determinism: unordered gather, sorted before use on the next line.
     std::vector<std::string> examples(distinct.begin(), distinct.end());
     std::sort(examples.begin(), examples.end());
     if (examples.size() > options.max_examples) {

@@ -16,9 +16,10 @@ Components ExtractComponents(UnionFind& uf, size_t min_component_size) {
   }
   Components out;
   out.groups.reserve(by_root.size());
+  // determinism: group order is canonicalized by the sort below; each
+  // member list is already ascending (inserted in id order).
   for (auto& [root, members] : by_root) {
     if (members.size() < min_component_size) continue;
-    // Members are already ascending (inserted in id order).
     out.groups.push_back(std::move(members));
   }
   std::sort(out.groups.begin(), out.groups.end(),

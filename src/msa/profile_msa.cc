@@ -15,6 +15,8 @@ uint32_t ProfileMsa::Column::CountOf(TokenId t) const {
 std::pair<TokenId, uint32_t> ProfileMsa::Column::Dominant() const {
   TokenId best_token = kInvalidToken;
   uint32_t best_count = 0;
+  // determinism: argmax with a total tie-break (count desc, token asc),
+  // so the winner is independent of iteration order.
   for (const auto& [token, count] : counts) {
     if (count > best_count ||
         (count == best_count && token < best_token)) {
@@ -27,6 +29,7 @@ std::pair<TokenId, uint32_t> ProfileMsa::Column::Dominant() const {
 
 uint32_t ProfileMsa::Column::Occupancy() const {
   uint32_t total = 0;
+  // determinism: commutative integer sum; order cannot matter.
   for (const auto& [token, count] : counts) total += count;
   return total;
 }

@@ -20,6 +20,7 @@ void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options) {
     for (const NgramSpan& g : ExtractNgrams(doc, options_.max_ngram)) {
       seen.emplace(g.hash, 0);
     }
+    // determinism: commutative integer increments; order cannot matter.
     for (const auto& [hash, unused] : seen) {
       ++df_[hash];
     }
@@ -52,6 +53,7 @@ std::vector<ScoredPhrase> TfidfIndex::TopPhrases(const Document& doc) const {
   std::vector<ScoredPhrase> scored;
   scored.reserve(tf.size());
   size_t num_distinct = tf.size();
+  // determinism: unordered gather; `scored` is fully sorted below.
   for (const auto& [hash, count] : tf) {
     if (DocumentFrequency(hash) < options_.min_df) continue;
     scored.push_back(ScoredPhrase{hash, Score(hash, count)});
@@ -79,6 +81,7 @@ Status TfidfIndex::ValidateInvariants() const {
            StrFormat("top_fraction %.3f outside [0, 1]",
                      options_.top_fraction));
   a.Expect(options_.max_ngram >= 1, "max_ngram is 0");
+  // determinism: validation only; each entry is checked independently.
   for (const auto& [hash, df] : df_) {
     if (df < 1 || df > num_documents_) {
       a.Expect(false,

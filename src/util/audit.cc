@@ -3,11 +3,22 @@
 
 #include <atomic>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace infoshield {
 namespace audit {
 
 namespace {
+// Lone atomic: the gate is a single flag read on every hook, and a
+// relaxed load is both race-free and contention-free. All compound
+// shared state below goes behind g_stats_mu under the compile-time
+// contract.
 std::atomic<bool> g_auditing_enabled{true};
+
+Mutex g_stats_mu;
+size_t g_audits_finished GUARDED_BY(g_stats_mu) = 0;
+size_t g_audits_failed GUARDED_BY(g_stats_mu) = 0;
 }  // namespace
 
 bool AuditingEnabled() {
@@ -18,12 +29,31 @@ void SetAuditingEnabled(bool enabled) {
   g_auditing_enabled.store(enabled, std::memory_order_relaxed);
 }
 
+AuditStats GetAuditStats() {
+  MutexLock lock(&g_stats_mu);
+  AuditStats stats;
+  stats.finished = g_audits_finished;
+  stats.failed = g_audits_failed;
+  return stats;
+}
+
+void ResetAuditStats() {
+  MutexLock lock(&g_stats_mu);
+  g_audits_finished = 0;
+  g_audits_failed = 0;
+}
+
 bool Auditor::Expect(bool ok, const std::string& what) {
   if (!ok) failures_.push_back(what);
   return ok;
 }
 
 Status Auditor::Finish() const {
+  {
+    MutexLock lock(&g_stats_mu);
+    ++g_audits_finished;
+    if (!failures_.empty()) ++g_audits_failed;
+  }
   if (failures_.empty()) return Status::Ok();
   std::string message = subject_;
   message += ": ";

@@ -38,6 +38,17 @@ namespace audit {
 bool AuditingEnabled();
 void SetAuditingEnabled(bool enabled);
 
+// Process-wide audit tallies. Auditors run concurrently on thread-pool
+// workers (the fine stage audits every cluster inside ParallelFor), so
+// the counters live behind an annotated Mutex in audit.cc; these
+// accessors are safe from any thread.
+struct AuditStats {
+  size_t finished = 0;  // Auditor::Finish() calls
+  size_t failed = 0;    // ... of which returned a non-OK Status
+};
+AuditStats GetAuditStats();
+void ResetAuditStats();
+
 // Accumulates invariant failures for one subject (e.g. "PoaGraph") and
 // condenses them into a single Status.
 class Auditor {

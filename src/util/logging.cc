@@ -4,11 +4,17 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
 namespace infoshield {
 
 namespace {
 
-LogSeverity g_min_severity = LogSeverity::kInfo;
+// Worker threads log concurrently (LOG from inside ParallelFor tasks),
+// so the severity floor is shared state like any other.
+Mutex g_severity_mu;
+LogSeverity g_min_severity GUARDED_BY(g_severity_mu) = LogSeverity::kInfo;
 
 const char* SeverityTag(LogSeverity s) {
   switch (s) {
@@ -31,9 +37,15 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+void SetMinLogSeverity(LogSeverity severity) {
+  MutexLock lock(&g_severity_mu);
+  g_min_severity = severity;
+}
 
-LogSeverity MinLogSeverity() { return g_min_severity; }
+LogSeverity MinLogSeverity() {
+  MutexLock lock(&g_severity_mu);
+  return g_min_severity;
+}
 
 namespace internal {
 
@@ -41,7 +53,7 @@ LogMessage::LogMessage(const char* file, int line, LogSeverity severity)
     : file_(file), line_(line), severity_(severity) {}
 
 LogMessage::~LogMessage() {
-  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+  if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
     std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityTag(severity_),
                  Basename(file_), line_, stream_.str().c_str());
   }

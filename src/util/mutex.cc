@@ -1,0 +1,15 @@
+#include "util/mutex.h"
+
+namespace infoshield {
+
+// The analysis cannot see through the adopt/release dance on the
+// underlying std::mutex, but the contract holds: the caller enters and
+// leaves this function holding `mu` (cv_.wait unlocks while blocked and
+// re-locks before returning).
+void CondVar::Wait(Mutex& mu) NO_THREAD_SAFETY_ANALYSIS {
+  std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+  cv_.wait(lock);
+  lock.release();
+}
+
+}  // namespace infoshield

@@ -1,0 +1,88 @@
+// Annotated concurrency primitives: the only lock types the repo uses.
+//
+// Mutex/MutexLock/CondVar wrap the std primitives and carry the Clang
+// thread-safety annotations from util/thread_annotations.h, so a Clang
+// build with -DINFOSHIELD_THREAD_SAFETY=ON proves at compile time that
+// every GUARDED_BY field is touched only under its mutex. Raw
+// std::mutex / std::lock_guard / std::thread / std::condition_variable
+// are banned outside src/util/ by tools/lint.py (rule raw-concurrency);
+// new shared state must be expressed through these wrappers:
+//
+//   Mutex mu_;
+//   std::queue<Task> tasks_ GUARDED_BY(mu_);
+//
+//   void Push(Task t) EXCLUDES(mu_) {
+//     MutexLock lock(&mu_);
+//     tasks_.push(std::move(t));
+//   }
+//
+// CondVar waits re-acquire the mutex before returning, and (like every
+// condition variable) can wake spuriously — always wait in a loop that
+// re-checks the predicate while holding the lock.
+
+#ifndef INFOSHIELD_UTIL_MUTEX_H_
+#define INFOSHIELD_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace infoshield {
+
+// A standard exclusive mutex with compile-time lock contracts. Not
+// reentrant. Constexpr-constructible, so file-scope Mutex instances are
+// safe to use from static initializers.
+class CAPABILITY("mutex") Mutex {
+ public:
+  constexpr Mutex() = default;
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock: acquires in the constructor, releases in the destructor.
+// The annotation ties the scope to the capability, so Clang reports a
+// GUARDED_BY access that outlives the lock.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// Condition variable bound to Mutex. Wait() atomically releases the
+// mutex, blocks, and re-acquires it before returning; REQUIRES(mu)
+// makes callers prove they hold the lock at the call site.
+class CondVar {
+ public:
+  CondVar() = default;
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu);
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_UTIL_MUTEX_H_

@@ -2,17 +2,22 @@
 // stage processes coarse clusters independently, so InfoShield can fan
 // them out across cores (the paper's 8-hour/4M-documents figure is a
 // single laptop; multicore shortens it proportionally).
+//
+// All queue/bookkeeping state is guarded by mutex_ under the compile-time
+// contract from util/thread_annotations.h: a Clang build with
+// -DINFOSHIELD_THREAD_SAFETY=ON rejects any access outside the lock.
 
 #ifndef INFOSHIELD_UTIL_THREAD_POOL_H_
 #define INFOSHIELD_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace infoshield {
 
@@ -25,11 +30,13 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task; runs on some worker.
-  void Submit(std::function<void()> task);
+  // Enqueues a task; runs on some worker. Safe to call concurrently from
+  // any thread, including from inside a running task (the chain is
+  // covered by Wait).
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() EXCLUDES(mutex_);
 
   size_t num_threads() const { return workers_.size(); }
 
@@ -39,15 +46,17 @@ class ThreadPool {
                           const std::function<void(size_t)>& fn);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
+  // Immutable after the constructor returns; joined in the destructor.
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
+
+  Mutex mutex_;
+  std::queue<std::function<void()>> tasks_ GUARDED_BY(mutex_);
+  CondVar task_available_;
+  CondVar all_done_;
+  size_t in_flight_ GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace infoshield

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -387,6 +388,52 @@ TEST(AuditStressTest, PipelineInvariantsHoldOnRandomNearDuplicates) {
   EXPECT_TRUE(st.ok()) << st.ToString();
   // Near-duplicates from one skeleton should compress into a template.
   EXPECT_FALSE(result.templates.empty());
+}
+
+TEST(AuditStatsTest, CountsFinishedAndFailedAudits) {
+  audit::ResetAuditStats();
+  {
+    audit::Auditor ok_auditor("subject-ok");
+    EXPECT_TRUE(ok_auditor.Finish().ok());
+  }
+  {
+    audit::Auditor bad_auditor("subject-bad");
+    bad_auditor.Expect(false, "deliberate failure");
+    EXPECT_FALSE(bad_auditor.Finish().ok());
+  }
+  audit::AuditStats stats = audit::GetAuditStats();
+  EXPECT_EQ(stats.finished, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+
+  audit::ResetAuditStats();
+  stats = audit::GetAuditStats();
+  EXPECT_EQ(stats.finished, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(AuditStatsTest, TalliesAreConsistentUnderConcurrentFinish) {
+  // The fine stage audits every cluster on thread-pool workers, so the
+  // tallies must hold up under parallel Finish() calls.
+  audit::ResetAuditStats();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        audit::Auditor auditor("stress");
+        if ((t + i) % 4 == 0) auditor.Expect(false, "injected");
+        (void)auditor.Finish();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  audit::AuditStats stats = audit::GetAuditStats();
+  EXPECT_EQ(stats.finished,
+            static_cast<size_t>(kThreads) * kPerThread);
+  EXPECT_EQ(stats.failed, static_cast<size_t>(kThreads) * kPerThread / 4);
+  audit::ResetAuditStats();
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -39,6 +41,68 @@ TEST(ThreadPoolTest, MultipleWaitRounds) {
 TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1u);
+}
+
+// Many external threads hammering Submit concurrently: exercises the
+// task-queue lock from outside the pool (TSan-sensitive; see
+// tools/check.sh tsan leg).
+TEST(ThreadPoolTest, ConcurrentSubmitFromManyThreads) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kSubmitters = 8;
+  constexpr int kTasksEach = 250;
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < kTasksEach; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kSubmitters * kTasksEach);
+}
+
+// Tasks that submit follow-up tasks while Wait() is already blocked:
+// Wait() must not return until the transitively-spawned work drains.
+TEST(ThreadPoolTest, SubmitDuringWaitIsObservedByWait) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kRoots = 16;
+  constexpr int kChildrenPerRoot = 8;
+  for (int i = 0; i < kRoots; ++i) {
+    pool.Submit([&pool, &counter] {
+      counter.fetch_add(1);
+      for (int c = 0; c < kChildrenPerRoot; ++c) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kRoots * (1 + kChildrenPerRoot));
+}
+
+// External submitter racing a Wait() caller: Wait() must return with the
+// tasks it can see drained, and the destructor must still run everything
+// that was ever accepted.
+TEST(ThreadPoolTest, WaitRacingSubmitNeverLosesTasks) {
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 400;
+  {
+    ThreadPool pool(4);
+    std::thread submitter([&pool, &counter] {
+      for (int i = 0; i < kTasks; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+    for (int w = 0; w < 10; ++w) pool.Wait();
+    submitter.join();
+    pool.Wait();
+    EXPECT_EQ(counter.load(), kTasks);
+  }
+  EXPECT_EQ(counter.load(), kTasks);
 }
 
 TEST(ParallelForTest, CoversEveryIndexOnce) {

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Full correctness gate for InfoShield.
 #
-#   tools/check.sh          lint, then the whole test suite under
-#                           ASan+UBSan and again under TSan (both with
-#                           -Werror and the deep invariant auditors on).
-#   tools/check.sh --fast   lint + an ASan+UBSan run of the unit tests
-#                           only (slow sweep/pipeline suites and the TSan
-#                           pass are skipped). Suitable as a pre-merge
-#                           smoke check.
+#   tools/check.sh          lint, the clang thread-safety-analysis gate
+#                           (when clang++ is installed), then the whole
+#                           test suite under ASan+UBSan and again under
+#                           TSan (both with -Werror and the deep
+#                           invariant auditors on).
+#   tools/check.sh --fast   lint + thread-safety gate + an ASan+UBSan run
+#                           of the unit tests only (slow sweep/pipeline
+#                           suites and the TSan pass are skipped).
+#                           Suitable as a pre-merge smoke check.
 #
-# Build trees go to build-asan/ and build-tsan/ next to build/ (all
-# gitignored). Exits non-zero on the first failing stage.
+# Build trees go to build-asan/, build-tsan/, and build-clang-tsa/ next
+# to build/ (all gitignored). Exits non-zero on the first failing stage.
 
 set -euo pipefail
 
@@ -57,6 +59,24 @@ configure_and_build() {
 step "lint (tools/lint.py + clang-tidy when available)"
 configure_and_build build-asan "address,undefined"
 python3 tools/lint.py --clang-tidy-build-dir "$ROOT/build-asan"
+
+# Clang thread-safety analysis: compiles all of src/ (and everything that
+# includes it) with -Wthread-safety -Wthread-safety-beta promoted to
+# errors, proving the GUARDED_BY/REQUIRES contracts in
+# src/util/thread_annotations.h. Build-only — the artifacts are the
+# proof; the sanitizer passes below run the tests.
+if command -v clang++ > /dev/null 2>&1; then
+  step "clang thread-safety analysis (-Wthread-safety as errors)"
+  cmake -B build-clang-tsa -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DINFOSHIELD_WERROR=ON \
+    -DINFOSHIELD_THREAD_SAFETY=ON \
+    > /dev/null
+  cmake --build build-clang-tsa -j "$JOBS"
+else
+  step "clang++ not installed — skipping the thread-safety analysis gate"
+fi
 
 if [[ "$FAST" == "1" ]]; then
   step "ASan+UBSan unit tests (--fast: sweep/pipeline suites skipped)"

@@ -16,12 +16,36 @@ Rules
                      (never `assert`), and any file using CHECK/LOG or
                      Status/Result must include util/logging.h /
                      util/status.h itself.
+ 5. raw-concurrency  Raw std concurrency primitives (std::mutex,
+                     std::lock_guard, std::thread,
+                     std::condition_variable, ...) are banned outside
+                     src/util/: shared state goes through the annotated
+                     Mutex/MutexLock/CondVar wrappers in util/mutex.h and
+                     the ThreadPool in util/thread_pool.h, so the Clang
+                     thread-safety analysis (-DINFOSHIELD_THREAD_SAFETY)
+                     sees every lock. std::atomic is allowed.
+ 6. mutable-global   New mutable globals (the repo convention names them
+                     g_*, or column-0 `static` non-const definitions) are
+                     banned outside an explicit allowlist. Mutex-typed
+                     globals are always allowed — the lock itself is the
+                     protection.
+ 7. unordered-determinism
+                     Iterating a std::unordered_map/std::unordered_set
+                     (range-for, or a NAME.begin(), NAME.end() copy) is
+                     flagged unless the line — or the line above it —
+                     carries a `determinism:` comment stating why the
+                     order cannot leak (e.g. "sorted below",
+                     "commutative integer sum"). Hash-order must never
+                     reach cluster ordering or emitted output; results
+                     are byte-reproducible across runs and thread counts.
 
-Exit status is the number of violations (0 = clean). When clang-tidy is
-installed and a compilation database is available (pass the build dir via
---clang-tidy-build-dir), clang-tidy also runs over src/**/*.cc with the
-repo's .clang-tidy config; when it is not installed, that half is skipped
-with a notice so the lint gate works on toolchains without clang.
+Exit status is 1 when there are violations, 0 when clean (the true count
+is printed — a raw count would wrap modulo 256 and a multiple of 256
+would read as success). When clang-tidy is installed and a compilation
+database is available (pass the build dir via --clang-tidy-build-dir),
+clang-tidy also runs over src/**/*.cc with the repo's .clang-tidy config;
+when it is not installed, that half is skipped with a notice so the lint
+gate works on toolchains without clang.
 """
 
 import argparse
@@ -47,7 +71,48 @@ CURATED_SYMBOLS = {
     "LOG": "util/logging.h",
     "INFOSHIELD_RETURN_IF_ERROR": "util/status.h",
     "INFOSHIELD_AUDIT_INVARIANTS": "util/audit.h",
+    "Mutex": "util/mutex.h",
+    "MutexLock": "util/mutex.h",
+    "CondVar": "util/mutex.h",
+    "CAPABILITY": "util/thread_annotations.h",
+    "SCOPED_CAPABILITY": "util/thread_annotations.h",
+    "GUARDED_BY": "util/thread_annotations.h",
+    "PT_GUARDED_BY": "util/thread_annotations.h",
+    "REQUIRES": "util/thread_annotations.h",
+    "REQUIRES_SHARED": "util/thread_annotations.h",
+    "ACQUIRE": "util/thread_annotations.h",
+    "RELEASE": "util/thread_annotations.h",
+    "TRY_ACQUIRE": "util/thread_annotations.h",
+    "EXCLUDES": "util/thread_annotations.h",
+    "ASSERT_CAPABILITY": "util/thread_annotations.h",
+    "RETURN_CAPABILITY": "util/thread_annotations.h",
+    "NO_THREAD_SAFETY_ANALYSIS": "util/thread_annotations.h",
 }
+
+# --- Rule 5: raw concurrency primitives (banned outside src/util/). ---
+RAW_CONCURRENCY_RE = re.compile(
+    r"std::(?:recursive_|shared_|timed_|recursive_timed_)?mutex\b"
+    r"|std::lock_guard\b|std::unique_lock\b|std::scoped_lock\b"
+    r"|std::shared_lock\b|std::condition_variable(?:_any)?\b"
+    r"|std::j?thread\b")
+
+# --- Rule 6: mutable globals. ---
+# (src-relative file) -> names that predate the rule or are deliberate.
+# Every entry must say, in the file itself, how it is synchronized.
+GLOBAL_ALLOWLIST = {
+    "util/audit.cc": {"g_auditing_enabled",      # lone std::atomic gate
+                      "g_audits_finished",       # GUARDED_BY(g_stats_mu)
+                      "g_audits_failed"},        # GUARDED_BY(g_stats_mu)
+    "util/logging.cc": {"g_min_severity"},       # GUARDED_BY(g_severity_mu)
+}
+GLOBAL_DECL_RE = re.compile(r"^[A-Za-z_][\w:<>,&*\s]*?\b(g_\w+)")
+STATIC_DECL_RE = re.compile(r"^static\s+(?!const\b|constexpr\b)")
+MUTEX_GLOBAL_RE = re.compile(r"^(?:static\s+)?(?:::infoshield::)?Mutex\s+\w+")
+
+# --- Rule 7: unordered-container iteration determinism. ---
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd::unordered_(?:map|set)\s*<[^;()]*>\s+(\w+)\s*[;{(=]")
+DETERMINISM_MARKER = "determinism:"
 
 # Identifiers too generic to attribute reliably from a word match.
 SYMBOL_BLOCKLIST = {
@@ -240,6 +305,115 @@ def check_status_contract(path, raw, text, report):
                "uses Status/Result but does not include util/status.h")
 
 
+def check_raw_concurrency(path, text, report):
+    """Rule 5: std concurrency primitives only inside src/util/."""
+    if src_relative(path).startswith("util/"):
+        return
+    for i, line in enumerate(text.splitlines(), start=1):
+        match = RAW_CONCURRENCY_RE.search(line)
+        if match:
+            report(path, i, "raw-concurrency",
+                   f"`{match.group(0)}` is banned outside src/util/; use "
+                   "Mutex/MutexLock/CondVar (util/mutex.h) or ThreadPool "
+                   "(util/thread_pool.h) so the thread-safety analysis "
+                   "sees the lock")
+
+
+def check_mutable_globals(path, text, report):
+    """Rule 6: no new mutable globals outside the allowlist.
+
+    Namespace-scope definitions sit at column 0 (the codebase does not
+    indent inside namespaces), so usages inside functions — always
+    indented — are skipped automatically. Mutex-typed globals are
+    allowed: the lock is the protection, not the hazard.
+    """
+    allowed = GLOBAL_ALLOWLIST.get(src_relative(path), set())
+    for i, line in enumerate(text.splitlines(), start=1):
+        if MUTEX_GLOBAL_RE.match(line):
+            continue
+        match = GLOBAL_DECL_RE.match(line)
+        if match and match.group(1) not in allowed:
+            report(path, i, "mutable-global",
+                   f"mutable global `{match.group(1)}` — shared state "
+                   "needs a GUARDED_BY contract and an entry in "
+                   "tools/lint.py GLOBAL_ALLOWLIST")
+            continue
+        if STATIC_DECL_RE.match(line):
+            # A variable definition has no parameter list before its
+            # initializer (or terminating semicolon); a function does.
+            init = len(line)
+            for sep in ("=", "{", ";"):
+                pos = line.find(sep)
+                if pos != -1:
+                    init = min(init, pos)
+            paren = line.find("(")
+            if paren == -1 or paren > init:
+                report(path, i, "mutable-global",
+                       "file-scope `static` mutable variable — shared "
+                       "state needs a GUARDED_BY contract and an entry "
+                       "in tools/lint.py GLOBAL_ALLOWLIST")
+
+
+def collect_unordered_names(*texts):
+    names = set()
+    for text in texts:
+        for match in UNORDERED_DECL_RE.finditer(text):
+            names.add(match.group(1))
+    return names
+
+
+def check_unordered_determinism(path, raw, text, header_text, report):
+    """Rule 7: unordered-container iteration must justify its order.
+
+    Flags range-for over — and `NAME.begin(), NAME.end()` copies of —
+    variables declared as std::unordered_map/std::unordered_set in this
+    file or its paired header. A `determinism:` comment on the same line
+    or in the contiguous comment block directly above (stating why hash
+    order cannot reach the output: sorted below, commutative reduction,
+    per-entry validation, ...) suppresses the finding.
+    """
+
+    def justified(raw_lines, i):
+        # i is the 1-based line of the iteration; accept the marker on
+        # that line or anywhere in the unbroken comment run above it.
+        if DETERMINISM_MARKER in raw_lines[i - 1]:
+            return True
+        j = i - 2
+        while j >= 0 and raw_lines[j].lstrip().startswith("//"):
+            if DETERMINISM_MARKER in raw_lines[j]:
+                return True
+            j -= 1
+        return False
+
+    names = collect_unordered_names(text, header_text)
+    if not names:
+        return
+    alt = "|".join(sorted(re.escape(n) for n in names))
+    iter_re = re.compile(
+        r"for\s*\([^;)]*:\s*(?:this->)?(" + alt + r")\s*\)"
+        r"|\b(" + alt + r")\.begin\(\)\s*,\s*(?:\2)\.end\(\)")
+    raw_lines = raw.splitlines()
+    for i, line in enumerate(text.splitlines(), start=1):
+        match = iter_re.search(line)
+        if not match:
+            continue
+        if justified(raw_lines, i):
+            continue
+        name = match.group(1) or match.group(2)
+        report(path, i, "unordered-determinism",
+               f"iteration over unordered container `{name}` — sort "
+               "before emission or add a `// determinism: <why order "
+               "cannot leak>` comment here or on the line above")
+
+
+def paired_header_text(impl_path):
+    header = impl_path[:-len(".cc")] + ".h"
+    if not os.path.exists(header):
+        return ""
+    with open(header, encoding="utf-8") as f:
+        return strip_comments_and_strings(f.read())
+
+
 def run_clang_tidy(build_dir, impls):
     clang_tidy = shutil.which("clang-tidy")
     if clang_tidy is None:
@@ -268,7 +442,14 @@ def main():
                         help="build dir holding compile_commands.json")
     parser.add_argument("--no-clang-tidy", action="store_true",
                         help="run only the convention checks")
+    parser.add_argument("--src-root", default=None,
+                        help="lint this tree instead of src/ (used by "
+                             "tools/lint_selftest.py fixtures)")
     args = parser.parse_args()
+
+    if args.src_root is not None:
+        global SRC_ROOT
+        SRC_ROOT = os.path.abspath(args.src_root)
 
     headers, impls = list_sources()
     symbols = build_symbol_map(headers)
@@ -287,12 +468,19 @@ def main():
         check_project_includes(path, raw, report)
         check_iwyu(path, raw, text, symbols, report)
         check_status_contract(path, raw, text, report)
+        check_raw_concurrency(path, text, report)
+        check_mutable_globals(path, text, report)
+        check_unordered_determinism(path, raw, text, "", report)
     for path in impls:
         with open(path, encoding="utf-8") as f:
             raw = f.read()
         text = strip_comments_and_strings(raw)
         check_project_includes(path, raw, report)
         check_status_contract(path, raw, text, report)
+        check_raw_concurrency(path, text, report)
+        check_mutable_globals(path, text, report)
+        check_unordered_determinism(path, raw, text,
+                                    paired_header_text(path), report)
 
     for v in violations:
         print(v)
@@ -304,7 +492,10 @@ def main():
 
     if not args.no_clang_tidy:
         count += run_clang_tidy(args.clang_tidy_build_dir, impls)
-    return min(count, 125)
+    # POSIX exit statuses wrap modulo 256: returning the raw count would
+    # report 256 violations as success. The count is printed above; the
+    # exit status only says pass/fail.
+    return 1 if count else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,13 @@
+// Lint fixture (never compiled): every line below must trip the
+// raw-concurrency rule — std primitives outside src/util/.
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+void Fixture() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::condition_variable cv;
+  std::thread worker;
+}

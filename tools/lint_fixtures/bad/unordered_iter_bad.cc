@@ -1,0 +1,25 @@
+// Lint fixture (never compiled): unordered iteration without a
+// determinism justification must trip the unordered-determinism rule;
+// marked loops and ordered containers must not.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+std::vector<int> Emit() {
+  std::unordered_map<int, int> table;
+  std::vector<int> out;
+  for (const auto& [k, v] : table) {
+    out.push_back(k);
+  }
+  // determinism: commutative integer sum; order cannot matter.
+  for (const auto& [k, v] : table) {
+    out[0] += v;
+  }
+  std::map<int, int> ordered;
+  for (const auto& [k, v] : ordered) {
+    out.push_back(v);
+  }
+  std::vector<int> copied(table.begin(), table.end());
+  return out;
+}

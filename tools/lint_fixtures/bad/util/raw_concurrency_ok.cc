@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): the same primitives are legal under
+// util/ — that is where the annotated wrappers live.
+
+#include <mutex>
+
+void Fixture() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+}

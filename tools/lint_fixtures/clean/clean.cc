@@ -1,0 +1,3 @@
+// Lint fixture (never compiled): a file none of the rules fire on.
+
+int Add(int a, int b) { return a + b; }
