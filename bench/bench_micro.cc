@@ -8,6 +8,8 @@
 //   * consensus search: dichotomous (Algorithm 2) vs. exhaustive — the
 //     ablation for DESIGN.md decision #1.
 
+#include <string>
+
 #include <benchmark/benchmark.h>
 
 #include "baselines/hdbscan.h"
@@ -180,6 +182,46 @@ void BM_ConsensusSearchExhaustive(benchmark::State& state) {
 }
 BENCHMARK(BM_ConsensusSearchDichotomous)->RangeMultiplier(2)->Range(4, 64);
 BENCHMARK(BM_ConsensusSearchExhaustive)->RangeMultiplier(2)->Range(4, 64);
+
+// Fine stage on one skewed cluster: the default cached + incremental
+// hot path vs. the naive escape hatch (re-align per probe, re-encode
+// per slot candidate). The gap between the two is the optimization's
+// tracked win; bench_fine wires the same comparison into CI.
+void FineStageBench(benchmark::State& state, bool naive) {
+  const size_t num_docs = static_cast<size_t>(state.range(0));
+  Rng rng(10);
+  Corpus corpus;
+  auto base = RandomSeq(rng, 24, 600);
+  for (size_t i = 0; i < num_docs; ++i) {
+    auto seq = i == 0 ? base : Mutate(base, rng, 0.06, 600);
+    std::string text;
+    for (TokenId t : seq) {
+      if (!text.empty()) text.push_back(' ');
+      text += "w" + std::to_string(t);
+    }
+    corpus.Add(text);
+  }
+  std::vector<DocId> ids;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    ids.push_back(static_cast<DocId>(i));
+  }
+  const CostModel cm = CostModel::ForVocabulary(corpus.vocab());
+  FineOptions options;
+  options.use_naive_costing = naive;
+  FineClustering fine(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fine.RunOnCluster(corpus, ids, cm));
+  }
+  state.SetComplexityN(static_cast<int64_t>(num_docs));
+}
+void BM_FineStageOptimized(benchmark::State& state) {
+  FineStageBench(state, false);
+}
+void BM_FineStageNaive(benchmark::State& state) {
+  FineStageBench(state, true);
+}
+BENCHMARK(BM_FineStageOptimized)->RangeMultiplier(2)->Range(8, 64);
+BENCHMARK(BM_FineStageNaive)->RangeMultiplier(2)->Range(8, 64);
 
 // MSA backend comparison (Ablation A1's runtime side).
 void BM_ProfileMsaAddSequence(benchmark::State& state) {

@@ -2,17 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <memory>
 #include <limits>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "core/slot_analysis.h"
 #include "util/audit.h"
 #include "util/logging.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace infoshield {
+
+void FineStageStats::MergeFrom(const FineStageStats& other) {
+  alignments_computed += other.alignments_computed;
+  consensus_probes += other.consensus_probes;
+  consensus_cache_hits += other.consensus_cache_hits;
+  slot_candidates_evaluated += other.slot_candidates_evaluated;
+}
+
+double FineStageStats::cache_hit_rate() const {
+  if (consensus_probes == 0) return 0.0;
+  return static_cast<double>(consensus_cache_hits) /
+         static_cast<double>(consensus_probes);
+}
 
 namespace {
 
@@ -37,7 +54,7 @@ double TotalCost(const CostModel& cm, size_t num_docs,
 double FineClustering::CandidateDataCost(
     const std::vector<TokenId>& consensus,
     const std::vector<std::vector<TokenId>>& docs,
-    const CostModel& cost_model) const {
+    const CostModel& cost_model, FineStageStats* stats) const {
   // Evaluate the candidate the way it would actually be used: slots
   // detected, model cost included. Scoring data cost alone (a literal
   // reading of Eq. 6) systematically prefers bloated consensuses —
@@ -51,7 +68,8 @@ double FineClustering::CandidateDataCost(
   for (const auto& doc : docs) {
     alignments.push_back(NeedlemanWunsch(tmpl.tokens, doc, options_.scoring));
   }
-  DetectSlots(tmpl, alignments, cost_model);
+  if (stats != nullptr) stats->alignments_computed += docs.size();
+  DetectSlotsNaive(tmpl, alignments, cost_model, stats);
   double cost = cost_model.TemplateCost(tmpl.length(), tmpl.num_slots());
   for (const Alignment& a : alignments) {
     cost += EncodeDocumentWithAlignment(tmpl, a, cost_model).base_cost;
@@ -59,14 +77,49 @@ double FineClustering::CandidateDataCost(
   return cost;
 }
 
-std::vector<TokenId> FineClustering::ConsensusSearch(
+FineClustering::ConsensusChoice FineClustering::EvaluateCandidate(
+    const std::vector<TokenId>& consensus,
+    const std::vector<std::vector<TokenId>>& docs,
+    const CostModel& cost_model, FineStageStats* stats) const {
+  ConsensusChoice choice;
+  choice.consensus = consensus;
+  choice.tmpl = Template(consensus);
+  choice.alignments.reserve(docs.size());
+  AlignmentWorkspace workspace;
+  for (const auto& doc : docs) {
+    choice.alignments.push_back(NeedlemanWunsch(choice.tmpl.tokens, doc,
+                                                options_.scoring, &workspace));
+  }
+  if (stats != nullptr) stats->alignments_computed += docs.size();
+  std::vector<double> base_costs;
+  DetectSlotsIncremental(choice.tmpl, choice.alignments, cost_model, stats,
+                         &base_costs);
+  // Same accumulation order as CandidateDataCost: template cost first,
+  // then per-document bases — floating-point addition is not
+  // associative, and the naive path must match bit for bit.
+  choice.cost =
+      cost_model.TemplateCost(choice.tmpl.length(), choice.tmpl.num_slots());
+  for (double base : base_costs) choice.cost += base;
+  return choice;
+}
+
+FineClustering::ConsensusChoice FineClustering::SearchConsensus(
     const MsaAligner& alignment,
     const std::vector<std::vector<TokenId>>& candidate_docs,
-    const CostModel& cost_model) const {
+    const CostModel& cost_model, FineStageStats* stats) const {
   const size_t n = candidate_docs.size();
   CHECK_GE(n, 1u);
   const int64_t h_max = static_cast<int64_t>(n) - 1;
+  const bool naive = options_.use_naive_costing;
 
+  // Distinct thresholds frequently select the same sub-alignment
+  // (supports are integers in [0, n); near-duplicate candidate sets
+  // concentrate them at the extremes), so probe results are cached at
+  // two levels: per threshold, and per distinct consensus sequence. A
+  // consensus-level hit reuses every member alignment and the detected
+  // slots. The map is ordered to keep the code free of hash-order
+  // pitfalls; it is lookup-only either way.
+  std::map<std::vector<TokenId>, ConsensusChoice> by_consensus;
   std::unordered_map<int64_t, double> cache;
   auto eval = [&](int64_t h) -> double {
     h = std::clamp<int64_t>(h, 0, h_max);
@@ -74,7 +127,22 @@ std::vector<TokenId> FineClustering::ConsensusSearch(
     if (it != cache.end()) return it->second;
     std::vector<TokenId> consensus =
         alignment.ConsensusAtThreshold(static_cast<size_t>(h));
-    double cost = CandidateDataCost(consensus, candidate_docs, cost_model);
+    if (stats != nullptr) ++stats->consensus_probes;
+    double cost;
+    if (naive) {
+      cost = CandidateDataCost(consensus, candidate_docs, cost_model, stats);
+    } else {
+      auto found = by_consensus.find(consensus);
+      if (found != by_consensus.end()) {
+        if (stats != nullptr) ++stats->consensus_cache_hits;
+        cost = found->second.cost;
+      } else {
+        ConsensusChoice evaluated =
+            EvaluateCandidate(consensus, candidate_docs, cost_model, stats);
+        cost = evaluated.cost;
+        by_consensus.emplace(std::move(consensus), std::move(evaluated));
+      }
+    }
     cache.emplace(h, cost);
     return cost;
   };
@@ -111,22 +179,53 @@ std::vector<TokenId> FineClustering::ConsensusSearch(
     }
     consider(lo);
   }
-  return alignment.ConsensusAtThreshold(static_cast<size_t>(best_h));
+
+  std::vector<TokenId> winner =
+      alignment.ConsensusAtThreshold(static_cast<size_t>(best_h));
+  if (!naive) {
+    auto found = by_consensus.find(winner);
+    CHECK(found != by_consensus.end());
+    return std::move(found->second);
+  }
+  // Naive escape hatch: rebuild the winner's template the way the
+  // pre-optimization code did — re-align every member and run full
+  // slot detection once more.
+  ConsensusChoice choice;
+  choice.consensus = std::move(winner);
+  choice.cost = best_cost;
+  choice.tmpl = Template(choice.consensus);
+  choice.alignments.reserve(candidate_docs.size());
+  for (const auto& doc : candidate_docs) {
+    choice.alignments.push_back(
+        NeedlemanWunsch(choice.tmpl.tokens, doc, options_.scoring));
+  }
+  if (stats != nullptr) stats->alignments_computed += candidate_docs.size();
+  DetectSlotsNaive(choice.tmpl, choice.alignments, cost_model, stats);
+  return choice;
 }
 
-void FineClustering::DetectSlots(Template& tmpl,
-                                 const std::vector<Alignment>& alignments,
-                                 const CostModel& cost_model) const {
-  // Candidate gaps: positions that accumulate inserted or substituted
-  // words across the candidate alignments (Algorithm 3's dictionary P).
-  std::unordered_set<size_t> candidate_set;
+std::vector<TokenId> FineClustering::ConsensusSearch(
+    const MsaAligner& alignment,
+    const std::vector<std::vector<TokenId>>& candidate_docs,
+    const CostModel& cost_model) const {
+  return SearchConsensus(alignment, candidate_docs, cost_model, nullptr)
+      .consensus;
+}
+
+namespace {
+
+// Candidate gaps: positions that accumulate inserted or substituted
+// words across the candidate alignments (Algorithm 3's dictionary P),
+// ascending.
+std::vector<size_t> CandidateGaps(const std::vector<Alignment>& alignments) {
+  std::vector<size_t> candidates;
   for (const Alignment& a : alignments) {
     size_t x = 0;
     for (const AlignOp& op : a.ops) {
       switch (op.type) {
         case AlignOpType::kInsert:
         case AlignOpType::kSubstitute:
-          candidate_set.insert(x);
+          candidates.push_back(x);
           break;
         case AlignOpType::kMatch:
         case AlignOpType::kDelete:
@@ -135,9 +234,30 @@ void FineClustering::DetectSlots(Template& tmpl,
       }
     }
   }
-  // determinism: unordered gather, sorted before use on the next line.
-  std::vector<size_t> candidates(candidate_set.begin(), candidate_set.end());
   std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  return candidates;
+}
+
+}  // namespace
+
+void FineClustering::DetectSlots(Template& tmpl,
+                                 const std::vector<Alignment>& alignments,
+                                 const CostModel& cost_model) const {
+  if (options_.use_naive_costing) {
+    DetectSlotsNaive(tmpl, alignments, cost_model, nullptr);
+  } else {
+    DetectSlotsIncremental(tmpl, alignments, cost_model, nullptr, nullptr);
+  }
+}
+
+void FineClustering::DetectSlotsNaive(Template& tmpl,
+                                      const std::vector<Alignment>& alignments,
+                                      const CostModel& cost_model,
+                                      FineStageStats* stats) const {
+  const std::vector<size_t> candidates = CandidateGaps(alignments);
+  if (stats != nullptr) stats->slot_candidates_evaluated += candidates.size();
 
   auto data_cost = [&]() {
     double cost = 0.0;
@@ -158,6 +278,55 @@ void FineClustering::DetectSlots(Template& tmpl,
       current = with_slot;
     } else {
       tmpl.SetSlotAtGap(gap, false);
+    }
+  }
+}
+
+void FineClustering::DetectSlotsIncremental(
+    Template& tmpl, const std::vector<Alignment>& alignments,
+    const CostModel& cost_model, FineStageStats* stats,
+    std::vector<double>* final_base_costs) const {
+  // One O(length) walk per alignment captures everything the cost of any
+  // slot mask depends on; every probe below is pure integer bookkeeping
+  // plus one AlignmentCostBase call per document (see slot_analysis.h
+  // and DESIGN.md §10 for the algebra and its exactness argument).
+  std::vector<GapCostProfile> profiles;
+  profiles.reserve(alignments.size());
+  for (const Alignment& a : alignments) {
+    profiles.push_back(BuildGapCostProfile(a));
+  }
+  const std::vector<size_t> candidates = CandidateGaps(alignments);
+  if (stats != nullptr) stats->slot_candidates_evaluated += candidates.size();
+
+  std::vector<size_t> enabled = tmpl.SlotGaps();
+  // Matches the naive path's accumulation exactly: per-document bases
+  // summed from zero in document order, then the model cost added.
+  auto total_cost = [&](const std::vector<size_t>& slot_gaps) {
+    double data = 0.0;
+    for (const GapCostProfile& p : profiles) {
+      data += cost_model.AlignmentCostBase(SummaryForSlotMask(p, slot_gaps));
+    }
+    return data + cost_model.TemplateCost(tmpl.length(), slot_gaps.size());
+  };
+
+  double current = total_cost(enabled);
+  std::vector<size_t> trial;
+  for (size_t gap : candidates) {
+    trial = enabled;
+    trial.insert(std::lower_bound(trial.begin(), trial.end(), gap), gap);
+    const double with_slot = total_cost(trial);
+    if (with_slot < current) {
+      current = with_slot;
+      enabled.swap(trial);
+      tmpl.SetSlotAtGap(gap, true);
+    }
+  }
+  if (final_base_costs != nullptr) {
+    final_base_costs->clear();
+    final_base_costs->reserve(profiles.size());
+    for (const GapCostProfile& p : profiles) {
+      final_base_costs->push_back(
+          cost_model.AlignmentCostBase(SummaryForSlotMask(p, enabled)));
     }
   }
 }
@@ -248,12 +417,23 @@ FineResult FineClustering::RunOnCluster(
         graph = std::make_unique<ProfileMsa>(seed_tokens, options_.scoring);
         break;
     }
+    // The seed-vs-pool probes are independent, so the conditional costs
+    // can be computed across scan_threads workers; each probe writes its
+    // own pre-sized slot and the membership decisions (and POA fusion)
+    // happen sequentially afterward in pool order, so the result is
+    // byte-identical for any thread count.
     Template seed_template(seed_tokens);
-    for (DocId d : pool) {
-      const std::vector<TokenId>& tokens = corpus.doc(d).tokens;
+    std::vector<double> conditional(pool.size(), 0.0);
+    ThreadPool::ParallelFor(options_.scan_threads, pool.size(), [&](size_t i) {
+      const std::vector<TokenId>& tokens = corpus.doc(pool[i]).tokens;
       DocEncoding enc = EncodeDocument(seed_template, tokens, cm);
-      const double conditional = cm.EncodedDocCost(1, enc.summary);
-      if (conditional < cm.UnencodedDocCost(tokens.size())) {
+      conditional[i] = cm.EncodedDocCost(1, enc.summary);
+    });
+    result.stats.alignments_computed += pool.size();
+    for (size_t i = 0; i < pool.size(); ++i) {
+      const DocId d = pool[i];
+      const std::vector<TokenId>& tokens = corpus.doc(d).tokens;
+      if (conditional[i] < cm.UnencodedDocCost(tokens.size())) {
         member_ids.push_back(d);
         member_docs.push_back(tokens);
         graph->AddSequence(tokens);
@@ -280,28 +460,21 @@ FineResult FineClustering::RunOnCluster(
       continue;
     }
 
-    // --- Consensus Search (Algorithm 2) ---
-    std::vector<TokenId> consensus =
-        ConsensusSearch(*graph, member_docs, cm);
-    if (consensus.empty()) {
+    // --- Consensus Search (Algorithm 2) + Slot Detection (Algorithm 3) ---
+    // The winning probe already aligned every member and detected slots;
+    // SearchConsensus hands all of it back, so nothing is recomputed.
+    ConsensusChoice choice =
+        SearchConsensus(*graph, member_docs, cm, &result.stats);
+    if (choice.consensus.empty()) {
       reject_as_noise();
       continue;
     }
-
-    // --- Slot Detection (Algorithm 3) ---
-    Template tmpl(consensus);
-    std::vector<Alignment> alignments;
-    alignments.reserve(member_docs.size());
-    for (const auto& tokens : member_docs) {
-      alignments.push_back(
-          NeedlemanWunsch(tmpl.tokens, tokens, options_.scoring));
-    }
-    DetectSlots(tmpl, alignments, cm);
+    Template tmpl = std::move(choice.tmpl);
 
     std::vector<DocEncoding> encodings;
     double base_sum = 0.0;
     encodings.reserve(member_docs.size());
-    for (const Alignment& a : alignments) {
+    for (const Alignment& a : choice.alignments) {
       encodings.push_back(EncodeDocumentWithAlignment(tmpl, a, cm));
       base_sum += encodings.back().base_cost;
     }

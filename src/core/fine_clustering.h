@@ -52,6 +52,39 @@ struct FineOptions {
   // search of Algorithm 2.
   bool exhaustive_consensus_search = false;
   MsaBackend msa_backend = MsaBackend::kPoa;
+  // Escape hatch: re-align every member per consensus probe and re-encode
+  // every member per candidate slot, exactly as the pre-optimization code
+  // did. Output is byte-identical to the default (cached + incremental)
+  // path — determinism_test enforces it — so this exists only to
+  // cross-check and to measure the win (bench_fine reports both).
+  bool use_naive_costing = false;
+  // Worker threads for the intra-cluster candidate-alignment scan (the
+  // seed-vs-pool encoding probes are independent). 1 = sequential,
+  // 0 = hardware concurrency. Results are byte-identical for any value;
+  // leave at 1 when clusters are already fanned out across a pool
+  // (InfoShieldOptions::num_threads) to avoid oversubscription.
+  size_t scan_threads = 1;
+};
+
+// Hot-path counters for one fine-stage run (summed over seeds for
+// RunOnCluster, over clusters by the pipeline). Deliberately not part of
+// the canonical JSON output: the optimized and naive paths must emit
+// byte-identical results while reporting very different counter values.
+struct FineStageStats {
+  // Full Needleman-Wunsch alignments computed (pool scans + consensus
+  // evaluations + any naive-path re-alignment).
+  size_t alignments_computed = 0;
+  // Consensus-search cost evaluations requested (distinct thresholds).
+  size_t consensus_probes = 0;
+  // Probes whose consensus was already evaluated under another
+  // threshold — each hit saves one alignment+slot-detection pass over
+  // every candidate document.
+  size_t consensus_cache_hits = 0;
+  // Candidate slot positions evaluated by DetectSlots.
+  size_t slot_candidates_evaluated = 0;
+
+  void MergeFrom(const FineStageStats& other);
+  double cache_hit_rate() const;
 };
 
 // One discovered template and the documents it encodes.
@@ -69,6 +102,8 @@ struct FineResult {
   // Total cost of the cluster with zero templates / with the final model.
   double cost_before = 0.0;
   double cost_after = 0.0;
+  // Hot-path counters (never serialized into the canonical JSON).
+  FineStageStats stats;
 
   // Eq. 7. 1.0 when nothing compressed.
   double relative_length() const {
@@ -103,6 +138,31 @@ class FineClustering {
 
   // --- Exposed sub-steps (tested independently) ---
 
+  // Everything the winning consensus-search probe already computed, so
+  // the caller never re-aligns or re-detects slots for the winner.
+  struct ConsensusChoice {
+    // Winning consensus tokens (empty when no non-empty consensus).
+    std::vector<TokenId> consensus;
+    // The consensus as a template with slots already detected.
+    Template tmpl;
+    // Per candidate document (input order), its alignment against
+    // `consensus` — valid for EncodeDocumentWithAlignment(tmpl, ...).
+    std::vector<Alignment> alignments;
+    // Template model cost plus the documents' base encoding cost under
+    // `tmpl` (the search objective; lg t omitted — constant during the
+    // search).
+    double cost = 0.0;
+  };
+
+  // Algorithm 2, returning the full evaluation of the winner. Probes are
+  // cached by consensus identity: distinct thresholds frequently select
+  // the same sub-alignment, and each cache hit skips one
+  // alignment+slot-detection pass over all candidate documents.
+  ConsensusChoice SearchConsensus(
+      const MsaAligner& alignment,
+      const std::vector<std::vector<TokenId>>& candidate_docs,
+      const CostModel& cost_model, FineStageStats* stats = nullptr) const;
+
   // Algorithm 2: returns the consensus token sequence minimizing
   // C(Di | Sel(A, h)) over thresholds h in [0, |Di|-1].
   std::vector<TokenId> ConsensusSearch(
@@ -120,9 +180,35 @@ class FineClustering {
   // Cost of a candidate consensus as it would actually be adopted:
   // template model cost plus the documents' encoding cost after slot
   // detection (the lg t term is omitted — constant during the search).
+  // The naive probe path; the default path goes through
+  // EvaluateCandidate so alignments are computed once per distinct
+  // consensus and slot probes are incremental.
   double CandidateDataCost(const std::vector<TokenId>& consensus,
                            const std::vector<std::vector<TokenId>>& docs,
-                           const CostModel& cost_model) const;
+                           const CostModel& cost_model,
+                           FineStageStats* stats) const;
+
+  // Aligns every candidate document against `consensus`, detects slots
+  // incrementally, and returns the populated ConsensusChoice.
+  ConsensusChoice EvaluateCandidate(
+      const std::vector<TokenId>& consensus,
+      const std::vector<std::vector<TokenId>>& docs,
+      const CostModel& cost_model, FineStageStats* stats) const;
+
+  // Algorithm 3 via full re-encoding per probe (escape hatch) and via
+  // the GapCostProfile delta algebra (default). Both mutate `tmpl`
+  // identically. The incremental variant can also report each
+  // document's final base encoding cost (bit-identical to
+  // EncodeDocumentWithAlignment(tmpl, ...).base_cost) for free.
+  void DetectSlotsNaive(Template& tmpl,
+                        const std::vector<Alignment>& alignments,
+                        const CostModel& cost_model,
+                        FineStageStats* stats) const;
+  void DetectSlotsIncremental(Template& tmpl,
+                              const std::vector<Alignment>& alignments,
+                              const CostModel& cost_model,
+                              FineStageStats* stats,
+                              std::vector<double>* final_base_costs) const;
 
   FineOptions options_;
 };

@@ -57,6 +57,7 @@ InfoShieldResult InfoShield::Run(const Corpus& corpus) const {
       });
   for (size_t ci = 0; ci < coarse_result.clusters.size(); ++ci) {
     FineResult& fr = fine_results[ci];
+    result.fine_stats.MergeFrom(fr.stats);
 
     ClusterStats stats;
     stats.coarse_cluster_index = ci;

@@ -56,6 +56,9 @@ struct InfoShieldResult {
   // Wall-clock breakdown in seconds.
   double coarse_seconds = 0.0;
   double fine_seconds = 0.0;
+  // Fine-stage hot-path counters summed over all coarse clusters (never
+  // part of the canonical JSON; see FineStageStats).
+  FineStageStats fine_stats;
 
   bool IsSuspicious(DocId d) const { return doc_template[d] >= 0; }
   size_t num_suspicious() const;

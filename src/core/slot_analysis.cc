@@ -10,6 +10,75 @@
 
 namespace infoshield {
 
+const GapCostProfile::GapEdits* GapCostProfile::FindGap(size_t gap) const {
+  auto it = std::lower_bound(
+      edits.begin(), edits.end(), gap,
+      [](const GapEdits& e, size_t g) { return e.gap < g; });
+  if (it == edits.end() || it->gap != gap) return nullptr;
+  return &*it;
+}
+
+GapCostProfile BuildGapCostProfile(const Alignment& alignment) {
+  GapCostProfile profile;
+  size_t x = 0;  // Algorithm 3's gap counter
+  auto edits_at = [&profile](size_t gap) -> GapCostProfile::GapEdits& {
+    // The walk visits gaps in non-decreasing order, so appending keeps
+    // `edits` sorted.
+    if (profile.edits.empty() || profile.edits.back().gap != gap) {
+      GapCostProfile::GapEdits e;
+      e.gap = gap;
+      profile.edits.push_back(e);
+    }
+    return profile.edits.back();
+  };
+  for (const AlignOp& op : alignment.ops) {
+    switch (op.type) {
+      case AlignOpType::kMatch:
+        ++profile.constant_columns;
+        ++x;
+        break;
+      case AlignOpType::kDelete:
+        ++profile.constant_columns;
+        ++profile.deletions;
+        ++x;
+        break;
+      case AlignOpType::kInsert:
+        ++edits_at(x).insertions;
+        break;
+      case AlignOpType::kSubstitute:
+        ++edits_at(x).substitutions;
+        break;
+    }
+  }
+  return profile;
+}
+
+EncodingSummary SummaryForSlotMask(const GapCostProfile& profile,
+                                   const std::vector<size_t>& slot_gaps) {
+  EncodingSummary s;
+  s.alignment_length = profile.constant_columns;
+  s.unmatched = profile.deletions;
+  s.slot_word_counts.assign(slot_gaps.size(), 0);
+  // Merge the two ascending sequences: edits inside a slotted gap turn
+  // into slot words (substitutions additionally leave a residual
+  // deletion column); edits elsewhere stay unmatched alignment columns.
+  size_t si = 0;
+  for (const GapCostProfile::GapEdits& e : profile.edits) {
+    while (si < slot_gaps.size() && slot_gaps[si] < e.gap) ++si;
+    if (si < slot_gaps.size() && slot_gaps[si] == e.gap) {
+      s.slot_word_counts[si] = e.insertions + e.substitutions;
+      s.alignment_length += e.substitutions;
+      s.unmatched += e.substitutions;
+    } else {
+      const size_t words = e.insertions + e.substitutions;
+      s.alignment_length += words;
+      s.unmatched += words;
+      s.inserted_or_substituted += words;
+    }
+  }
+  return s;
+}
+
 const char* SlotContentKindToString(SlotContentKind kind) {
   switch (kind) {
     case SlotContentKind::kEmpty:

@@ -12,15 +12,68 @@
 #ifndef INFOSHIELD_CORE_SLOT_ANALYSIS_H_
 #define INFOSHIELD_CORE_SLOT_ANALYSIS_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
 #include "core/fine_clustering.h"
 #include "core/template.h"
+#include "mdl/cost_model.h"
+#include "msa/pairwise.h"
 #include "text/corpus.h"
 #include "util/status.h"
 
 namespace infoshield {
+
+// --- Incremental slot-cost algebra (Algorithm 3's inner loop) ---
+//
+// Slot detection asks, for every candidate gap g, "does enabling a slot
+// at g lower the cluster's total cost?". Re-encoding every member per
+// probe costs O(gaps x docs x alignment length). But a document's
+// encoding summary is a pure function of per-gap edit counts that never
+// change while the slot mask evolves: the alignment (and therefore which
+// gap each inserted/substituted word is attributed to) is fixed before
+// slot detection starts. GapCostProfile captures those invariant counts
+// once per alignment — one O(length) walk — after which the summary for
+// ANY slot mask is reconstructed in O(active gaps) integer arithmetic,
+// making each probe O(docs) instead of O(docs x length).
+//
+// Exactness: the reconstruction below produces the same EncodingSummary
+// integers as EncodeDocumentWithAlignment, so feeding them to
+// CostModel::AlignmentCostBase yields bit-identical doubles (same
+// function, same inputs, same slot order). DESIGN.md §10 derives the
+// algebra; determinism_test cross-checks it against the naive path.
+struct GapCostProfile {
+  // Insert/substitute edits attributed to one gap.
+  struct GapEdits {
+    size_t gap = 0;
+    size_t insertions = 0;
+    size_t substitutions = 0;
+  };
+
+  // Matched + deleted alignment columns. These survive every slot mask
+  // unchanged (a match stays a constant column; a delete stays an
+  // unmatched deletion).
+  size_t constant_columns = 0;
+  // Deleted columns alone (the slot-mask-independent unmatched floor).
+  size_t deletions = 0;
+  // Gaps that accumulated at least one inserted or substituted word,
+  // ascending by gap.
+  std::vector<GapEdits> edits;
+
+  // Edits at `gap`, or nullptr when the gap is edit-free. O(lg edits).
+  const GapEdits* FindGap(size_t gap) const;
+};
+
+// One O(length) walk over the alignment, using Algorithm 3's gap
+// attribution (the gap counter advances on matched and deleted columns).
+GapCostProfile BuildGapCostProfile(const Alignment& alignment);
+
+// Encoding summary of this alignment under the slot mask `slot_gaps`
+// (ascending enabled gaps) — identical integers to what
+// EncodeDocumentWithAlignment would count for the same template.
+EncodingSummary SummaryForSlotMask(const GapCostProfile& profile,
+                                   const std::vector<size_t>& slot_gaps);
 
 enum class SlotContentKind : uint8_t {
   kEmpty = 0,      // no document fills this slot

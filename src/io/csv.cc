@@ -1,18 +1,27 @@
 #include "io/csv.h"
-#include "util/status.h"
 
 #include <fstream>
-#include <sstream>
+#include <istream>
+#include <string>
+
+#include "util/status.h"
+#include "util/string_util.h"
 
 namespace infoshield {
 
-std::vector<std::string> ParseCsvLine(std::string_view line, char sep) {
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char sep) {
   std::vector<std::string> fields;
   std::string current;
-  bool in_quotes = false;
+  // RFC-4180 field state machine. `quoted` marks a field that OPENED
+  // with a quote; once its closing quote is seen, only the separator or
+  // the end of the record may follow.
+  bool quoted = false;      // current field opened with '"'
+  bool in_quotes = false;   // currently inside the quoted section
+  bool at_field_start = true;
   size_t i = 0;
   while (i < line.size()) {
-    char c = line[i];
+    const char c = line[i];
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < line.size() && line[i + 1] == '"') {
@@ -24,15 +33,38 @@ std::vector<std::string> ParseCsvLine(std::string_view line, char sep) {
       } else {
         current.push_back(c);
       }
-    } else if (c == '"' && current.empty()) {
+    } else if (quoted) {
+      // The quoted section closed; only the separator may follow.
+      if (c != sep) {
+        return Status::InvalidArgument(
+            StrFormat("CSV: unexpected character after closing quote at "
+                      "byte %zu",
+                      i));
+      }
+      fields.push_back(std::move(current));
+      current.clear();
+      quoted = false;
+      at_field_start = true;
+    } else if (c == '"') {
+      if (!at_field_start) {
+        return Status::InvalidArgument(StrFormat(
+            "CSV: quote inside unquoted field at byte %zu", i));
+      }
+      quoted = true;
       in_quotes = true;
+      at_field_start = false;
     } else if (c == sep) {
       fields.push_back(std::move(current));
       current.clear();
+      at_field_start = true;
     } else {
       current.push_back(c);
+      at_field_start = false;
     }
     ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("CSV: unterminated quoted field");
   }
   fields.push_back(std::move(current));
   return fields;
@@ -65,6 +97,38 @@ std::string FormatCsvLine(const std::vector<std::string>& fields, char sep) {
   return out;
 }
 
+Result<bool> ReadCsvRecord(std::istream& in, std::string* record, char sep) {
+  (void)sep;  // quoting, not separators, decides record boundaries
+  record->clear();
+  std::string line;
+  bool any = false;
+  bool in_quotes = false;
+  while (std::getline(in, line)) {
+    any = true;
+    // Quote parity decides whether the newline getline consumed was a
+    // record terminator or content of a quoted field; escaped "" pairs
+    // toggle twice, so parity is unaffected by them.
+    for (char c : line) {
+      if (c == '"') in_quotes = !in_quotes;
+    }
+    if (in_quotes) {
+      record->append(line);
+      record->push_back('\n');
+      continue;
+    }
+    // CRLF input: getline stripped the '\n'; the '\r' it left behind
+    // belongs to the terminator, not the record.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    record->append(line);
+    return true;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument(
+        "CSV: input ended inside a quoted field");
+  }
+  return any;
+}
+
 int CsvTable::ColumnIndex(std::string_view name) const {
   for (size_t i = 0; i < header.size(); ++i) {
     if (header[i] == name) return static_cast<int>(i);
@@ -72,49 +136,34 @@ int CsvTable::ColumnIndex(std::string_view name) const {
   return -1;
 }
 
-namespace {
-
-// Splits file content into CSV records, letting quoted fields span lines.
-std::vector<std::string> SplitRecords(const std::string& content) {
-  std::vector<std::string> records;
-  std::string current;
-  bool in_quotes = false;
-  for (size_t i = 0; i < content.size(); ++i) {
-    char c = content[i];
-    if (c == '"') in_quotes = !in_quotes;
-    if (!in_quotes && (c == '\n' || c == '\r')) {
-      if (c == '\r' && i + 1 < content.size() && content[i + 1] == '\n') {
-        ++i;
-      }
-      records.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  if (!current.empty()) records.push_back(std::move(current));
-  return records;
-}
-
-}  // namespace
-
 Result<CsvTable> ReadCsvFile(const std::string& path, char sep) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  const std::string content = buffer.str();
 
   CsvTable table;
   bool first = true;
-  for (const std::string& record : SplitRecords(content)) {
+  std::string record;
+  size_t record_number = 0;
+  while (true) {
+    Result<bool> more = ReadCsvRecord(in, &record, sep);
+    if (!more.ok()) {
+      return Status::InvalidArgument(more.status().message() + " in " +
+                                     path);
+    }
+    if (!*more) break;
+    ++record_number;
     if (record.empty()) continue;
-    std::vector<std::string> fields = ParseCsvLine(record, sep);
+    Result<std::vector<std::string>> fields = ParseCsvLine(record, sep);
+    if (!fields.ok()) {
+      return Status::InvalidArgument(
+          fields.status().message() +
+          StrFormat(" (record %zu of %s)", record_number, path.c_str()));
+    }
     if (first) {
-      table.header = std::move(fields);
+      table.header = std::move(*fields);
       first = false;
     } else {
-      table.rows.push_back(std::move(fields));
+      table.rows.push_back(std::move(*fields));
     }
   }
   if (first) return Status::IoError("empty CSV file: " + path);

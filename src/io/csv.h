@@ -4,6 +4,7 @@
 #ifndef INFOSHIELD_IO_CSV_H_
 #define INFOSHIELD_IO_CSV_H_
 
+#include <istream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,8 +15,14 @@
 namespace infoshield {
 
 // Parses one CSV record (no trailing newline) honoring double-quote
-// escaping ("" inside a quoted field is a literal quote).
-std::vector<std::string> ParseCsvLine(std::string_view line, char sep = ',');
+// escaping ("" inside a quoted field is a literal quote). Strict
+// RFC-4180: a quote opens a field only at the field's start, a closed
+// quoted field must be followed by the separator or the end of the
+// record, and a bare quote inside an unquoted field is an error.
+// Returns InvalidArgument (with the offending byte offset) instead of
+// guessing on malformed input.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+                                              char sep = ',');
 
 // Quotes a field if it contains the separator, a quote, or a newline.
 std::string EscapeCsvField(std::string_view field, char sep = ',');
@@ -23,6 +30,15 @@ std::string EscapeCsvField(std::string_view field, char sep = ',');
 // Joins fields into one CSV record (no trailing newline).
 std::string FormatCsvLine(const std::vector<std::string>& fields,
                           char sep = ',');
+
+// Reads one logical CSV record from `in` into `*record`, continuing
+// across physical lines while inside a quoted field (so embedded
+// newlines survive; the physical CRLF/LF record terminator is not part
+// of the record). Returns true when a record was read, false at a clean
+// end of input, and InvalidArgument when the input ends inside an open
+// quoted field.
+Result<bool> ReadCsvRecord(std::istream& in, std::string* record,
+                           char sep = ',');
 
 struct CsvTable {
   std::vector<std::string> header;
@@ -33,7 +49,8 @@ struct CsvTable {
 };
 
 // Reads a whole CSV file; the first record is the header. Quoted fields
-// may contain embedded newlines.
+// may contain embedded newlines (records are assembled by
+// ReadCsvRecord). Malformed quoting fails with the record number.
 Result<CsvTable> ReadCsvFile(const std::string& path, char sep = ',');
 
 Status WriteCsvFile(const std::string& path, const CsvTable& table,

@@ -22,12 +22,39 @@ enum Move : uint8_t { kFromDiag = 0, kFromUp = 1, kFromLeft = 2, kFromNone = 3 }
 
 Alignment NeedlemanWunsch(const std::vector<TokenId>& a,
                           const std::vector<TokenId>& b,
-                          const AlignmentScoring& scoring) {
+                          const AlignmentScoring& scoring,
+                          AlignmentWorkspace* workspace) {
   const size_t n = a.size();
   const size_t m = b.size();
+
+  // Identical sequences align as all matches whenever matching scores at
+  // least as well as mismatching and gaps are not rewarded: any
+  // alignment of a against itself has at most n diagonal columns (each
+  // scoring <= match) plus gap columns (each scoring <= 0), so the
+  // all-match path is optimal, and the DP's tie-breaking (diagonal
+  // first) reconstructs exactly it. Exact duplicates dominate real spam
+  // campaigns, so this skips the O(n^2) table entirely for them.
+  if (a == b && scoring.match >= scoring.mismatch && scoring.match >= 0 &&
+      scoring.gap <= 0) {
+    Alignment out;
+    out.ops.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      AlignOp op;
+      op.type = AlignOpType::kMatch;
+      op.a_token = a[i];
+      op.b_token = b[i];
+      out.ops.push_back(op);
+    }
+    return out;
+  }
+
   // Row-major (n+1) x (m+1) score and move tables.
-  std::vector<int> score((n + 1) * (m + 1), 0);
-  std::vector<uint8_t> move((n + 1) * (m + 1), kFromNone);
+  AlignmentWorkspace local;
+  AlignmentWorkspace& ws = workspace != nullptr ? *workspace : local;
+  ws.score.assign((n + 1) * (m + 1), 0);
+  ws.move.assign((n + 1) * (m + 1), kFromNone);
+  std::vector<int>& score = ws.score;
+  std::vector<uint8_t>& move = ws.move;
   auto at = [m](size_t i, size_t j) { return i * (m + 1) + j; };
 
   for (size_t i = 1; i <= n; ++i) {

@@ -62,11 +62,24 @@ struct AlignmentScoring {
   int gap = -1;
 };
 
+// Reusable DP buffers for NeedlemanWunsch. The fine stage aligns every
+// cluster member against every probed consensus; without reuse each call
+// allocates (and faults in) two (|a|+1)·(|b|+1) tables. One workspace per
+// calling loop amortizes that to high-water-mark allocations. A
+// workspace must not be shared across threads.
+struct AlignmentWorkspace {
+  std::vector<int> score;
+  std::vector<uint8_t> move;
+};
+
 // Global alignment of b against a. Deterministic tie-breaking
-// (diagonal > delete > insert). O(|a|·|b|) time and space.
+// (diagonal > delete > insert). O(|a|·|b|) time and space. `workspace`,
+// when given, supplies the DP tables (contents are scratch); the result
+// is identical with or without it.
 Alignment NeedlemanWunsch(const std::vector<TokenId>& a,
                           const std::vector<TokenId>& b,
-                          const AlignmentScoring& scoring = {});
+                          const AlignmentScoring& scoring = {},
+                          AlignmentWorkspace* workspace = nullptr);
 
 // Verifies that replaying `ops` reconstructs exactly (a, b); used by tests
 // and debug checks.

@@ -52,15 +52,18 @@ std::vector<ScoredPhrase> TfidfIndex::TopPhrases(const Document& doc) const {
 
   std::vector<ScoredPhrase> scored;
   scored.reserve(tf.size());
-  size_t num_distinct = tf.size();
   // determinism: unordered gather; `scored` is fully sorted below.
   for (const auto& [hash, count] : tf) {
     if (DocumentFrequency(hash) < options_.min_df) continue;
     scored.push_back(ScoredPhrase{hash, Score(hash, count)});
   }
 
+  // top_fraction applies to the phrases actually eligible after the
+  // min_df filter; counting the pre-filter distinct phrases would
+  // inflate `keep` and defeat the fraction whenever min_df drops many
+  // phrases (with min_df == 1 the two counts coincide).
   size_t keep = static_cast<size_t>(
-      std::ceil(options_.top_fraction * static_cast<double>(num_distinct)));
+      std::ceil(options_.top_fraction * static_cast<double>(scored.size())));
   keep = std::max(keep, options_.min_phrases_per_doc);
   keep = std::min(keep, scored.size());
 

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -10,23 +12,61 @@
 namespace infoshield {
 namespace {
 
+// Unwraps a parse expected to succeed.
+std::vector<std::string> MustParse(std::string_view line, char sep = ',') {
+  Result<std::vector<std::string>> r = ParseCsvLine(line, sep);
+  EXPECT_TRUE(r.ok()) << r.status().message();
+  return r.ok() ? *r : std::vector<std::string>{};
+}
+
 TEST(ParseCsvLineTest, Simple) {
-  EXPECT_EQ(ParseCsvLine("a,b,c"),
-            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(MustParse("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
 }
 
 TEST(ParseCsvLineTest, QuotedFieldWithComma) {
-  EXPECT_EQ(ParseCsvLine("a,\"b,c\",d"),
+  EXPECT_EQ(MustParse("a,\"b,c\",d"),
             (std::vector<std::string>{"a", "b,c", "d"}));
 }
 
 TEST(ParseCsvLineTest, EscapedQuote) {
-  EXPECT_EQ(ParseCsvLine("\"say \"\"hi\"\"\",x"),
+  EXPECT_EQ(MustParse("\"say \"\"hi\"\"\",x"),
             (std::vector<std::string>{"say \"hi\"", "x"}));
 }
 
 TEST(ParseCsvLineTest, EmptyFields) {
-  EXPECT_EQ(ParseCsvLine(",,"), (std::vector<std::string>{"", "", ""}));
+  EXPECT_EQ(MustParse(",,"), (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldWithEmbeddedNewline) {
+  EXPECT_EQ(MustParse("\"two\nlines\",x"),
+            (std::vector<std::string>{"two\nlines", "x"}));
+}
+
+TEST(ParseCsvLineTest, TrailingTextAfterClosingQuoteFails) {
+  // The old parser silently produced {"ab"} here.
+  Result<std::vector<std::string>> r = ParseCsvLine("\"a\"b");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseCsvLineTest, QuoteInsideUnquotedFieldFails) {
+  // The old parser treated the quote as a literal only because the
+  // field had already started — RFC 4180 requires such a field to be
+  // quoted.
+  Result<std::vector<std::string>> r = ParseCsvLine("a\"b,c");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseCsvLineTest, UnterminatedQuoteFails) {
+  Result<std::vector<std::string>> r = ParseCsvLine("\"never closed");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseCsvLineTest, ClosingQuoteThenSeparatorIsFine) {
+  EXPECT_EQ(MustParse("\"a\",b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(MustParse("x,\"a\""), (std::vector<std::string>{"x", "a"}));
 }
 
 TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
@@ -37,8 +77,44 @@ TEST(EscapeCsvFieldTest, QuotesWhenNeeded) {
 }
 
 TEST(CsvRoundTripTest, FormatThenParse) {
-  std::vector<std::string> fields = {"a", "b,c", "d\"e", ""};
-  EXPECT_EQ(ParseCsvLine(FormatCsvLine(fields)), fields);
+  std::vector<std::string> fields = {"a", "b,c", "d\"e", "f\ng", ""};
+  EXPECT_EQ(MustParse(FormatCsvLine(fields)), fields);
+}
+
+TEST(ReadCsvRecordTest, ContinuesAcrossPhysicalLinesInQuotes) {
+  std::istringstream in("1,\"two\nlines\",x\n2,plain,y\n");
+  std::string record;
+  Result<bool> more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(record, "1,\"two\nlines\",x");
+  more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(record, "2,plain,y");
+  more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(ReadCsvRecordTest, StripsCrlfTerminatorButKeepsQuotedCr) {
+  std::istringstream in("a,b\r\n\"c\r\nd\",e\r\n");
+  std::string record;
+  Result<bool> more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(record, "a,b");
+  more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  // Inside quotes the CRLF is field content (RFC 4180), so the \r stays.
+  EXPECT_EQ(record, "\"c\r\nd\",e");
+}
+
+TEST(ReadCsvRecordTest, UnterminatedQuoteAtEofFails) {
+  std::istringstream in("1,\"never closed\n2,x\n");
+  std::string record;
+  Result<bool> more = ReadCsvRecord(in, &record);
+  ASSERT_FALSE(more.ok());
+  EXPECT_EQ(more.status().code(), StatusCode::kInvalidArgument);
 }
 
 class CsvFileTest : public ::testing::Test {
@@ -85,6 +161,41 @@ TEST_F(CsvFileTest, EmbeddedNewlineInQuotedField) {
   EXPECT_EQ(r->rows[0][1], "two\nlines");
 }
 
+TEST_F(CsvFileTest, WriteReadRoundTripWithNewlinesQuotesAndCrlf) {
+  CsvTable table;
+  table.header = {"id", "text"};
+  table.rows = {{"1", "two\nlines"},
+                {"2", "say \"hi\""},
+                {"3", "crlf\r\ninside"},
+                {"4", "plain"}};
+  ASSERT_TRUE(WriteCsvFile(path_, table).ok());
+  Result<CsvTable> read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read->header, table.header);
+  EXPECT_EQ(read->rows, table.rows);
+}
+
+TEST_F(CsvFileTest, MalformedQuotingFailsWithRecordNumber) {
+  std::ofstream out(path_);
+  out << "id,text\n1,ok\n2,\"bad\"trailing\n";
+  out.close();
+  Result<CsvTable> r = ReadCsvFile(path_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("record 3"), std::string::npos)
+      << r.status().message();
+}
+
+TEST_F(CsvFileTest, LoadCorpusWithEmbeddedNewlineField) {
+  std::ofstream out(path_);
+  out << "id,text\n1,\"great soap\nfor you\"\n2,another ad\n";
+  out.close();
+  Result<Corpus> corpus = LoadCorpusFromCsv(path_, "text");
+  ASSERT_TRUE(corpus.ok()) << corpus.status().message();
+  ASSERT_EQ(corpus->size(), 2u);
+  EXPECT_EQ(corpus->TokenText(0), "great soap for you");
+}
+
 TEST_F(CsvFileTest, CrlfLineEndings) {
   std::ofstream out(path_, std::ios::binary);
   out << "id,text\r\n1,hello\r\n2,world\r\n";
@@ -114,8 +225,10 @@ TEST_F(CsvFileTest, LoadCorpusMissingColumnFails) {
   EXPECT_EQ(corpus.status().code(), StatusCode::kInvalidArgument);
 }
 
-// Fuzz-style property: parsing arbitrary strings never crashes, and
-// format(parse(x)) is a fixed point (round-trip stability).
+// Fuzz-style property: parsing arbitrary strings never crashes — it
+// either rejects the input with InvalidArgument or succeeds, and every
+// successful parse round-trips (format(parse(x)) parses back to the
+// same fields). Formatted output of arbitrary fields always parses.
 class CsvFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(CsvFuzzTest, ParseIsTotalAndRoundTripStable) {
@@ -133,11 +246,17 @@ TEST_P(CsvFuzzTest, ParseIsTotalAndRoundTripStable) {
     for (size_t i = 0; i < len; ++i) {
       line.push_back(kAlphabet[next() % (sizeof(kAlphabet) - 1)]);
     }
-    std::vector<std::string> fields = ParseCsvLine(line);
-    EXPECT_GE(fields.size(), 1u);
+    Result<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok()) {
+      EXPECT_EQ(fields.status().code(), StatusCode::kInvalidArgument);
+      continue;
+    }
+    EXPECT_GE(fields->size(), 1u);
     // Once parsed, formatting and re-parsing is the identity.
-    std::string formatted = FormatCsvLine(fields);
-    EXPECT_EQ(ParseCsvLine(formatted), fields);
+    std::string formatted = FormatCsvLine(*fields);
+    Result<std::vector<std::string>> reparsed = ParseCsvLine(formatted);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+    EXPECT_EQ(*reparsed, *fields);
   }
 }
 

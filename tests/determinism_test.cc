@@ -29,9 +29,12 @@ LabeledAds MakeCorpus(uint64_t seed) {
   return TraffickingGenerator(o).Generate(seed);
 }
 
-std::string RunToJson(const Corpus& corpus, size_t num_threads) {
+std::string RunToJson(const Corpus& corpus, size_t num_threads,
+                      bool naive_costing = false, size_t scan_threads = 1) {
   InfoShieldOptions options;
   options.num_threads = num_threads;
+  options.fine.use_naive_costing = naive_costing;
+  options.fine.scan_threads = scan_threads;
   InfoShield shield(options);
   InfoShieldResult result = shield.Run(corpus);
   return ResultToJson(result, corpus);
@@ -52,6 +55,33 @@ TEST(DeterminismTest, ThreadCountDoesNotChangeOutput) {
   const std::string parallel8 = RunToJson(data.corpus, /*num_threads=*/8);
   EXPECT_EQ(sequential, parallel4);
   EXPECT_EQ(sequential, parallel8);
+}
+
+TEST(DeterminismTest, NaiveCostingIsByteIdenticalToOptimized) {
+  // The fine-stage optimizations (consensus-identity caching, alignment
+  // reuse, incremental slot costing) are required to be exact: the
+  // escape hatch re-derives everything the slow way and must render to
+  // the same bytes, at every thread count.
+  LabeledAds data = MakeCorpus(/*seed=*/42);
+  const std::string optimized = RunToJson(data.corpus, /*num_threads=*/1);
+  for (size_t threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(optimized,
+              RunToJson(data.corpus, threads, /*naive_costing=*/true))
+        << "naive costing diverged at num_threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, ScanThreadsDoNotChangeOutput) {
+  // The intra-cluster candidate-alignment scan fans the seed-vs-pool
+  // probes across scan_threads; membership decisions stay sequential in
+  // pool order, so any worker count must render to the same bytes.
+  LabeledAds data = MakeCorpus(/*seed=*/7);
+  const std::string sequential = RunToJson(data.corpus, 1);
+  for (size_t scan : {2u, 4u, 8u}) {
+    EXPECT_EQ(sequential, RunToJson(data.corpus, 1, /*naive_costing=*/false,
+                                    /*scan_threads=*/scan))
+        << "scan_threads=" << scan << " changed the output";
+  }
 }
 
 TEST(DeterminismTest, RegeneratedCorpusIsByteIdentical) {

@@ -237,6 +237,165 @@ TEST(FineClusteringTest, NeighborSeedingIsolatesPhraseDisjointDocs) {
   EXPECT_EQ(r.noise.size(), 2u);
 }
 
+// A mixed cluster exercising every hot-path branch: near-duplicates
+// (dominant), a variant sub-family, and unrelated noise.
+Corpus MixedCluster(std::vector<DocId>* ids) {
+  Corpus c;
+  c.Add("grand opening best massage in town call 5551234 today");
+  c.Add("grand opening best massage in town call 5559876 today");
+  c.Add("grand opening best massage in town call 5554321 today");
+  c.Add("grand opening the best massage in town call 5551111");
+  c.Add("sweet amy here available until 9pm special rate 60");
+  c.Add("sweet bella here available until 10pm special rate 80");
+  c.Add("sweet cici here available late night special rate 50");
+  c.Add("totally unrelated text about cooking pasta at home tonight");
+  *ids = AllDocs(c);
+  PadVocabulary(c, 400);
+  return c;
+}
+
+TEST(FineClusteringTest, NaiveCostingMatchesOptimizedExactly) {
+  std::vector<DocId> ids;
+  Corpus c = MixedCluster(&ids);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+
+  FineOptions naive_opts;
+  naive_opts.use_naive_costing = true;
+  FineResult fast = FineClustering(FineOptions{}).RunOnCluster(c, ids, cm);
+  FineResult slow = FineClustering(naive_opts).RunOnCluster(c, ids, cm);
+
+  // Bitwise-equal costs, identical structure.
+  ASSERT_EQ(fast.templates.size(), slow.templates.size());
+  EXPECT_EQ(fast.cost_before, slow.cost_before);
+  EXPECT_EQ(fast.cost_after, slow.cost_after);
+  EXPECT_EQ(fast.noise, slow.noise);
+  for (size_t t = 0; t < fast.templates.size(); ++t) {
+    EXPECT_EQ(fast.templates[t].tmpl.tokens, slow.templates[t].tmpl.tokens);
+    EXPECT_EQ(fast.templates[t].tmpl.SlotGaps(),
+              slow.templates[t].tmpl.SlotGaps());
+    EXPECT_EQ(fast.templates[t].members, slow.templates[t].members);
+    ASSERT_EQ(fast.templates[t].encodings.size(),
+              slow.templates[t].encodings.size());
+    for (size_t m = 0; m < fast.templates[t].encodings.size(); ++m) {
+      EXPECT_EQ(fast.templates[t].encodings[m].base_cost,
+                slow.templates[t].encodings[m].base_cost);
+      EXPECT_EQ(fast.templates[t].encodings[m].slot_words,
+                slow.templates[t].encodings[m].slot_words);
+    }
+  }
+
+  // The optimized path must actually be doing less work.
+  EXPECT_LT(fast.stats.alignments_computed, slow.stats.alignments_computed);
+  EXPECT_EQ(fast.stats.consensus_probes, slow.stats.consensus_probes);
+  EXPECT_GT(fast.stats.consensus_probes, 0u);
+  EXPECT_EQ(slow.stats.consensus_cache_hits, 0u);
+}
+
+TEST(FineClusteringTest, SearchConsensusReturnsWinnerEvaluation) {
+  Corpus c;
+  c.Add("alpha beta gamma delta epsilon zeta eta theta");
+  c.Add("alpha beta gamma delta epsilon zeta eta theta");
+  c.Add("alpha beta gamma spoon epsilon zeta eta theta");
+  PadVocabulary(c, 200);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  std::vector<std::vector<TokenId>> docs;
+  for (size_t i = 0; i < 3; ++i) docs.push_back(c.doc(i).tokens);
+  PoaGraph graph(docs[0]);
+  graph.AddSequence(docs[1]);
+  graph.AddSequence(docs[2]);
+
+  FineClustering fine;
+  FineStageStats stats;
+  FineClustering::ConsensusChoice choice =
+      fine.SearchConsensus(graph, docs, cm, &stats);
+
+  // Same winner as the narrow public API.
+  EXPECT_EQ(choice.consensus, fine.ConsensusSearch(graph, docs, cm));
+  EXPECT_EQ(choice.tmpl.tokens, choice.consensus);
+  ASSERT_EQ(choice.alignments.size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_TRUE(
+        AlignmentIsConsistent(choice.alignments[i], choice.consensus,
+                              docs[i]));
+  }
+  // choice.cost is the search objective: template cost + Σ base.
+  double expected =
+      cm.TemplateCost(choice.tmpl.length(), choice.tmpl.num_slots());
+  for (const Alignment& a : choice.alignments) {
+    expected += EncodeDocumentWithAlignment(choice.tmpl, a, cm).base_cost;
+  }
+  EXPECT_EQ(choice.cost, expected);
+  EXPECT_GT(stats.consensus_probes, 0u);
+}
+
+TEST(FineClusteringTest, ConsensusCacheHitsOnNearDuplicates) {
+  // Near-duplicate candidates: most thresholds select the same consensus,
+  // so the dichotomous search's probes should mostly hit the cache.
+  Corpus c;
+  for (int i = 0; i < 12; ++i) {
+    c.Add("repeat offer best deal call 555000" + std::to_string(i % 2) +
+          " now");
+  }
+  PadVocabulary(c, 200);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  std::vector<std::vector<TokenId>> docs;
+  for (size_t i = 0; i < 12; ++i) docs.push_back(c.doc(i).tokens);
+  PoaGraph graph(docs[0]);
+  for (size_t i = 1; i < docs.size(); ++i) graph.AddSequence(docs[i]);
+
+  FineClustering fine;
+  FineStageStats stats;
+  fine.SearchConsensus(graph, docs, cm, &stats);
+  EXPECT_GT(stats.consensus_cache_hits, 0u);
+  EXPECT_LE(stats.consensus_cache_hits, stats.consensus_probes);
+}
+
+TEST(FineClusteringTest, ExhaustiveMatchesDichotomousOnVariedCluster) {
+  // The original equivalence test used identical documents; with probe
+  // caching in place, re-check it on a cluster whose cost curve actually
+  // varies with the threshold, in both costing modes.
+  std::vector<DocId> ids;
+  Corpus c = MixedCluster(&ids);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  for (bool naive : {false, true}) {
+    FineOptions dicho;
+    dicho.use_naive_costing = naive;
+    FineOptions exhaustive = dicho;
+    exhaustive.exhaustive_consensus_search = true;
+    FineResult r1 = FineClustering(dicho).RunOnCluster(c, ids, cm);
+    FineResult r2 = FineClustering(exhaustive).RunOnCluster(c, ids, cm);
+    ASSERT_EQ(r1.templates.size(), r2.templates.size());
+    // Dichotomous search may legitimately probe fewer thresholds, but on
+    // this cluster both find the same model.
+    EXPECT_EQ(r1.cost_after, r2.cost_after);
+    for (size_t t = 0; t < r1.templates.size(); ++t) {
+      EXPECT_EQ(r1.templates[t].tmpl.tokens, r2.templates[t].tmpl.tokens);
+    }
+  }
+}
+
+TEST(FineClusteringTest, ScanThreadsDoNotChangeResult) {
+  std::vector<DocId> ids;
+  Corpus c = MixedCluster(&ids);
+  CostModel cm = CostModel::ForVocabulary(c.vocab());
+  FineResult sequential =
+      FineClustering(FineOptions{}).RunOnCluster(c, ids, cm);
+  for (size_t scan : {2u, 8u}) {
+    FineOptions opts;
+    opts.scan_threads = scan;
+    FineResult parallel = FineClustering(opts).RunOnCluster(c, ids, cm);
+    EXPECT_EQ(sequential.cost_after, parallel.cost_after);
+    EXPECT_EQ(sequential.noise, parallel.noise);
+    ASSERT_EQ(sequential.templates.size(), parallel.templates.size());
+    for (size_t t = 0; t < sequential.templates.size(); ++t) {
+      EXPECT_EQ(sequential.templates[t].tmpl.tokens,
+                parallel.templates[t].tmpl.tokens);
+      EXPECT_EQ(sequential.templates[t].members,
+                parallel.templates[t].members);
+    }
+  }
+}
+
 TEST(FineClusteringTest, DetectSlotsPublicApi) {
   Corpus c;
   c.Add("one two soap four five");

@@ -119,5 +119,65 @@ TEST_P(PairwisePropertyTest, RandomPairsReconstruct) {
 INSTANTIATE_TEST_SUITE_P(Seeds, PairwisePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 17, 99, 1234));
 
+// The identical-sequence fast path bypasses the DP table; it must
+// produce exactly what the DP's tie-breaking (diagonal first) would.
+// A negative match score defeats the fast-path gate, so comparing the
+// two scorings' structure on identical inputs pins the contract.
+TEST(NeedlemanWunschTest, IdenticalFastPathMatchesDpTraceback) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    Tokens a;
+    const size_t len = 1 + rng.NextIndex(30);
+    for (size_t i = 0; i < len; ++i) {
+      a.push_back(static_cast<TokenId>(rng.NextIndex(6)));
+    }
+    // Default scoring takes the fast path.
+    Alignment fast = NeedlemanWunsch(a, a);
+    EXPECT_EQ(fast.matches(), a.size());
+    EXPECT_EQ(fast.length(), a.size());
+    EXPECT_TRUE(AlignmentIsConsistent(fast, a, a));
+    // match < 0 fails the gate and runs the full DP; for identical
+    // sequences the DP's diagonal-first tie-break still yields all
+    // diagonal columns, which for a == b are all matches.
+    AlignmentScoring dp_scoring;
+    dp_scoring.match = -1;
+    dp_scoring.mismatch = -2;
+    Alignment dp = NeedlemanWunsch(a, a, dp_scoring);
+    ASSERT_EQ(dp.ops.size(), fast.ops.size());
+    for (size_t i = 0; i < dp.ops.size(); ++i) {
+      EXPECT_EQ(dp.ops[i].type, fast.ops[i].type);
+      EXPECT_EQ(dp.ops[i].a_token, fast.ops[i].a_token);
+      EXPECT_EQ(dp.ops[i].b_token, fast.ops[i].b_token);
+    }
+  }
+}
+
+TEST(NeedlemanWunschTest, ReusedWorkspaceMatchesFreshCalls) {
+  Rng rng(14);
+  AlignmentWorkspace ws;
+  for (int trial = 0; trial < 20; ++trial) {
+    Tokens a;
+    Tokens b;
+    const size_t la = rng.NextIndex(25);
+    const size_t lb = rng.NextIndex(25);
+    for (size_t i = 0; i < la; ++i) {
+      a.push_back(static_cast<TokenId>(rng.NextIndex(8)));
+    }
+    for (size_t i = 0; i < lb; ++i) {
+      b.push_back(static_cast<TokenId>(rng.NextIndex(8)));
+    }
+    // Alternating sizes across trials: the workspace shrinks and grows,
+    // and stale contents from the previous trial must never leak.
+    Alignment with_ws = NeedlemanWunsch(a, b, AlignmentScoring{}, &ws);
+    Alignment fresh = NeedlemanWunsch(a, b);
+    ASSERT_EQ(with_ws.ops.size(), fresh.ops.size());
+    for (size_t i = 0; i < fresh.ops.size(); ++i) {
+      EXPECT_EQ(with_ws.ops[i].type, fresh.ops[i].type);
+      EXPECT_EQ(with_ws.ops[i].a_token, fresh.ops[i].a_token);
+      EXPECT_EQ(with_ws.ops[i].b_token, fresh.ops[i].b_token);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace infoshield

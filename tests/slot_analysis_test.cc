@@ -1,8 +1,14 @@
 #include "core/slot_analysis.h"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/infoshield.h"
+#include "core/template.h"
+#include "mdl/cost_model.h"
+#include "msa/pairwise.h"
+#include "util/random.h"
 
 namespace infoshield {
 namespace {
@@ -89,6 +95,87 @@ TEST(SlotAnalysisTest, ProfilesTemplateSlots) {
   std::string rendered = RenderSlotProfiles(profiles);
   EXPECT_NE(rendered.find("slot@"), std::string::npos);
   EXPECT_NE(rendered.find("phone"), std::string::npos);
+}
+
+// --- Incremental slot-cost algebra ---
+
+// The profile-based summary must reproduce EncodeDocumentWithAlignment's
+// integers for EVERY slot mask, not just the final one — that is what
+// makes each DetectSlots probe an O(docs) delta instead of a re-encode.
+TEST(GapCostProfileTest, SummaryMatchesEncoderForAllSingleSlotMasks) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t len = 3 + rng.NextIndex(12);
+    std::vector<TokenId> consensus;
+    for (size_t i = 0; i < len; ++i) {
+      consensus.push_back(static_cast<TokenId>(rng.NextIndex(30)));
+    }
+    // Mutate into a document: drop / replace / insert around each token.
+    std::vector<TokenId> doc;
+    for (TokenId t : consensus) {
+      switch (rng.NextIndex(5)) {
+        case 0:
+          break;  // delete
+        case 1:
+          doc.push_back(static_cast<TokenId>(rng.NextIndex(30)));
+          break;  // substitute-ish
+        case 2:
+          doc.push_back(static_cast<TokenId>(rng.NextIndex(30)));
+          doc.push_back(t);
+          break;  // insert + keep
+        default:
+          doc.push_back(t);
+      }
+    }
+
+    Template tmpl(consensus);
+    Alignment a = NeedlemanWunsch(tmpl.tokens, doc);
+    const GapCostProfile profile = BuildGapCostProfile(a);
+    CostModel cm(10.0);
+
+    // Every slot mask of size <= 1 over all gaps, plus a couple of
+    // multi-gap masks.
+    std::vector<std::vector<size_t>> masks;
+    masks.push_back({});
+    for (size_t g = 0; g <= tmpl.length(); ++g) masks.push_back({g});
+    if (tmpl.length() >= 2) {
+      masks.push_back({0, tmpl.length()});
+      masks.push_back({1, tmpl.length() - 1});
+    }
+    for (const std::vector<size_t>& mask : masks) {
+      std::vector<size_t> sorted_mask = mask;
+      std::sort(sorted_mask.begin(), sorted_mask.end());
+      sorted_mask.erase(
+          std::unique(sorted_mask.begin(), sorted_mask.end()),
+          sorted_mask.end());
+      Template masked(consensus);
+      for (size_t g : sorted_mask) masked.SetSlotAtGap(g, true);
+      const DocEncoding enc = EncodeDocumentWithAlignment(masked, a, cm);
+      const EncodingSummary got = SummaryForSlotMask(profile, sorted_mask);
+      EXPECT_EQ(got.alignment_length, enc.summary.alignment_length);
+      EXPECT_EQ(got.unmatched, enc.summary.unmatched);
+      EXPECT_EQ(got.inserted_or_substituted,
+                enc.summary.inserted_or_substituted);
+      EXPECT_EQ(got.slot_word_counts, enc.summary.slot_word_counts);
+      // Identical integers into the same function: bit-identical cost.
+      EXPECT_EQ(cm.AlignmentCostBase(got), enc.base_cost);
+    }
+  }
+}
+
+TEST(GapCostProfileTest, FindGapLocatesOnlyEditedGaps) {
+  // consensus "a b", doc "a x b y": insert x at gap 1, insert y at gap 2.
+  std::vector<TokenId> consensus = {0, 1};
+  std::vector<TokenId> doc = {0, 2, 1, 3};
+  Alignment a = NeedlemanWunsch(consensus, doc);
+  const GapCostProfile profile = BuildGapCostProfile(a);
+  EXPECT_EQ(profile.constant_columns, 2u);
+  EXPECT_EQ(profile.deletions, 0u);
+  EXPECT_EQ(profile.FindGap(0), nullptr);
+  ASSERT_NE(profile.FindGap(1), nullptr);
+  EXPECT_EQ(profile.FindGap(1)->insertions, 1u);
+  ASSERT_NE(profile.FindGap(2), nullptr);
+  EXPECT_EQ(profile.FindGap(2)->insertions, 1u);
 }
 
 TEST(SlotAnalysisTest, KindNamesAreStable) {

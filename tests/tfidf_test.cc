@@ -77,6 +77,38 @@ TEST(TfidfTest, TopPhrasesRespectFraction) {
   EXPECT_EQ(top.size(), 2u);  // ceil(0.1 * 20)
 }
 
+TEST(TfidfTest, TopFractionAppliesAfterMinDfFilter) {
+  // Doc 0 holds 20 distinct unigrams; only 4 of them also occur in doc 1
+  // (df 2), the rest are df-1 and filtered by min_df = 2. The fraction
+  // must apply to the 4 eligible phrases — ceil(0.5 * 4) = 2 — not to
+  // the 20 pre-filter distinct phrases, which would keep all 4.
+  Corpus c;
+  c.Add("alpha beta gamma delta u1 u2 u3 u4 u5 u6 u7 u8 u9 u10 u11 u12 "
+        "u13 u14 u15 u16");
+  c.Add("alpha beta gamma delta");
+  TfidfOptions opts;
+  opts.max_ngram = 1;
+  opts.min_df = 2;
+  opts.top_fraction = 0.5;
+  TfidfIndex index;
+  index.Build(c, opts);
+  EXPECT_EQ(index.TopPhrases(c.doc(0)).size(), 2u);
+}
+
+TEST(TfidfTest, MinPhrasesFloorStillAppliesAfterFilter) {
+  Corpus c;
+  c.Add("alpha beta gamma delta u1 u2 u3 u4 u5 u6 u7 u8 u9 u10 u11 u12");
+  c.Add("alpha beta gamma delta");
+  TfidfOptions opts;
+  opts.max_ngram = 1;
+  opts.min_df = 2;
+  opts.top_fraction = 0.25;  // ceil(0.25 * 4) = 1, floored up to 3
+  opts.min_phrases_per_doc = 3;
+  TfidfIndex index;
+  index.Build(c, opts);
+  EXPECT_EQ(index.TopPhrases(c.doc(0)).size(), 3u);
+}
+
 TEST(TfidfTest, MinPhrasesPerDocGuaranteesOne) {
   Corpus c;
   c.Add("x y");
