@@ -5,14 +5,30 @@
 // reproduced result).
 //
 // Workload: synthetic Cresci-style test-set mixes (50% genuine / 50% bot
-// accounts) at increasing N, averaged over trials.
+// accounts) at increasing N, averaged over trials. The coarse column is
+// broken down per phase (tf-idf index, top-phrase selection, graph) so a
+// super-linear phase cannot hide inside the total. A final section
+// sweeps the worker count at a fixed N to show how the parallel coarse
+// and fine paths share the same quasi-linear shape per thread.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/infoshield.h"
 #include "datagen/twitter_gen.h"
 #include "util/timer.h"
+
+namespace {
+
+infoshield::LabeledTweets MakeTweets(size_t target, uint64_t seed) {
+  infoshield::TwitterGenOptions o;
+  o.num_genuine_accounts = target / 25;
+  o.num_bot_accounts = target / 25;
+  return infoshield::TwitterGenerator(o).Generate(seed);
+}
+
+}  // namespace
 
 int main() {
   using namespace infoshield;
@@ -26,29 +42,34 @@ int main() {
 
   std::vector<double> xs;
   std::vector<double> ys;
-  std::printf("%-10s %-10s %-12s %-12s %-12s\n", "tweets", "actual_n",
-              "coarse_s", "fine_s", "total_s");
+  std::printf("%-10s %-10s %-10s %-8s %-8s %-8s %-10s %-10s\n", "tweets",
+              "actual_n", "coarse_s", "idx_s", "top_s", "graph_s", "fine_s",
+              "total_s");
   for (size_t target : sizes) {
     double total_coarse = 0;
     double total_fine = 0;
+    double total_index = 0;
+    double total_top = 0;
+    double total_graph = 0;
     size_t actual_n = 0;
     for (int trial = 0; trial < kTrials; ++trial) {
-      TwitterGenOptions o;
-      o.num_genuine_accounts = target / 25;
-      o.num_bot_accounts = target / 25;
-      TwitterGenerator gen(o);
-      LabeledTweets data = gen.Generate(1000 + trial);
+      LabeledTweets data = MakeTweets(target, 1000 + trial);
       actual_n = data.corpus.size();
 
       InfoShield shield;
       InfoShieldResult r = shield.Run(data.corpus);
       total_coarse += r.coarse_seconds;
       total_fine += r.fine_seconds;
+      total_index += r.coarse_stats.index_seconds;
+      total_top += r.coarse_stats.top_phrase_seconds;
+      total_graph += r.coarse_stats.graph_seconds;
     }
     const double coarse_s = total_coarse / kTrials;
     const double fine_s = total_fine / kTrials;
-    std::printf("%-10zu %-10zu %-12.3f %-12.3f %-12.3f\n", target, actual_n,
-                coarse_s, fine_s, coarse_s + fine_s);
+    std::printf("%-10zu %-10zu %-10.3f %-8.3f %-8.3f %-8.3f %-10.3f %-10.3f\n",
+                target, actual_n, coarse_s, total_index / kTrials,
+                total_top / kTrials, total_graph / kTrials, fine_s,
+                coarse_s + fine_s);
     xs.push_back(static_cast<double>(actual_n));
     ys.push_back(coarse_s + fine_s);
   }
@@ -59,5 +80,40 @@ int main() {
       "paper shape: linear (their slope 3/400 s/tweet on a 2019 laptop)\n"
       "R^2 close to 1 reproduces the quasi-linearity of Lemma 2.\n",
       fit.slope, fit.intercept, fit.r_squared);
+
+  // Thread sweep at fixed N: both stages run behind
+  // InfoShieldOptions::num_threads; the coarse phase columns show where
+  // the sharded pipeline spends its time as workers are added. Output is
+  // byte-identical across rows (determinism_test enforces it); this
+  // section only reports the cost.
+  const size_t kSweepTarget = 16000;
+  std::printf("\nthread sweep at %zu tweets (per-phase coarse seconds):\n",
+              kSweepTarget);
+  std::printf("%-8s %-10s %-8s %-8s %-8s %-10s %-10s\n", "threads",
+              "coarse_s", "idx_s", "top_s", "graph_s", "fine_s", "total_s");
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    double total_coarse = 0;
+    double total_fine = 0;
+    double total_index = 0;
+    double total_top = 0;
+    double total_graph = 0;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      LabeledTweets data = MakeTweets(kSweepTarget, 2000 + trial);
+      InfoShieldOptions options;
+      options.num_threads = threads;
+      InfoShield shield(options);
+      InfoShieldResult r = shield.Run(data.corpus);
+      total_coarse += r.coarse_seconds;
+      total_fine += r.fine_seconds;
+      total_index += r.coarse_stats.index_seconds;
+      total_top += r.coarse_stats.top_phrase_seconds;
+      total_graph += r.coarse_stats.graph_seconds;
+    }
+    std::printf("%-8zu %-10.3f %-8.3f %-8.3f %-8.3f %-10.3f %-10.3f\n",
+                threads, total_coarse / kTrials, total_index / kTrials,
+                total_top / kTrials, total_graph / kTrials,
+                total_fine / kTrials,
+                (total_coarse + total_fine) / kTrials);
+  }
   return 0;
 }

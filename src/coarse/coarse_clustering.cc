@@ -2,54 +2,191 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "graph/connected_components.h"
 #include "graph/union_find.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace infoshield {
 
-CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
-  CoarseResult result;
-  const size_t n = corpus.size();
-  if (n == 0) return result;
+namespace {
 
-  TfidfIndex index;
-  index.Build(corpus, options_.tfidf);
+// One bipartite document->phrase edge. Workers emit edges into
+// per-chunk buffers; the graph phase replays them in canonical
+// (document, phrase-rank) order — the order the serial reference
+// produces them in.
+struct CoarseEdge {
+  DocId doc;
+  PhraseHash phrase;
+};
 
-  // Instead of materializing phrase vertices, union documents that share a
-  // top phrase: the first document seen with each phrase acts as the
-  // phrase's anchor. This yields exactly the connected components of the
-  // bipartite graph restricted to document vertices.
-  std::unordered_map<PhraseHash, DocId> anchor;
-  std::unordered_map<PhraseHash, uint32_t> degree;
-  UnionFind uf(n);
+// The anchor/degree/union pass over edges in canonical order, shared by
+// both paths so they cannot drift. Instead of materializing phrase
+// vertices, union documents that share a top phrase: the first document
+// seen with each phrase acts as the phrase's anchor. This yields exactly
+// the connected components of the bipartite graph restricted to document
+// vertices.
+class EdgeAccumulator {
+ public:
+  EdgeAccumulator(size_t max_phrase_degree, UnionFind* uf)
+      : max_phrase_degree_(max_phrase_degree), uf_(uf) {}
 
-  result.doc_top_phrases.resize(n);
-  for (const Document& doc : corpus.docs()) {
-    for (const ScoredPhrase& phrase : index.TopPhrases(doc)) {
-      ++result.num_edges;
-      result.doc_top_phrases[doc.id].push_back(phrase.hash);
-      if (options_.max_phrase_degree > 0) {
-        uint32_t d = ++degree[phrase.hash];
-        if (d > options_.max_phrase_degree) continue;
-      }
-      auto [it, inserted] = anchor.emplace(phrase.hash, doc.id);
-      if (!inserted) uf.Union(it->second, doc.id);
+  void Add(DocId doc, PhraseHash phrase) {
+    if (max_phrase_degree_ > 0) {
+      uint32_t d = ++degree_[phrase];
+      if (d > max_phrase_degree_) return;
     }
+    auto [it, inserted] = anchor_.emplace(phrase, doc);
+    if (!inserted) uf_->Union(it->second, doc);
   }
 
+ private:
+  const size_t max_phrase_degree_;
+  UnionFind* uf_;
+  std::unordered_map<PhraseHash, DocId> anchor_;
+  std::unordered_map<PhraseHash, uint32_t> degree_;
+};
+
+// Component extraction + canonical emission, shared by both paths.
+void EmitComponents(UnionFind& uf, const CoarseOptions& options,
+                    CoarseResult* result) {
   Components components = ExtractComponents(uf, /*min_component_size=*/1);
   for (auto& group : components.groups) {
-    if (group.size() < options_.min_cluster_size) {
-      for (uint32_t id : group) result.singletons.push_back(id);
+    if (group.size() < options.min_cluster_size) {
+      for (uint32_t id : group) result->singletons.push_back(id);
     } else {
-      result.clusters.push_back(std::move(group));
+      result->clusters.push_back(std::move(group));
     }
   }
   // Canonical emission order: undersized groups arrive sorted by their
   // first member, so their documents interleave; sort so the singleton
   // list is the same ascending sequence however the groups fell out.
-  std::sort(result.singletons.begin(), result.singletons.end());
+  std::sort(result->singletons.begin(), result->singletons.end());
+}
+
+}  // namespace
+
+CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
+  const size_t threads = ThreadPool::ResolveNumThreads(options_.num_threads);
+  if (options_.use_serial_coarse || threads <= 1 || corpus.size() < 2) {
+    return RunSerial(corpus);
+  }
+  return RunParallel(corpus, threads);
+}
+
+CoarseResult CoarseClustering::RunSerial(const Corpus& corpus) const {
+  CoarseResult result;
+  const size_t n = corpus.size();
+  if (n == 0) return result;
+
+  WallTimer timer;
+  TfidfIndex index;
+  index.Build(corpus, options_.tfidf);
+  result.stats.index_seconds = timer.ElapsedSeconds();
+
+  // Top-phrase selection: pure per-document scoring against the frozen
+  // df table.
+  timer.Restart();
+  result.doc_top_phrases.resize(n);
+  for (const Document& doc : corpus.docs()) {
+    for (const ScoredPhrase& phrase : index.TopPhrases(doc)) {
+      ++result.num_edges;
+      result.doc_top_phrases[doc.id].push_back(phrase.hash);
+    }
+  }
+  result.stats.top_phrase_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  UnionFind uf(n);
+  EdgeAccumulator edges(options_.max_phrase_degree, &uf);
+  for (DocId d = 0; d < n; ++d) {
+    for (PhraseHash phrase : result.doc_top_phrases[d]) {
+      edges.Add(d, phrase);
+    }
+  }
+  result.stats.graph_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  EmitComponents(uf, options_, &result);
+  result.stats.components_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+CoarseResult CoarseClustering::RunParallel(const Corpus& corpus,
+                                           size_t threads) const {
+  CoarseResult result;
+  const size_t n = corpus.size();
+
+  WallTimer timer;
+  TfidfIndex index;
+  index.Build(corpus, options_.tfidf, threads);
+  result.stats.index_seconds = timer.ElapsedSeconds();
+  result.stats.shard_flushes = index.build_stats().shard_flushes;
+  result.stats.shard_contended = index.build_stats().shard_contended;
+  result.stats.parallel_threads = threads;
+
+  // Per-document top-phrase selection + edge generation: df is frozen,
+  // so TopPhrases is a pure function of the document. Workers own
+  // contiguous document chunks and write only their chunk's
+  // doc_top_phrases slots and their chunk's private edge buffer — no
+  // shared mutable state.
+  timer.Restart();
+  result.doc_top_phrases.resize(n);
+  const size_t num_chunks = std::min(n, threads * 4);
+  std::vector<std::vector<CoarseEdge>> chunk_edges(num_chunks);
+  ThreadPool::ParallelFor(threads, num_chunks, [&](size_t chunk) {
+    const size_t begin = chunk * n / num_chunks;
+    const size_t end = (chunk + 1) * n / num_chunks;
+    std::vector<CoarseEdge>& edges = chunk_edges[chunk];
+    for (size_t d = begin; d < end; ++d) {
+      const Document& doc = corpus.docs()[d];
+      std::vector<PhraseHash>& top = result.doc_top_phrases[d];
+      for (const ScoredPhrase& phrase : index.TopPhrases(doc)) {
+        top.push_back(phrase.hash);
+        edges.push_back(CoarseEdge{doc.id, phrase.hash});
+      }
+    }
+  });
+  result.stats.top_phrase_seconds = timer.ElapsedSeconds();
+
+  // Deterministic sort-and-union. Concatenating the chunk buffers in
+  // chunk order already yields ascending document ids (chunks are
+  // contiguous ranges); the stable sort re-asserts the canonical
+  // (document, phrase-rank) order independently of how the buffers were
+  // produced — stability preserves each document's phrase-rank order
+  // because all of one document's edges sit in one buffer, appended in
+  // TopPhrases order. The replay therefore consumes the exact edge
+  // sequence the serial path does, so the degree cap, anchors, and
+  // unions behave identically and the components come out byte-equal.
+  timer.Restart();
+  size_t total_edges = 0;
+  for (const std::vector<CoarseEdge>& edges : chunk_edges) {
+    total_edges += edges.size();
+  }
+  std::vector<CoarseEdge> all_edges;
+  all_edges.reserve(total_edges);
+  for (std::vector<CoarseEdge>& edges : chunk_edges) {
+    all_edges.insert(all_edges.end(), edges.begin(), edges.end());
+    edges.clear();
+    edges.shrink_to_fit();
+  }
+  std::stable_sort(all_edges.begin(), all_edges.end(),
+                   [](const CoarseEdge& a, const CoarseEdge& b) {
+                     return a.doc < b.doc;
+                   });
+  result.num_edges = all_edges.size();
+  UnionFind uf(n);
+  EdgeAccumulator acc(options_.max_phrase_degree, &uf);
+  for (const CoarseEdge& e : all_edges) {
+    acc.Add(e.doc, e.phrase);
+  }
+  result.stats.graph_seconds = timer.ElapsedSeconds();
+
+  timer.Restart();
+  EmitComponents(uf, options_, &result);
+  result.stats.components_seconds = timer.ElapsedSeconds();
   return result;
 }
 

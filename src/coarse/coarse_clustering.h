@@ -30,6 +30,48 @@ struct CoarseOptions {
   // paper relies on tf-idf making such phrases low-scored; the cap guards
   // pathological inputs without affecting normal runs.
   size_t max_phrase_degree = 0;
+  // Worker threads for the coarse pipeline (1 = sequential, 0 = hardware
+  // concurrency). The parallel path shards the tf-idf df accumulation by
+  // PhraseHash, fans per-document top-phrase selection and bipartite-edge
+  // generation across the pool, and replays the collected edges in
+  // canonical (document, phrase-rank) order — output is byte-identical
+  // to the serial path for any value (DESIGN.md §11).
+  size_t num_threads = 1;
+  // Escape hatch mirroring FineOptions::use_naive_costing: run the
+  // single-threaded reference implementation regardless of num_threads.
+  // Exists to cross-check the parallel path (determinism_test) and to
+  // measure the win (bench_coarse reports both).
+  bool use_serial_coarse = false;
+};
+
+// Per-phase wall-clock breakdown and shard diagnostics for one coarse
+// run. Deliberately not part of the canonical JSON output: the serial
+// and parallel paths must emit byte-identical results while reporting
+// very different timings.
+struct CoarseStageStats {
+  // tokenize_seconds is filled by callers that build the corpus from raw
+  // text (e.g. via Corpus::AddBatch) — tokenization has already happened
+  // by the time CoarseClustering::Run sees the documents. The remaining
+  // phases are timed by Run itself.
+  double tokenize_seconds = 0.0;
+  // Document-frequency accumulation (TfidfIndex::Build).
+  double index_seconds = 0.0;
+  // Per-document top-phrase selection + bipartite-edge generation.
+  double top_phrase_seconds = 0.0;
+  // Canonical-order edge replay into the UnionFind.
+  double graph_seconds = 0.0;
+  // Component extraction and cluster/singleton emission.
+  double components_seconds = 0.0;
+  // Sharded df-index merge diagnostics (0 on the serial path).
+  size_t shard_flushes = 0;
+  size_t shard_contended = 0;
+  // Worker count the run actually used (1 = serial path ran).
+  size_t parallel_threads = 1;
+
+  double total_seconds() const {
+    return index_seconds + top_phrase_seconds + graph_seconds +
+           components_seconds;
+  }
 };
 
 struct CoarseResult {
@@ -46,6 +88,9 @@ struct CoarseResult {
   std::vector<std::vector<PhraseHash>> doc_top_phrases;
   // Bipartite edge count (for diagnostics / scaling studies).
   size_t num_edges = 0;
+  // Per-phase timings + shard counters (never serialized into the
+  // canonical JSON).
+  CoarseStageStats stats;
 };
 
 class CoarseClustering {
@@ -54,11 +99,18 @@ class CoarseClustering {
   explicit CoarseClustering(CoarseOptions options)
       : options_(options) {}
 
+  // Dispatches to the serial reference path (use_serial_coarse, or an
+  // effective thread count of 1) or the sharded parallel path. The two
+  // produce byte-identical results (enforced by determinism_test and
+  // bench_coarse).
   CoarseResult Run(const Corpus& corpus) const;
 
   const CoarseOptions& options() const { return options_; }
 
  private:
+  CoarseResult RunSerial(const Corpus& corpus) const;
+  CoarseResult RunParallel(const Corpus& corpus, size_t threads) const;
+
   CoarseOptions options_;
 };
 

@@ -26,9 +26,12 @@ InfoShieldResult InfoShield::Run(const Corpus& corpus) const {
   result.doc_template.assign(corpus.size(), -1);
 
   WallTimer timer;
-  CoarseClustering coarse(options_.coarse);
+  CoarseOptions coarse_options = options_.coarse;
+  coarse_options.num_threads = options_.num_threads;
+  CoarseClustering coarse(coarse_options);
   CoarseResult coarse_result = coarse.Run(corpus);
   result.coarse_seconds = timer.ElapsedSeconds();
+  result.coarse_stats = coarse_result.stats;
   result.num_coarse_clusters = coarse_result.clusters.size();
   result.num_singletons = coarse_result.singletons.size();
 

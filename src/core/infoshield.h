@@ -22,9 +22,12 @@ namespace infoshield {
 struct InfoShieldOptions {
   CoarseOptions coarse;
   FineOptions fine;
-  // Worker threads for the fine stage (coarse clusters are independent).
-  // 1 = sequential; 0 = hardware concurrency. Results are bit-identical
-  // for any thread count: clusters are merged in deterministic order.
+  // Worker threads for both stages: the coarse pipeline (sharded df
+  // accumulation, per-document top-phrase selection, edge generation)
+  // and the fine stage (coarse clusters are independent). Overrides
+  // coarse.num_threads. 1 = sequential; 0 = hardware concurrency.
+  // Results are bit-identical for any thread count: coarse edges replay
+  // in canonical order and fine clusters merge in deterministic order.
   size_t num_threads = 1;
 };
 
@@ -59,6 +62,9 @@ struct InfoShieldResult {
   // Fine-stage hot-path counters summed over all coarse clusters (never
   // part of the canonical JSON; see FineStageStats).
   FineStageStats fine_stats;
+  // Coarse-stage per-phase timings and shard diagnostics (never part of
+  // the canonical JSON; see CoarseStageStats).
+  CoarseStageStats coarse_stats;
 
   bool IsSuspicious(DocId d) const { return doc_template[d] >= 0; }
   size_t num_suspicious() const;

@@ -1,6 +1,7 @@
 #include "text/corpus.h"
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace infoshield {
 
@@ -13,6 +14,29 @@ DocId Corpus::Add(std::string_view text) {
   }
   docs_.push_back(std::move(d));
   return docs_.back().id;
+}
+
+DocId Corpus::AddBatch(const std::vector<std::string>& texts,
+                       size_t num_threads) {
+  const DocId first = static_cast<DocId>(docs_.size());
+  // Tokenization touches no shared state; each worker writes only its
+  // own token_lists slot. Interning below stays serial and in input
+  // order, so token ids come out exactly as a sequential Add loop's.
+  std::vector<std::vector<std::string>> token_lists(texts.size());
+  ThreadPool::ParallelFor(num_threads, texts.size(), [&](size_t t) {
+    token_lists[t] = tokenizer_.Tokenize(texts[t]);
+  });
+  for (size_t t = 0; t < texts.size(); ++t) {
+    Document d;
+    d.id = static_cast<DocId>(docs_.size());
+    d.raw = texts[t];
+    d.tokens.reserve(token_lists[t].size());
+    for (const std::string& tok : token_lists[t]) {
+      d.tokens.push_back(vocab_.Intern(tok));
+    }
+    docs_.push_back(std::move(d));
+  }
+  return first;
 }
 
 DocId Corpus::AddTokens(std::vector<TokenId> tokens, std::string raw) {

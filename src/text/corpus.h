@@ -42,6 +42,15 @@ class Corpus {
   // Tokenizes, interns, and appends a document; returns its DocId.
   DocId Add(std::string_view text);
 
+  // Tokenizes `texts` across `num_threads` workers (1 = sequential,
+  // 0 = hardware concurrency), then interns and appends them in input
+  // order. Tokenization is a pure per-text function and interning runs
+  // serially in order, so the resulting documents, token ids, and
+  // vocabulary are byte-identical to calling Add on each text in turn.
+  // Returns the DocId of the first appended document (the rest follow
+  // consecutively); returns the would-be next id when `texts` is empty.
+  DocId AddBatch(const std::vector<std::string>& texts, size_t num_threads);
+
   // Appends a pre-tokenized document (token ids must be valid for the
   // corpus vocabulary — used by data generators that intern directly).
   DocId AddTokens(std::vector<TokenId> tokens, std::string raw);

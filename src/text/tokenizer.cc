@@ -34,12 +34,27 @@ std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
   while (i < text.size()) {
     unsigned char c = static_cast<unsigned char>(text[i]);
     if (c >= 0x80) {
-      // Multi-byte UTF-8 sequence: copy it whole as token content.
+      // Multi-byte UTF-8 sequence: copy it whole as token content. The
+      // lead byte only *claims* a length; every claimed continuation
+      // byte must actually be one (10xxxxxx). A truncated or malformed
+      // sequence degrades to a single-byte copy so a bad lead byte can
+      // never swallow the ASCII that follows it — stray continuation
+      // bytes and invalid leads (0xF8+) take the same one-byte path.
       size_t len = 1;
       if ((c & 0xE0) == 0xC0) len = 2;
       else if ((c & 0xF0) == 0xE0) len = 3;
       else if ((c & 0xF8) == 0xF0) len = 4;
-      if (i + len > text.size()) len = text.size() - i;
+      if (i + len > text.size()) {
+        len = 1;
+      } else {
+        for (size_t k = 1; k < len; ++k) {
+          unsigned char cont = static_cast<unsigned char>(text[i + k]);
+          if ((cont & 0xC0) != 0x80) {
+            len = 1;
+            break;
+          }
+        }
+      }
       current.append(text.substr(i, len));
       i += len;
       continue;

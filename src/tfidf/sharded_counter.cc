@@ -1,0 +1,48 @@
+#include "tfidf/sharded_counter.h"
+
+namespace infoshield {
+
+void ShardedPhraseCounter::Flush(Local* local) {
+  size_t flushes = 0;
+  size_t contended = 0;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    auto& pending = local->maps_[s];
+    if (pending.empty()) continue;
+    ++flushes;
+    Shard& shard = shards_[s];
+    if (!shard.mu.TryLock()) {
+      ++contended;
+      shard.mu.Lock();
+    }
+    // determinism: commutative integer sums into a count map; neither
+    // the flush order nor this iteration order can change the totals.
+    for (const auto& [hash, count] : pending) {
+      shard.counts[hash] += count;
+    }
+    shard.mu.Unlock();
+    pending.clear();
+  }
+  MutexLock lock(&stats_mu_);
+  stats_.flushes += flushes;
+  stats_.contended += contended;
+}
+
+void ShardedPhraseCounter::Drain(
+    std::unordered_map<PhraseHash, uint32_t>* out) {
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mu);
+    // determinism: commutative integer sums into a count map; the
+    // drain order cannot change the totals.
+    for (const auto& [hash, count] : shard.counts) {
+      (*out)[hash] += count;
+    }
+    shard.counts.clear();
+  }
+}
+
+ShardedPhraseCounter::Stats ShardedPhraseCounter::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+}  // namespace infoshield

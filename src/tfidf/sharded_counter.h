@@ -1,0 +1,100 @@
+// Sharded concurrent phrase-count accumulator for the parallel coarse
+// stage (DESIGN.md §11).
+//
+// Document-frequency accumulation is a giant commutative integer sum
+// keyed by PhraseHash. The serial build uses one global unordered_map;
+// at corpus scale that map is the coarse stage's contention point, so
+// the parallel build shards it by hash: each worker accumulates into a
+// private, shard-partitioned map (no locks at all on the hot path) and
+// flushes shard-by-shard under that shard's Mutex. Because integer
+// addition commutes, the merged counts are identical to the serial
+// map's for any thread count, flush order, or scheduling — which is
+// what lets the parallel coarse pipeline promise byte-identical output.
+//
+// Shard selection uses the hash's top bits: unordered_map buckets key
+// off the low bits, so this keeps the two partitions independent.
+
+#ifndef INFOSHIELD_TFIDF_SHARDED_COUNTER_H_
+#define INFOSHIELD_TFIDF_SHARDED_COUNTER_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "text/ngram.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace infoshield {
+
+class ShardedPhraseCounter {
+ public:
+  // Power of two so ShardOf is a shift+mask. 64 shards keep the
+  // collision probability of two workers flushing the same shard low
+  // even at high thread counts, at negligible memory cost.
+  static constexpr size_t kNumShards = 64;
+
+  static constexpr size_t ShardOf(PhraseHash hash) {
+    return static_cast<size_t>(hash >> 58) & (kNumShards - 1);
+  }
+
+  // Merge diagnostics: how many per-shard flushes ran, and how many of
+  // them found the shard lock already held by another worker (a direct
+  // measure of shard contention).
+  struct Stats {
+    size_t flushes = 0;
+    size_t contended = 0;
+  };
+
+  // A worker's private accumulator, pre-partitioned by shard so a flush
+  // takes each shard lock exactly once. Not thread-safe: one Local per
+  // worker.
+  class Local {
+   public:
+    void Increment(PhraseHash hash) { ++maps_[ShardOf(hash)][hash]; }
+
+    bool empty() const {
+      // determinism: emptiness probe only; no element order observed.
+      for (const auto& m : maps_) {
+        if (!m.empty()) return false;
+      }
+      return true;
+    }
+
+   private:
+    friend class ShardedPhraseCounter;
+    std::array<std::unordered_map<PhraseHash, uint32_t>, kNumShards> maps_;
+  };
+
+  ShardedPhraseCounter() = default;
+
+  ShardedPhraseCounter(const ShardedPhraseCounter&) = delete;
+  ShardedPhraseCounter& operator=(const ShardedPhraseCounter&) = delete;
+
+  // Adds every count in `local` into the shared shards (shard-wise, each
+  // under its Mutex) and clears `local`. Safe to call concurrently from
+  // any number of workers.
+  void Flush(Local* local);
+
+  // Moves the merged counts into `*out` (added to whatever it holds).
+  // Call only after every worker's final Flush has returned.
+  void Drain(std::unordered_map<PhraseHash, uint32_t>* out);
+
+  Stats stats() const;
+
+ private:
+  struct Shard {
+    Mutex mu;
+    std::unordered_map<PhraseHash, uint32_t> counts GUARDED_BY(mu);
+  };
+
+  std::array<Shard, kNumShards> shards_;
+
+  mutable Mutex stats_mu_;
+  Stats stats_ GUARDED_BY(stats_mu_);
+};
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_TFIDF_SHARDED_COUNTER_H_

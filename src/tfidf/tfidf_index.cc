@@ -3,27 +3,66 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tfidf/sharded_counter.h"
 #include "util/audit.h"
 #include "util/status.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace infoshield {
 
-void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options) {
+void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options,
+                       size_t num_threads) {
   options_ = options;
   num_documents_ = corpus.size();
   df_.clear();
-  // Per-document de-duplication before bumping df.
-  std::unordered_map<PhraseHash, uint32_t> seen;
-  for (const Document& doc : corpus.docs()) {
-    seen.clear();
-    for (const NgramSpan& g : ExtractNgrams(doc, options_.max_ngram)) {
-      seen.emplace(g.hash, 0);
+  build_stats_ = TfidfBuildStats{};
+  const size_t threads = ThreadPool::ResolveNumThreads(num_threads);
+  if (threads <= 1 || corpus.size() < 2) {
+    // Serial reference path: one global map, one pass.
+    std::unordered_map<PhraseHash, uint32_t> seen;
+    for (const Document& doc : corpus.docs()) {
+      seen.clear();
+      for (const NgramSpan& g : ExtractNgrams(doc, options_.max_ngram)) {
+        seen.emplace(g.hash, 0);
+      }
+      // determinism: commutative integer increments; order cannot matter.
+      for (const auto& [hash, unused] : seen) {
+        ++df_[hash];
+      }
     }
-    // determinism: commutative integer increments; order cannot matter.
-    for (const auto& [hash, unused] : seen) {
-      ++df_[hash];
-    }
+  } else {
+    // Sharded parallel path: contiguous document chunks fan out across
+    // the pool; each worker accumulates per-document-deduplicated
+    // counts into a private shard-partitioned map and flushes it
+    // shard-wise under the shard mutexes. Counts are a commutative sum,
+    // so the merged table equals the serial one for any schedule.
+    const size_t n = corpus.size();
+    const size_t num_chunks = std::min(n, threads * 4);
+    ShardedPhraseCounter counter;
+    ThreadPool::ParallelFor(threads, num_chunks, [&](size_t chunk) {
+      const size_t begin = chunk * n / num_chunks;
+      const size_t end = (chunk + 1) * n / num_chunks;
+      ShardedPhraseCounter::Local local;
+      std::unordered_map<PhraseHash, uint32_t> seen;
+      for (size_t d = begin; d < end; ++d) {
+        seen.clear();
+        for (const NgramSpan& g :
+             ExtractNgrams(corpus.docs()[d], options_.max_ngram)) {
+          seen.emplace(g.hash, 0);
+        }
+        // determinism: commutative integer increments; order cannot
+        // matter.
+        for (const auto& [hash, unused] : seen) {
+          local.Increment(hash);
+        }
+      }
+      counter.Flush(&local);
+    });
+    counter.Drain(&df_);
+    const ShardedPhraseCounter::Stats stats = counter.stats();
+    build_stats_.shard_flushes = stats.flushes;
+    build_stats_.shard_contended = stats.contended;
   }
   INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
 }

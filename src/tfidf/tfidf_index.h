@@ -52,12 +52,23 @@ struct ScoredPhrase {
   double score;
 };
 
+// Diagnostics from a sharded (parallel) Build; zeros after a serial one.
+struct TfidfBuildStats {
+  size_t shard_flushes = 0;
+  size_t shard_contended = 0;
+};
+
 class TfidfIndex {
  public:
   TfidfIndex() = default;
 
-  // Scans the corpus and builds document-frequency tables.
-  void Build(const Corpus& corpus, const TfidfOptions& options);
+  // Scans the corpus and builds document-frequency tables. With
+  // num_threads > 1 (0 = hardware concurrency) the accumulation is
+  // sharded by PhraseHash across a worker pool (sharded_counter.h);
+  // because df accumulation is a commutative integer sum, the resulting
+  // table is identical to the serial build for any thread count.
+  void Build(const Corpus& corpus, const TfidfOptions& options,
+             size_t num_threads = 1);
 
   // Document frequency of a phrase (0 if unseen).
   size_t DocumentFrequency(PhraseHash phrase) const;
@@ -71,6 +82,7 @@ class TfidfIndex {
   size_t num_documents() const { return num_documents_; }
   size_t num_phrases() const { return df_.size(); }
   const TfidfOptions& options() const { return options_; }
+  const TfidfBuildStats& build_stats() const { return build_stats_; }
 
   // Deep invariant audit (util/audit.h): every document frequency lies in
   // [1, num_documents] and the stored options are sane. Returns OK or an
@@ -80,6 +92,7 @@ class TfidfIndex {
  private:
   TfidfOptions options_;
   size_t num_documents_ = 0;
+  TfidfBuildStats build_stats_;
   std::unordered_map<PhraseHash, uint32_t> df_;
 };
 

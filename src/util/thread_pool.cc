@@ -7,10 +7,15 @@
 
 namespace infoshield {
 
-ThreadPool::ThreadPool(size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+size_t ThreadPool::ResolveNumThreads(size_t requested) {
+  if (requested == 0) {
+    return std::max<size_t>(1, std::thread::hardware_concurrency());
   }
+  return requested;
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  num_threads = ResolveNumThreads(num_threads);
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

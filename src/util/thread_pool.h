@@ -40,6 +40,12 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  // The effective worker count for `requested` (0 = hardware concurrency,
+  // at least 1) — the same resolution the constructor applies. Callers
+  // outside src/util/ use this instead of touching std::thread directly
+  // (lint rule raw-concurrency).
+  static size_t ResolveNumThreads(size_t requested);
+
   // Runs fn(i) for i in [0, count) across the pool and waits. fn must be
   // safe to call concurrently for distinct i.
   static void ParallelFor(size_t num_threads, size_t count,

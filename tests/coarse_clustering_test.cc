@@ -88,6 +88,80 @@ TEST(CoarseTest, PhraseDegreeCapBreaksHubs) {
   EXPECT_TRUE(r.clusters.empty());
 }
 
+// Mixture corpus: several near-duplicate campaigns plus unique filler,
+// big enough that the parallel path actually chunks the work.
+Corpus MixtureCorpus() {
+  Corpus c;
+  for (int i = 0; i < 30; ++i) {
+    c.Add("identical spam message blast number " + std::to_string(i % 5) +
+          " contact now " + std::to_string(i % 5));
+  }
+  for (int i = 0; i < 10; ++i) {
+    c.Add("wholly unique filler text piece " + std::to_string(i) + " " +
+          std::to_string(i * 13 + 100) + " nothing shared");
+  }
+  return c;
+}
+
+TEST(CoarseTest, ParallelMatchesSerialReference) {
+  Corpus c = MixtureCorpus();
+  CoarseOptions serial_opts;
+  serial_opts.use_serial_coarse = true;
+  CoarseResult serial = CoarseClustering(serial_opts).Run(c);
+  EXPECT_EQ(serial.stats.parallel_threads, 1u);
+  for (size_t threads : {2u, 4u, 8u}) {
+    CoarseOptions opts;
+    opts.num_threads = threads;
+    CoarseResult parallel = CoarseClustering(opts).Run(c);
+    EXPECT_EQ(parallel.clusters, serial.clusters) << "threads=" << threads;
+    EXPECT_EQ(parallel.singletons, serial.singletons)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.doc_top_phrases, serial.doc_top_phrases)
+        << "threads=" << threads;
+    EXPECT_EQ(parallel.num_edges, serial.num_edges) << "threads=" << threads;
+    EXPECT_EQ(parallel.stats.parallel_threads, threads);
+  }
+}
+
+TEST(CoarseTest, ParallelMatchesSerialWithPhraseDegreeCap) {
+  // The degree cap is order-sensitive: only a hub phrase's first
+  // max_phrase_degree edges survive, so which documents "win" depends
+  // on edge order. The parallel path replays its collected edges in the
+  // serial (document, phrase-rank) order and must therefore cap the
+  // exact same edges.
+  Corpus c;
+  for (int i = 0; i < 12; ++i) {
+    c.Add("hub shared phrase everywhere plus suffix " + std::to_string(i) +
+          " " + std::to_string(i * 3 + 50));
+  }
+  CoarseOptions serial_opts;
+  serial_opts.max_phrase_degree = 3;
+  serial_opts.use_serial_coarse = true;
+  CoarseResult serial = CoarseClustering(serial_opts).Run(c);
+  CoarseOptions par_opts = serial_opts;
+  par_opts.use_serial_coarse = false;
+  par_opts.num_threads = 4;
+  CoarseResult parallel = CoarseClustering(par_opts).Run(c);
+  EXPECT_EQ(parallel.clusters, serial.clusters);
+  EXPECT_EQ(parallel.singletons, serial.singletons);
+  EXPECT_EQ(parallel.doc_top_phrases, serial.doc_top_phrases);
+  EXPECT_EQ(parallel.num_edges, serial.num_edges);
+}
+
+TEST(CoarseTest, StatsCarryPerPhaseTimings) {
+  Corpus c = MixtureCorpus();
+  CoarseOptions opts;
+  opts.num_threads = 4;
+  CoarseResult r = CoarseClustering(opts).Run(c);
+  EXPECT_GE(r.stats.index_seconds, 0.0);
+  EXPECT_GE(r.stats.top_phrase_seconds, 0.0);
+  EXPECT_GE(r.stats.graph_seconds, 0.0);
+  EXPECT_GE(r.stats.components_seconds, 0.0);
+  EXPECT_GE(r.stats.total_seconds(), r.stats.index_seconds);
+  // The sharded build flushed at least one local shard per chunk.
+  EXPECT_GT(r.stats.shard_flushes, 0u);
+}
+
 TEST(CoarseTest, EdgeCountPositiveWhenClustered) {
   Corpus c;
   c.Add("repeat me exactly word for word please thanks");

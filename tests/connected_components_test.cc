@@ -1,6 +1,13 @@
 #include "graph/connected_components.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "graph/union_find.h"
+#include "util/random.h"
 
 namespace infoshield {
 namespace {
@@ -42,6 +49,40 @@ TEST(ComponentsTest, MembersAscendWithinGroup) {
 TEST(ComponentsTest, EmptyUnionFind) {
   UnionFind uf(0);
   EXPECT_EQ(ExtractComponents(uf, 1).size(), 0u);
+}
+
+TEST(ComponentsTest, InvariantUnderEdgeInsertionOrder) {
+  // Connected components are a pure function of the edge *set*: union-find
+  // internals (parents, ranks) may differ per insertion order, but the
+  // extracted partition may not. The parallel coarse stage's
+  // sort-and-union step leans on this — its edge buffers arrive in a
+  // schedule-dependent order before canonical sorting, and components
+  // must not care. Random graphs over random permutations, seeded so
+  // failures reproduce.
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    Rng rng(seed);
+    const size_t num_nodes = 32 + rng.NextIndex(64);
+    const size_t num_edges = rng.NextIndex(3 * num_nodes);
+    std::vector<std::pair<uint32_t, uint32_t>> edges;
+    edges.reserve(num_edges);
+    for (size_t e = 0; e < num_edges; ++e) {
+      edges.emplace_back(static_cast<uint32_t>(rng.NextIndex(num_nodes)),
+                         static_cast<uint32_t>(rng.NextIndex(num_nodes)));
+    }
+
+    UnionFind reference(num_nodes);
+    for (const auto& [a, b] : edges) reference.Union(a, b);
+    const Components expected = ExtractComponents(reference, 1);
+
+    for (int perm = 0; perm < 16; ++perm) {
+      rng.Shuffle(edges);
+      UnionFind uf(num_nodes);
+      for (const auto& [a, b] : edges) uf.Union(a, b);
+      Components got = ExtractComponents(uf, 1);
+      ASSERT_EQ(got.groups, expected.groups)
+          << "seed=" << seed << " permutation=" << perm;
+    }
+  }
 }
 
 }  // namespace

@@ -66,6 +66,48 @@ TEST(CorpusTest, MoveSemantics) {
   EXPECT_EQ(moved.TokenText(0), "move me");
 }
 
+TEST(CorpusTest, AddBatchMatchesSequentialAdd) {
+  // AddBatch parallelizes only tokenization (a pure per-text function);
+  // interning stays serial and in input order, so documents, token ids,
+  // vocabulary, and raw text must all come out exactly as a sequential
+  // Add loop's.
+  const std::vector<std::string> texts = {
+      "This is a great soap",  "great chair, cheap!",
+      "",                      "call 555-1234 now",
+      "sureste de Méjico",     "This is a great soap",
+      "visit http://scam.com", "completely fresh words entirely",
+  };
+  Corpus serial;
+  for (const std::string& t : texts) serial.Add(t);
+
+  Corpus batched;
+  DocId first = batched.AddBatch(texts, /*num_threads=*/4);
+  EXPECT_EQ(first, 0u);
+  ASSERT_EQ(batched.size(), serial.size());
+  EXPECT_EQ(batched.vocab().size(), serial.vocab().size());
+  for (DocId d = 0; d < serial.size(); ++d) {
+    EXPECT_EQ(batched.doc(d).id, d);
+    EXPECT_EQ(batched.doc(d).tokens, serial.doc(d).tokens) << "doc " << d;
+    EXPECT_EQ(batched.doc(d).raw, serial.doc(d).raw) << "doc " << d;
+  }
+}
+
+TEST(CorpusTest, AddBatchAppendsAfterExistingDocs) {
+  Corpus c;
+  c.Add("existing doc");
+  DocId first = c.AddBatch({"new one", "new two"}, /*num_threads=*/2);
+  EXPECT_EQ(first, 1u);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.TokenText(2), "new two");
+}
+
+TEST(CorpusTest, AddBatchEmptyInput) {
+  Corpus c;
+  c.Add("x");
+  EXPECT_EQ(c.AddBatch({}, /*num_threads=*/4), 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
 TEST(CorpusTest, DocIdsAreSequential) {
   Corpus c;
   for (int i = 0; i < 10; ++i) {

@@ -30,11 +30,13 @@ LabeledAds MakeCorpus(uint64_t seed) {
 }
 
 std::string RunToJson(const Corpus& corpus, size_t num_threads,
-                      bool naive_costing = false, size_t scan_threads = 1) {
+                      bool naive_costing = false, size_t scan_threads = 1,
+                      bool serial_coarse = false) {
   InfoShieldOptions options;
   options.num_threads = num_threads;
   options.fine.use_naive_costing = naive_costing;
   options.fine.scan_threads = scan_threads;
+  options.coarse.use_serial_coarse = serial_coarse;
   InfoShield shield(options);
   InfoShieldResult result = shield.Run(corpus);
   return ResultToJson(result, corpus);
@@ -68,6 +70,23 @@ TEST(DeterminismTest, NaiveCostingIsByteIdenticalToOptimized) {
     EXPECT_EQ(optimized,
               RunToJson(data.corpus, threads, /*naive_costing=*/true))
         << "naive costing diverged at num_threads=" << threads;
+  }
+}
+
+TEST(DeterminismTest, SerialCoarseEscapeHatchIsByteIdentical) {
+  // The sharded parallel coarse pipeline (parallel df accumulation,
+  // per-document top-phrase fan-out, sort-and-union edge replay) is
+  // required to be exact: CoarseOptions::use_serial_coarse re-runs the
+  // single-threaded reference, and the two must render to the same
+  // bytes at every thread count.
+  LabeledAds data = MakeCorpus(/*seed=*/42);
+  const std::string serial = RunToJson(data.corpus, /*num_threads=*/1,
+                                       /*naive_costing=*/false,
+                                       /*scan_threads=*/1,
+                                       /*serial_coarse=*/true);
+  for (size_t threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(serial, RunToJson(data.corpus, threads))
+        << "parallel coarse diverged at num_threads=" << threads;
   }
 }
 

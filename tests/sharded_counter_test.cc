@@ -1,0 +1,117 @@
+#include "tfidf/sharded_counter.h"
+
+#include <cstdint>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace infoshield {
+namespace {
+
+// A hash whose top bits place it in shard `s` (ShardOf takes the top
+// six bits), with `salt` varying the low bits.
+PhraseHash HashInShard(size_t s, uint64_t salt) {
+  return (static_cast<PhraseHash>(s) << 58) | salt;
+}
+
+TEST(ShardedCounterTest, ShardOfUsesTopBits) {
+  EXPECT_EQ(ShardedPhraseCounter::ShardOf(HashInShard(0, 123)), 0u);
+  EXPECT_EQ(ShardedPhraseCounter::ShardOf(HashInShard(17, 0)), 17u);
+  EXPECT_EQ(ShardedPhraseCounter::ShardOf(HashInShard(63, 999)), 63u);
+}
+
+TEST(ShardedCounterTest, FlushAndDrainSumAcrossLocals) {
+  // Two locals with overlapping keys: the drained table must hold the
+  // exact sums — the same totals a single global map would accumulate.
+  ShardedPhraseCounter counter;
+  ShardedPhraseCounter::Local a;
+  ShardedPhraseCounter::Local b;
+  a.Increment(1);
+  a.Increment(1);
+  a.Increment(2);
+  b.Increment(1);
+  b.Increment(3);
+  counter.Flush(&a);
+  counter.Flush(&b);
+  EXPECT_TRUE(a.empty());
+  EXPECT_TRUE(b.empty());
+
+  std::unordered_map<PhraseHash, uint32_t> out;
+  counter.Drain(&out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[1], 3u);
+  EXPECT_EQ(out[2], 1u);
+  EXPECT_EQ(out[3], 1u);
+  // Hashes 1..3 all land in shard 0, so each local flushed one shard.
+  EXPECT_EQ(counter.stats().flushes, 2u);
+}
+
+TEST(ShardedCounterTest, DrainAddsIntoExistingCounts) {
+  ShardedPhraseCounter counter;
+  ShardedPhraseCounter::Local local;
+  local.Increment(7);
+  counter.Flush(&local);
+  std::unordered_map<PhraseHash, uint32_t> out;
+  out[7] = 5;
+  counter.Drain(&out);
+  EXPECT_EQ(out[7], 6u);
+  // Drain empties the shards; a second drain adds nothing.
+  std::unordered_map<PhraseHash, uint32_t> empty;
+  counter.Drain(&empty);
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(ShardedCounterTest, CountsSpreadAcrossAllShards) {
+  ShardedPhraseCounter counter;
+  ShardedPhraseCounter::Local local;
+  for (size_t s = 0; s < ShardedPhraseCounter::kNumShards; ++s) {
+    local.Increment(HashInShard(s, s));
+  }
+  counter.Flush(&local);
+  EXPECT_EQ(counter.stats().flushes, ShardedPhraseCounter::kNumShards);
+
+  std::unordered_map<PhraseHash, uint32_t> out;
+  counter.Drain(&out);
+  EXPECT_EQ(out.size(), ShardedPhraseCounter::kNumShards);
+  for (size_t s = 0; s < ShardedPhraseCounter::kNumShards; ++s) {
+    EXPECT_EQ(out[HashInShard(s, s)], 1u);
+  }
+}
+
+TEST(ShardedCounterTest, ConcurrentFlushesMatchSerialTotals) {
+  // Sharded df accumulation equals the serial global map on a fixture
+  // "corpus": every worker increments the same key set, so the drained
+  // count per key must be exactly the worker count times the per-worker
+  // increments — any lost update or double count breaks the equality
+  // the parallel tf-idf build is built on.
+  constexpr size_t kWorkers = 8;
+  constexpr size_t kKeys = 200;
+  constexpr uint32_t kRepeats = 3;
+  ShardedPhraseCounter counter;
+  ThreadPool::ParallelFor(kWorkers, kWorkers, [&](size_t worker) {
+    (void)worker;
+    ShardedPhraseCounter::Local local;
+    for (uint32_t r = 0; r < kRepeats; ++r) {
+      for (size_t k = 0; k < kKeys; ++k) {
+        // Spread keys over every shard; identical key set per worker.
+        local.Increment(HashInShard(k % ShardedPhraseCounter::kNumShards, k));
+      }
+    }
+    counter.Flush(&local);
+  });
+
+  std::unordered_map<PhraseHash, uint32_t> out;
+  counter.Drain(&out);
+  EXPECT_EQ(out.size(), kKeys);
+  for (size_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(out[HashInShard(k % ShardedPhraseCounter::kNumShards, k)],
+              kWorkers * kRepeats)
+        << "key " << k;
+  }
+  EXPECT_GE(counter.stats().flushes, ShardedPhraseCounter::kNumShards);
+}
+
+}  // namespace
+}  // namespace infoshield

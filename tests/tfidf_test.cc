@@ -174,6 +174,56 @@ TEST(TfidfTest, MaxNgramLimitsPhraseLength) {
   EXPECT_LT(index1.num_phrases(), index5.num_phrases());
 }
 
+TEST(TfidfTest, ParallelBuildMatchesSerial) {
+  // The sharded parallel df accumulation must equal the serial global
+  // map for every phrase the corpus actually contains — same table
+  // size, same count per hash — because top-phrase selection (and so
+  // the whole coarse output) reads exactly these numbers.
+  Corpus c;
+  for (int i = 0; i < 40; ++i) {
+    c.Add("shared spam phrase number " + std::to_string(i % 7) +
+          " with trailing tail " + std::to_string(i));
+  }
+  TfidfIndex serial;
+  serial.Build(c, TfidfOptions{});
+  TfidfIndex parallel;
+  parallel.Build(c, TfidfOptions{}, /*num_threads=*/4);
+
+  EXPECT_EQ(parallel.num_documents(), serial.num_documents());
+  EXPECT_EQ(parallel.num_phrases(), serial.num_phrases());
+  for (const Document& doc : c.docs()) {
+    for (const NgramSpan& g : ExtractNgrams(doc, TfidfOptions{}.max_ngram)) {
+      EXPECT_EQ(parallel.DocumentFrequency(g.hash),
+                serial.DocumentFrequency(g.hash));
+    }
+  }
+  // The parallel build went through the sharded path; the serial one
+  // reports no shard activity.
+  EXPECT_GT(parallel.build_stats().shard_flushes, 0u);
+  EXPECT_EQ(serial.build_stats().shard_flushes, 0u);
+}
+
+TEST(TfidfTest, ParallelBuildMatchesSerialTopPhrases) {
+  Corpus c;
+  for (int i = 0; i < 24; ++i) {
+    c.Add("alpha beta gamma campaign " + std::to_string(i % 4) +
+          " call today " + std::to_string(i % 4));
+  }
+  TfidfIndex serial;
+  serial.Build(c, TfidfOptions{});
+  TfidfIndex parallel;
+  parallel.Build(c, TfidfOptions{}, /*num_threads=*/8);
+  for (const Document& doc : c.docs()) {
+    std::vector<ScoredPhrase> a = serial.TopPhrases(doc);
+    std::vector<ScoredPhrase> b = parallel.TopPhrases(doc);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].hash, b[i].hash);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+    }
+  }
+}
+
 TEST(TfidfTest, EmptyCorpus) {
   Corpus c;
   TfidfIndex index;

@@ -124,11 +124,75 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
 TEST(TokenizerTest, TruncatedUtf8AtEndOfInput) {
   Tokenizer t;
   // 0xC3 starts a 2-byte sequence but the input ends: must not crash or
-  // read out of bounds.
+  // read out of bounds; the stray lead byte is copied as one byte.
   std::string truncated = "abc";
   truncated.push_back(static_cast<char>(0xC3));
   std::vector<std::string> toks = t.Tokenize(truncated);
   ASSERT_EQ(toks.size(), 1u);
+  std::string expected = "abc";
+  expected.push_back(static_cast<char>(0xC3));
+  EXPECT_EQ(toks[0], expected);
+}
+
+TEST(TokenizerTest, MalformedLeadByteDoesNotSwallowAscii) {
+  Tokenizer t;
+  // 0xC3 claims a 2-byte sequence but is followed by ASCII 'D', which is
+  // not a continuation byte (10xxxxxx). The lead byte must degrade to a
+  // single-byte copy and the ASCII must go through normal handling
+  // (lowercasing proves it wasn't swallowed as raw sequence payload).
+  std::string input;
+  input.push_back(static_cast<char>(0xC3));
+  input += "Def";
+  std::vector<std::string> toks = t.Tokenize(input);
+  ASSERT_EQ(toks.size(), 1u);
+  std::string expected;
+  expected.push_back(static_cast<char>(0xC3));
+  expected += "def";
+  EXPECT_EQ(toks[0], expected);
+}
+
+TEST(TokenizerTest, TruncatedThreeByteSequenceMidInput) {
+  Tokenizer t;
+  // 0xE3 claims 3 bytes but only one valid continuation follows before
+  // ASCII resumes: both malformed bytes degrade to single-byte copies
+  // and the ASCII is lowercased, not captured.
+  std::string input;
+  input.push_back(static_cast<char>(0xE3));
+  input.push_back(static_cast<char>(0x81));
+  input += "Ab";
+  std::vector<std::string> toks = t.Tokenize(input);
+  ASSERT_EQ(toks.size(), 1u);
+  std::string expected;
+  expected.push_back(static_cast<char>(0xE3));
+  expected.push_back(static_cast<char>(0x81));
+  expected += "ab";
+  EXPECT_EQ(toks[0], expected);
+}
+
+TEST(TokenizerTest, StrayContinuationBytesCopiedIndividually) {
+  Tokenizer t;
+  // Continuation bytes with no lead, and an invalid lead (0xFF), each
+  // pass through as deterministic single-byte copies.
+  std::string input = "ok ";
+  input.push_back(static_cast<char>(0x80));
+  input.push_back(static_cast<char>(0xBF));
+  input.push_back(static_cast<char>(0xFF));
+  std::vector<std::string> toks = t.Tokenize(input);
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "ok");
+  std::string expected;
+  expected.push_back(static_cast<char>(0x80));
+  expected.push_back(static_cast<char>(0xBF));
+  expected.push_back(static_cast<char>(0xFF));
+  EXPECT_EQ(toks[1], expected);
+}
+
+TEST(TokenizerTest, ValidUtf8StillCopiedWhole) {
+  Tokenizer t;
+  // The continuation validation must not break well-formed sequences:
+  // é (0xC3 0xA9) stays glued to its word.
+  EXPECT_EQ(t.Tokenize("café open"),
+            (std::vector<std::string>{"café", "open"}));
 }
 
 }  // namespace

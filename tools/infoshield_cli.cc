@@ -36,8 +36,9 @@ int Main(int argc, char** argv) {
       .AddInt("max-docs-per-template", 10,
               "member documents rendered per template (0 = all)")
       .AddInt("threads", 1,
-              "fine-stage worker threads (0 = all cores); results are "
-              "identical for any value")
+              "worker threads for both stages: the sharded coarse "
+              "pipeline and the per-cluster fine stage (0 = all cores); "
+              "results are identical for any value")
       .AddBool("color", true, "ANSI colors in terminal output")
       .AddBool("stats", true, "print per-cluster compression statistics")
       .AddBool("rank", true,
