@@ -1,0 +1,104 @@
+// Harness (b): CSV parse -> write -> parse round trip.
+//
+// Three modes, selected by the first byte:
+//  0: parse arbitrary bytes as one record; on success the fields must
+//     survive FormatCsvLine -> ParseCsvLine byte-for-byte;
+//  1: build arbitrary fields (NUL-separated fuzz bytes, so fields can
+//     contain quotes, separators, newlines, CR), format, re-parse, and
+//     require exact equality — the writer must quote everything the
+//     reader needs;
+//  2: stream arbitrary bytes through ReadCsvRecord (the multi-line
+//     record assembler), which must terminate, never crash, and either
+//     error (InvalidArgument inside an open quote) or yield records
+//     whose own parse round-trips when it succeeds — covers embedded
+//     newlines, CRLF terminators, and trailing-newline cases.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "io/csv.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace {
+
+using infoshield::FormatCsvLine;
+using infoshield::ParseCsvLine;
+using infoshield::ReadCsvRecord;
+using infoshield::Result;
+using infoshield::StatusCode;
+
+char PickSeparator(uint8_t b) {
+  switch (b % 3) {
+    case 0: return ',';
+    case 1: return ';';
+    default: return '\t';
+  }
+}
+
+void RoundTripFields(const std::vector<std::string>& fields, char sep) {
+  const std::string line = FormatCsvLine(fields, sep);
+  Result<std::vector<std::string>> reparsed = ParseCsvLine(line, sep);
+  CHECK(reparsed.ok()) << "formatted CSV failed to parse: "
+                       << reparsed.status().ToString();
+  CHECK(*reparsed == fields) << "CSV round trip changed " << fields.size()
+                             << " fields";
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  infoshield::fuzz::FuzzInput in(data, size);
+  const uint8_t mode = in.TakeByte();
+  const char sep = PickSeparator(in.TakeByte());
+
+  switch (mode % 3) {
+    case 0: {
+      const std::string line = in.TakeRest();
+      Result<std::vector<std::string>> fields = ParseCsvLine(line, sep);
+      if (!fields.ok()) {
+        CHECK(fields.status().code() == StatusCode::kInvalidArgument)
+            << "unexpected parse error code: "
+            << fields.status().ToString();
+        break;
+      }
+      RoundTripFields(*fields, sep);
+      break;
+    }
+    case 1: {
+      std::vector<std::string> fields(1);
+      const std::string raw = in.TakeRest();
+      for (char c : raw) {
+        if (c == '\0') {
+          fields.emplace_back();
+        } else {
+          fields.back().push_back(c);
+        }
+      }
+      RoundTripFields(fields, sep);
+      break;
+    }
+    default: {
+      std::istringstream stream(in.TakeRest());
+      std::string record;
+      // The stream shrinks every iteration; the cap is sheer paranoia.
+      for (int i = 0; i < 1 << 16; ++i) {
+        Result<bool> more = ReadCsvRecord(stream, &record, sep);
+        if (!more.ok()) {
+          CHECK(more.status().code() == StatusCode::kInvalidArgument)
+              << "unexpected record error code: "
+              << more.status().ToString();
+          break;
+        }
+        if (!*more) break;
+        Result<std::vector<std::string>> fields = ParseCsvLine(record, sep);
+        if (fields.ok()) RoundTripFields(*fields, sep);
+      }
+      break;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Shared scaffolding for the libFuzzer harnesses in fuzz/.
+//
+// Every harness defines LLVMFuzzerTestOneInput and is built twice: as a
+// libFuzzer binary (clang, INFOSHIELD_FUZZ=ON) and as a plain replay
+// runner (corpus_driver.cc main) that feeds the checked-in seed corpus
+// through the same entry point as a ctest, so non-clang builds exercise
+// every harness on every run.
+//
+// FuzzInput is a deterministic byte consumer in the spirit of LLVM's
+// FuzzedDataProvider (which ships with clang only): harnesses decode
+// their structured inputs through it so the same bytes mean the same
+// test case under the fuzzer and the replay runner. Exhausted input
+// yields zeros rather than failing — shorter inputs are simply simpler
+// test cases.
+
+#ifndef INFOSHIELD_FUZZ_FUZZ_UTIL_H_
+#define INFOSHIELD_FUZZ_FUZZ_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace infoshield {
+namespace fuzz {
+
+class FuzzInput {
+ public:
+  FuzzInput(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool empty() const { return pos_ >= size_; }
+
+  // One byte; 0 once the input is exhausted.
+  uint8_t TakeByte() { return empty() ? 0 : data_[pos_++]; }
+
+  // Little-endian u64 assembled from up to 8 remaining bytes.
+  uint64_t TakeUint64() {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v |= static_cast<uint64_t>(TakeByte()) << (8 * b);
+    }
+    return v;
+  }
+
+  // Value in [0, max] (max inclusive; returns 0 when max == 0).
+  size_t TakeBounded(size_t max) {
+    if (max == 0) return 0;
+    return static_cast<size_t>(TakeUint64() % (max + 1));
+  }
+
+  // Up to `max_len` raw bytes as a string.
+  std::string TakeString(size_t max_len) {
+    const size_t n = max_len < remaining() ? max_len : remaining();
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  // Everything left as a string.
+  std::string TakeRest() { return TakeString(remaining()); }
+
+  // `count` values, each in [0, max_value].
+  std::vector<uint32_t> TakeSequence(size_t count, uint32_t max_value) {
+    std::vector<uint32_t> seq;
+    seq.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      seq.push_back(static_cast<uint32_t>(TakeBounded(max_value)));
+    }
+    return seq;
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace fuzz
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_FUZZ_FUZZ_UTIL_H_

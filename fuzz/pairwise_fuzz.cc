@@ -1,0 +1,127 @@
+// Harness (d1): pairwise alignment validity + document-encoding cost
+// identity.
+//
+// Properties:
+//  * NeedlemanWunsch never crashes and its alignment replays back to
+//    both input sequences exactly (AlignmentIsConsistent);
+//  * alignment length obeys max(|a|,|b|) <= l̂ <= |a|+|b| and the op
+//    counts are column-consistent;
+//  * the workspace-reusing path is byte-identical to the allocating one,
+//    including when the workspace is reused dirty across shapes;
+//  * EncodeDocumentWithAlignment over a fuzzed slot mask passes
+//    ValidateDocEncoding with the cost model attached — i.e. the edit
+//    trace replays losslessly AND base_cost equals the Eq. 3 cost
+//    recomputed from scratch;
+//  * with default scoring, EncodeDocument (which re-aligns internally)
+//    reproduces EncodeDocumentWithAlignment bit for bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/template.h"
+#include "fuzz_util.h"
+#include "mdl/cost_model.h"
+#include "msa/pairwise.h"
+#include "text/vocabulary.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace {
+
+using infoshield::Alignment;
+using infoshield::AlignmentIsConsistent;
+using infoshield::AlignmentScoring;
+using infoshield::AlignmentWorkspace;
+using infoshield::CostModel;
+using infoshield::DocEncoding;
+using infoshield::EncodeDocument;
+using infoshield::EncodeDocumentWithAlignment;
+using infoshield::NeedlemanWunsch;
+using infoshield::Status;
+using infoshield::Template;
+using infoshield::TokenId;
+using infoshield::ValidateDocEncoding;
+
+std::vector<TokenId> TakeTokens(infoshield::fuzz::FuzzInput& in,
+                                size_t max_len) {
+  const size_t len = in.TakeBounded(max_len);
+  std::vector<TokenId> seq;
+  seq.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    // A small alphabet makes matches (and interesting alignments) common.
+    seq.push_back(static_cast<TokenId>(in.TakeBounded(15)));
+  }
+  return seq;
+}
+
+bool SameOps(const Alignment& x, const Alignment& y) {
+  return x.ops == y.ops;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  infoshield::fuzz::FuzzInput in(data, size);
+
+  static const AlignmentScoring kScorings[] = {
+      {1, -1, -1},  // default
+      {2, -1, -2},
+      {1, 0, -1},
+      {3, -2, -1},
+  };
+  const size_t scoring_index = in.TakeBounded(3);
+  const AlignmentScoring scoring = kScorings[scoring_index];
+
+  const std::vector<TokenId> a = TakeTokens(in, 48);
+  const std::vector<TokenId> b = TakeTokens(in, 48);
+
+  const Alignment alignment = NeedlemanWunsch(a, b, scoring);
+  CHECK(AlignmentIsConsistent(alignment, a, b))
+      << "alignment does not replay to its inputs (|a|=" << a.size()
+      << ", |b|=" << b.size() << ")";
+
+  const size_t longer = a.size() > b.size() ? a.size() : b.size();
+  CHECK(alignment.length() >= longer);
+  CHECK(alignment.length() <= a.size() + b.size());
+  CHECK(alignment.matches() + alignment.unmatched() == alignment.length());
+  CHECK(alignment.substitutions() + alignment.insertions() +
+            alignment.deletions() ==
+        alignment.unmatched());
+
+  // Workspace reuse must not change the result — including a dirty
+  // workspace carried over from a differently-shaped problem.
+  AlignmentWorkspace workspace;
+  const Alignment with_ws = NeedlemanWunsch(a, b, scoring, &workspace);
+  CHECK(SameOps(with_ws, alignment)) << "workspace path diverged";
+  const Alignment reversed = NeedlemanWunsch(b, a, scoring, &workspace);
+  CHECK(AlignmentIsConsistent(reversed, b, a));
+  const Alignment dirty_ws = NeedlemanWunsch(a, b, scoring, &workspace);
+  CHECK(SameOps(dirty_ws, alignment)) << "dirty workspace changed result";
+
+  // Encoding cost identity under a fuzzed slot mask.
+  Template tmpl(a);
+  for (size_t gap = 0; gap <= a.size(); ++gap) {
+    if (in.TakeByte() & 1) tmpl.SetSlotAtGap(gap, true);
+  }
+  const double lg_vocab = 4.0 + static_cast<double>(in.TakeBounded(12));
+  const CostModel cost_model(lg_vocab);
+
+  const DocEncoding encoding =
+      EncodeDocumentWithAlignment(tmpl, alignment, cost_model);
+  Status encoding_status = ValidateDocEncoding(tmpl, b, encoding,
+                                               &cost_model);
+  CHECK(encoding_status.ok())
+      << "Eq. 3 cost identity violated: " << encoding_status.ToString();
+
+  if (scoring_index == 0) {
+    // EncodeDocument re-runs NW internally with default scoring; the
+    // two entry points must agree bit for bit.
+    const DocEncoding direct = EncodeDocument(tmpl, b, cost_model);
+    CHECK(direct.base_cost == encoding.base_cost)
+        << "EncodeDocument disagrees with EncodeDocumentWithAlignment";
+    CHECK(direct.summary.alignment_length ==
+          encoding.summary.alignment_length);
+    CHECK(direct.slot_words == encoding.slot_words);
+  }
+  return 0;
+}

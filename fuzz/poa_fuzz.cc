@@ -1,0 +1,84 @@
+// Harness (d2): POA / profile MSA validity.
+//
+// Properties, after fusing each fuzzed sequence:
+//  * PoaGraph::ValidateInvariants holds (DAG, consistent topological
+//    order, mirrored edge lists, supports in [1, num_sequences]);
+//  * Sel(A, h) is monotone: raising the support threshold never grows
+//    the consensus, h = 0 selects every node, and h >= num_sequences
+//    selects nothing;
+//  * max_support never exceeds the number of fused sequences;
+//  * ProfileMsa (the alternative MsaAligner) obeys the same Sel(A, h)
+//    monotonicity on the same input — the fine stage may use either.
+
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "msa/poa.h"
+#include "msa/profile_msa.h"
+#include "text/vocabulary.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace {
+
+using infoshield::PoaGraph;
+using infoshield::ProfileMsa;
+using infoshield::Status;
+using infoshield::TokenId;
+
+std::vector<std::vector<TokenId>> TakeSequences(
+    infoshield::fuzz::FuzzInput& in) {
+  const size_t count = 1 + in.TakeBounded(7);
+  std::vector<std::vector<TokenId>> seqs(count);
+  for (auto& seq : seqs) {
+    const size_t len = in.TakeBounded(24);
+    seq.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<TokenId>(in.TakeBounded(11)));
+    }
+  }
+  return seqs;
+}
+
+template <typename Aligner>
+void CheckConsensusMonotone(const Aligner& aligner) {
+  const size_t n = aligner.num_sequences();
+  size_t prev_size = aligner.ConsensusAtThreshold(0).size();
+  for (size_t h = 1; h <= n; ++h) {
+    const size_t cur_size = aligner.ConsensusAtThreshold(h).size();
+    CHECK(cur_size <= prev_size)
+        << "Sel(A, h) grew when h rose to " << h;
+    prev_size = cur_size;
+  }
+  CHECK(aligner.ConsensusAtThreshold(n).empty())
+      << "threshold >= num_sequences must select nothing";
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  infoshield::fuzz::FuzzInput in(data, size);
+  const std::vector<std::vector<TokenId>> seqs = TakeSequences(in);
+
+  PoaGraph graph(seqs[0]);
+  Status st = graph.ValidateInvariants();
+  CHECK(st.ok()) << st.ToString();
+  for (size_t i = 1; i < seqs.size(); ++i) {
+    graph.AddSequence(seqs[i]);
+    st = graph.ValidateInvariants();
+    CHECK(st.ok()) << "after fusing sequence " << i << ": "
+                   << st.ToString();
+  }
+  CHECK(graph.num_sequences() == seqs.size());
+  CHECK(graph.max_support() <= graph.num_sequences());
+  CHECK(graph.ConsensusAtThreshold(0).size() == graph.node_count())
+      << "h = 0 must select every node";
+  CheckConsensusMonotone(graph);
+
+  ProfileMsa profile(seqs[0]);
+  for (size_t i = 1; i < seqs.size(); ++i) profile.AddSequence(seqs[i]);
+  CHECK(profile.num_sequences() == seqs.size());
+  CheckConsensusMonotone(profile);
+  return 0;
+}

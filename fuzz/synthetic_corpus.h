@@ -1,0 +1,88 @@
+// Structure-aware corpus decoder shared by the differential fuzzers.
+//
+// Deserializes fuzz bytes into a small synthetic ad corpus with the
+// shape that matters to InfoShield: a few template families (near
+// duplicate documents derived from a base phrase by substitutions,
+// insertions, and deletions) plus unrelated noise documents. Byte-level
+// mutations by the fuzzer then explore family count, document counts,
+// mutation density, and token overlap — the axes the MDL model actually
+// branches on.
+
+#ifndef INFOSHIELD_FUZZ_SYNTHETIC_CORPUS_H_
+#define INFOSHIELD_FUZZ_SYNTHETIC_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+namespace fuzz {
+
+// Word the synthetic vocabulary maps id `w` to ("w0".."w15").
+inline std::string SyntheticWord(size_t w) {
+  return "w" + std::to_string(w % 16);
+}
+
+// Decodes up to `max_docs` documents (at least one). Every returned
+// string is non-empty, lowercase, space-separated — already in the
+// tokenizer's normal form, so the corpus content is exactly the decoded
+// token sequences.
+inline std::vector<std::string> DecodeSyntheticTexts(FuzzInput& in,
+                                                     size_t max_docs) {
+  std::vector<std::string> texts;
+  const size_t num_families = 1 + in.TakeBounded(2);
+  for (size_t f = 0; f < num_families && texts.size() < max_docs; ++f) {
+    // Base phrase for this family.
+    const size_t base_len = 3 + in.TakeBounded(9);
+    std::vector<size_t> base;
+    base.reserve(base_len);
+    for (size_t i = 0; i < base_len; ++i) {
+      base.push_back(in.TakeBounded(15));
+    }
+    const size_t family_docs = 2 + in.TakeBounded(3);
+    for (size_t d = 0; d < family_docs && texts.size() < max_docs; ++d) {
+      std::string text;
+      for (size_t i = 0; i < base.size(); ++i) {
+        const uint8_t mutation = in.TakeByte();
+        size_t word = base[i];
+        if ((mutation & 0x0F) == 1) continue;             // delete
+        if ((mutation & 0x0F) == 2) word = in.TakeBounded(15);  // subst
+        if (!text.empty()) text.push_back(' ');
+        text += SyntheticWord(word);
+        if ((mutation & 0xF0) == 0x10) {                  // insert after
+          text.push_back(' ');
+          text += SyntheticWord(in.TakeBounded(15));
+        }
+      }
+      if (text.empty()) text = SyntheticWord(base[0]);
+      texts.push_back(text);
+    }
+  }
+  const size_t num_noise = in.TakeBounded(3);
+  for (size_t d = 0; d < num_noise && texts.size() < max_docs; ++d) {
+    const size_t len = 1 + in.TakeBounded(7);
+    std::string text;
+    for (size_t i = 0; i < len; ++i) {
+      if (!text.empty()) text.push_back(' ');
+      // Disjoint "z" vocabulary keeps noise from joining families by
+      // accident only when the fuzzer doesn't ask for overlap.
+      text += (in.TakeByte() & 1) ? ("z" + std::to_string(in.TakeBounded(9)))
+                                  : SyntheticWord(in.TakeBounded(15));
+    }
+    texts.push_back(text);
+  }
+  return texts;
+}
+
+inline Corpus BuildSyntheticCorpus(const std::vector<std::string>& texts) {
+  Corpus corpus;
+  for (const std::string& text : texts) corpus.Add(text);
+  return corpus;
+}
+
+}  // namespace fuzz
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_FUZZ_SYNTHETIC_CORPUS_H_

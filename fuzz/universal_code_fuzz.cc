@@ -1,0 +1,125 @@
+// Harness (c): universal-code codec round trip + cost-model identities.
+//
+// MDL systems carry their own oracle: a description length is only
+// honest if something decodable realizes it. Properties:
+//  * AppendUniversalBits -> DecodeUniversalBits round-trips any sequence
+//    of values through one concatenated prefix-free stream;
+//  * the realized integer codeword length matches UniversalBitsLength
+//    and tracks the real-valued UniversalCodeLength within 2 bits;
+//  * UniversalCodeLength / Log2Bits are monotone over the fuzzed values;
+//  * decoding arbitrary bit noise never crashes: it either errors or
+//    yields a value whose canonical re-encoding reproduces exactly the
+//    consumed bits (decoder/encoder inverse on the nose);
+//  * EncodingSummary cost identities: ValidateEncodingSummary accepts
+//    consistent summaries, AlignmentCostBase is finite/non-negative, and
+//    EncodedDocCost(t, s) == Log2Bits(t) + AlignmentCostBase(s).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "mdl/cost_model.h"
+#include "mdl/universal_code.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace {
+
+using infoshield::AppendUniversalBits;
+using infoshield::CostModel;
+using infoshield::DecodeUniversalBits;
+using infoshield::EncodingSummary;
+using infoshield::Log2Bits;
+using infoshield::Result;
+using infoshield::Status;
+using infoshield::UniversalBitsLength;
+using infoshield::UniversalCodeLength;
+using infoshield::ValidateEncodingSummary;
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  infoshield::fuzz::FuzzInput in(data, size);
+
+  // --- Codec round trip over a concatenated stream. ---
+  const size_t count = in.TakeBounded(24);
+  std::vector<uint64_t> values;
+  std::vector<uint8_t> stream;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t n = in.TakeUint64();
+    if (n == UINT64_MAX) {
+      std::vector<uint8_t> scratch;
+      CHECK(AppendUniversalBits(n, &scratch).code() ==
+            infoshield::StatusCode::kOutOfRange);
+      CHECK(scratch.empty());
+      n -= 1 + in.TakeByte();  // fold back into the encodable domain
+    }
+    const size_t before = stream.size();
+    Status append_status = AppendUniversalBits(n, &stream);
+    CHECK(append_status.ok()) << append_status.ToString();
+    CHECK(stream.size() - before == UniversalBitsLength(n));
+    const double exact = static_cast<double>(stream.size() - before);
+    CHECK(std::abs(exact - UniversalCodeLength(n)) <= 2.0 + 1e-9)
+        << "codeword length drifted from <n> at n=" << n;
+    values.push_back(n);
+  }
+  size_t pos = 0;
+  for (uint64_t expected : values) {
+    Result<uint64_t> decoded = DecodeUniversalBits(stream, &pos);
+    CHECK(decoded.ok()) << decoded.status().ToString();
+    CHECK(*decoded == expected);
+  }
+  CHECK(pos == stream.size()) << "decoder left trailing bits";
+
+  // --- Monotonicity of the cost primitives over the fuzzed values. ---
+  std::sort(values.begin(), values.end());
+  for (size_t i = 1; i < values.size(); ++i) {
+    CHECK(UniversalCodeLength(values[i - 1]) <=
+          UniversalCodeLength(values[i]) + 1e-9);
+    CHECK(Log2Bits(values[i - 1]) <= Log2Bits(values[i]) + 1e-9);
+  }
+
+  // --- Decoder on arbitrary bit noise: error or canonical inverse. ---
+  const size_t noise_bits = in.TakeBounded(96);
+  std::vector<uint8_t> noise;
+  for (size_t i = 0; i < noise_bits; ++i) {
+    noise.push_back(in.TakeByte() & 1);
+  }
+  pos = 0;
+  while (pos < noise.size()) {
+    const size_t start = pos;
+    Result<uint64_t> decoded = DecodeUniversalBits(noise, &pos);
+    if (!decoded.ok()) break;
+    CHECK(pos > start) << "decoder did not consume any bits";
+    std::vector<uint8_t> reencoded;
+    CHECK(AppendUniversalBits(*decoded, &reencoded).ok());
+    CHECK(reencoded.size() == pos - start);
+    CHECK(std::equal(reencoded.begin(), reencoded.end(),
+                     noise.begin() + static_cast<long>(start)))
+        << "decode/encode is not the identity on consumed bits";
+  }
+
+  // --- Cost-model identities on a fuzzed encoding summary. ---
+  const double lg_vocab = 1.0 + static_cast<double>(in.TakeBounded(31));
+  const CostModel cost_model(lg_vocab);
+  EncodingSummary summary;
+  summary.alignment_length = in.TakeBounded(512);
+  summary.unmatched = in.TakeBounded(summary.alignment_length);
+  summary.inserted_or_substituted = in.TakeBounded(summary.unmatched);
+  const size_t num_slots = in.TakeBounded(8);
+  for (size_t i = 0; i < num_slots; ++i) {
+    summary.slot_word_counts.push_back(in.TakeBounded(64));
+  }
+  Status summary_status = ValidateEncodingSummary(summary);
+  CHECK(summary_status.ok()) << summary_status.ToString();
+
+  const double base = cost_model.AlignmentCostBase(summary);
+  CHECK(std::isfinite(base) && base >= 0.0);
+  const size_t num_templates = 1 + in.TakeBounded(1023);
+  const double full = cost_model.EncodedDocCost(num_templates, summary);
+  CHECK(std::abs(full - (Log2Bits(num_templates) + base)) <= 1e-9)
+      << "EncodedDocCost != lg t + AlignmentCostBase";
+  return 0;
+}

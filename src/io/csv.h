@@ -21,7 +21,7 @@ namespace infoshield {
 // record, and a bare quote inside an unquoted field is an error.
 // Returns InvalidArgument (with the offending byte offset) instead of
 // guessing on malformed input.
-Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
+[[nodiscard]] Result<std::vector<std::string>> ParseCsvLine(std::string_view line,
                                               char sep = ',');
 
 // Quotes a field if it contains the separator, a quote, or a newline.
@@ -37,7 +37,7 @@ std::string FormatCsvLine(const std::vector<std::string>& fields,
 // of the record). Returns true when a record was read, false at a clean
 // end of input, and InvalidArgument when the input ends inside an open
 // quoted field.
-Result<bool> ReadCsvRecord(std::istream& in, std::string* record,
+[[nodiscard]] Result<bool> ReadCsvRecord(std::istream& in, std::string* record,
                            char sep = ',');
 
 struct CsvTable {
@@ -51,14 +51,14 @@ struct CsvTable {
 // Reads a whole CSV file; the first record is the header. Quoted fields
 // may contain embedded newlines (records are assembled by
 // ReadCsvRecord). Malformed quoting fails with the record number.
-Result<CsvTable> ReadCsvFile(const std::string& path, char sep = ',');
+[[nodiscard]] Result<CsvTable> ReadCsvFile(const std::string& path, char sep = ',');
 
-Status WriteCsvFile(const std::string& path, const CsvTable& table,
+[[nodiscard]] Status WriteCsvFile(const std::string& path, const CsvTable& table,
                     char sep = ',');
 
 // Loads a corpus from a CSV file: each row's `text_column` becomes a
 // document. Fails if the column is missing.
-Result<Corpus> LoadCorpusFromCsv(const std::string& path,
+[[nodiscard]] Result<Corpus> LoadCorpusFromCsv(const std::string& path,
                                  const std::string& text_column,
                                  char sep = ',');
 

@@ -1,8 +1,10 @@
 #include "io/json_writer.h"
 
 #include <cmath>
+#include <fstream>
 
 #include "util/logging.h"
+#include "util/status.h"
 #include "util/string_util.h"
 
 namespace infoshield {
@@ -188,6 +190,14 @@ std::string ResultToJson(const InfoShieldResult& result,
 
   w.EndObject();
   return w.str();
+}
+
+Status WriteJsonFile(const std::string& path, std::string_view json) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
 }
 
 }  // namespace infoshield

@@ -13,6 +13,7 @@
 #include "core/fine_clustering.h"
 #include "core/infoshield.h"
 #include "text/corpus.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -51,6 +52,11 @@ std::string EscapeJsonString(std::string_view s);
 // and per-cluster compression stats.
 std::string ResultToJson(const InfoShieldResult& result,
                          const Corpus& corpus);
+
+// Writes a serialized JSON document to `path` (binary mode, no BOM).
+// IoError when the file cannot be opened or the write fails.
+[[nodiscard]] Status WriteJsonFile(const std::string& path,
+                                   std::string_view json);
 
 }  // namespace infoshield
 

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/audit.h"
+#include "util/logging.h"
 #include "util/status.h"
 #include "util/string_util.h"
 
@@ -16,6 +17,70 @@ double UniversalCodeLength(uint64_t n) {
 double Log2Bits(uint64_t n) {
   if (n <= 1) return 0.0;
   return std::log2(static_cast<double>(n));
+}
+
+namespace {
+
+// floor(lg m) for m >= 1.
+inline size_t FloorLog2(uint64_t m) {
+  size_t k = 0;
+  while (m >>= 1) ++k;
+  return k;
+}
+
+}  // namespace
+
+Status AppendUniversalBits(uint64_t n, std::vector<uint8_t>* bits) {
+  if (n == UINT64_MAX) {
+    return Status::OutOfRange(
+        "AppendUniversalBits: n + 1 overflows the 64-bit value domain");
+  }
+  const uint64_t m = n + 1;  // gamma codes positive integers; shift 0 in
+  const size_t k = FloorLog2(m);
+  // k zeros, then the k+1 significant bits of m (MSB first, always 1).
+  bits->insert(bits->end(), k, 0);
+  for (size_t b = k + 1; b-- > 0;) {
+    bits->push_back(static_cast<uint8_t>((m >> b) & 1));
+  }
+  return Status::Ok();
+}
+
+Result<uint64_t> DecodeUniversalBits(const std::vector<uint8_t>& bits,
+                                     size_t* pos) {
+  CHECK(pos != nullptr);
+  size_t i = *pos;
+  if (i > bits.size()) {
+    return Status::InvalidArgument(
+        "DecodeUniversalBits: position past end of stream");
+  }
+  size_t k = 0;
+  while (i < bits.size() && bits[i] == 0) {
+    ++k;
+    ++i;
+  }
+  if (i + k + 1 > bits.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "DecodeUniversalBits: truncated codeword at bit %zu", *pos));
+  }
+  if (k > 63) {
+    return Status::InvalidArgument(StrFormat(
+        "DecodeUniversalBits: unary prefix of %zu zeros exceeds the "
+        "64-bit value domain",
+        k));
+  }
+  uint64_t m = 0;
+  for (size_t b = 0; b < k + 1; ++b) {
+    m = (m << 1) | (bits[i + b] & 1);
+  }
+  // The first significant bit is the 1 that terminated the unary run.
+  CHECK(m >> k == 1);
+  *pos = i + k + 1;
+  return m - 1;
+}
+
+size_t UniversalBitsLength(uint64_t n) {
+  CHECK(n < UINT64_MAX) << "UniversalBitsLength: n + 1 overflows";
+  return 2 * FloorLog2(n + 1) + 1;
 }
 
 Status AuditUniversalCode() {

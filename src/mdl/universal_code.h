@@ -10,6 +10,7 @@
 #define INFOSHIELD_MDL_UNIVERSAL_CODE_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "util/status.h"
 
@@ -20,6 +21,29 @@ double UniversalCodeLength(uint64_t n);
 
 // lg(L) with lg(0) = lg(1) = 0 (choosing among <= 1 alternative is free).
 double Log2Bits(uint64_t n);
+
+// --- Bit-level realization of <n> (Elias gamma over n + 1) ---
+//
+// The cost formulas above are real-valued and never emitted; the codec
+// below is the decodable witness that <n> is an honest code length: it is
+// prefix-free (concatenated codewords decode unambiguously) and its
+// integer codeword length tracks UniversalCodeLength(n) within 2 bits
+// (the slack between 2*floor(lg(n+1))+1 and 2*lg(n)+1). Fuzzed
+// end-to-end by fuzz/universal_code_fuzz.cc.
+
+// Appends the codeword for n to `bits` (one 0/1 byte per bit).
+// OutOfRange for n == UINT64_MAX (n + 1 would overflow the value domain).
+[[nodiscard]] Status AppendUniversalBits(uint64_t n,
+                                         std::vector<uint8_t>* bits);
+
+// Decodes one codeword starting at *pos, advancing *pos past it.
+// InvalidArgument when the stream is truncated or *pos is out of range.
+[[nodiscard]] Result<uint64_t> DecodeUniversalBits(
+    const std::vector<uint8_t>& bits, size_t* pos);
+
+// Exact integer codeword length AppendUniversalBits produces for n:
+// 2*floor(lg(n + 1)) + 1. Precondition (CHECKed): n < UINT64_MAX.
+size_t UniversalBitsLength(uint64_t n);
 
 // Deep invariant audit (util/audit.h): probes both primitives over a
 // geometric grid of arguments and verifies UniversalCodeLength(n) matches

@@ -17,6 +17,53 @@ inline bool IsAsciiSpace(unsigned char c) {
 
 }  // namespace
 
+size_t ValidUtf8SequenceLength(std::string_view text, size_t pos) {
+  if (pos >= text.size()) return 0;
+  const unsigned char lead = static_cast<unsigned char>(text[pos]);
+  size_t len;
+  // Second-byte range per lead (RFC 3629 table): the default 0x80..0xBF
+  // tightens for the leads that would otherwise admit overlong forms
+  // (E0, F0), surrogates (ED), or code points above U+10FFFF (F4).
+  unsigned char lo = 0x80, hi = 0xBF;
+  if ((lead & 0xE0) == 0xC0) {
+    if (lead < 0xC2) return 0;  // C0/C1: overlong 2-byte forms
+    len = 2;
+  } else if ((lead & 0xF0) == 0xE0) {
+    len = 3;
+    if (lead == 0xE0) lo = 0xA0;        // overlong 3-byte forms
+    else if (lead == 0xED) hi = 0x9F;   // UTF-16 surrogates
+  } else if ((lead & 0xF8) == 0xF0) {
+    if (lead > 0xF4) return 0;  // F5..F7: above U+10FFFF
+    len = 4;
+    if (lead == 0xF0) lo = 0x90;        // overlong 4-byte forms
+    else if (lead == 0xF4) hi = 0x8F;   // above U+10FFFF
+  } else {
+    return 0;  // ASCII or a stray continuation byte
+  }
+  if (pos + len > text.size()) return 0;
+  const unsigned char second = static_cast<unsigned char>(text[pos + 1]);
+  if (second < lo || second > hi) return 0;
+  for (size_t k = 2; k < len; ++k) {
+    const unsigned char cont = static_cast<unsigned char>(text[pos + k]);
+    if ((cont & 0xC0) != 0x80) return 0;
+  }
+  return len;
+}
+
+bool IsValidUtf8(std::string_view text) {
+  size_t i = 0;
+  while (i < text.size()) {
+    if (static_cast<unsigned char>(text[i]) < 0x80) {
+      ++i;
+      continue;
+    }
+    const size_t len = ValidUtf8SequenceLength(text, i);
+    if (len == 0) return false;
+    i += len;
+  }
+  return true;
+}
+
 std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
   std::vector<std::string> tokens;
   std::string current;
@@ -34,27 +81,14 @@ std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
   while (i < text.size()) {
     unsigned char c = static_cast<unsigned char>(text[i]);
     if (c >= 0x80) {
-      // Multi-byte UTF-8 sequence: copy it whole as token content. The
-      // lead byte only *claims* a length; every claimed continuation
-      // byte must actually be one (10xxxxxx). A truncated or malformed
-      // sequence degrades to a single-byte copy so a bad lead byte can
-      // never swallow the ASCII that follows it — stray continuation
-      // bytes and invalid leads (0xF8+) take the same one-byte path.
-      size_t len = 1;
-      if ((c & 0xE0) == 0xC0) len = 2;
-      else if ((c & 0xF0) == 0xE0) len = 3;
-      else if ((c & 0xF8) == 0xF0) len = 4;
-      if (i + len > text.size()) {
-        len = 1;
-      } else {
-        for (size_t k = 1; k < len; ++k) {
-          unsigned char cont = static_cast<unsigned char>(text[i + k]);
-          if ((cont & 0xC0) != 0x80) {
-            len = 1;
-            break;
-          }
-        }
-      }
+      // Multi-byte UTF-8 sequence: copy it whole as token content, but
+      // only when it is well-formed per RFC 3629 (ValidUtf8SequenceLength
+      // rejects truncation, bad continuation bytes, overlong encodings,
+      // surrogates, and code points above U+10FFFF). Anything malformed
+      // degrades to a single-byte copy so a bad lead byte can never
+      // swallow the ASCII that follows it.
+      size_t len = ValidUtf8SequenceLength(text, i);
+      if (len == 0) len = 1;
       current.append(text.substr(i, len));
       i += len;
       continue;

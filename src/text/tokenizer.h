@@ -27,6 +27,18 @@ struct TokenizerOptions {
   bool keep_digits = true;
 };
 
+// Length (2..4) of the well-formed UTF-8 multi-byte sequence starting at
+// text[pos], or 0 when text[pos] does not start one (ASCII byte, stray
+// continuation byte, truncated sequence, overlong encoding, surrogate
+// code point U+D800..U+DFFF, or a code point above U+10FFFF — RFC 3629).
+// This is the exact acceptance test Tokenizer uses: sequences it rejects
+// degrade to single-byte copies in token output.
+size_t ValidUtf8SequenceLength(std::string_view text, size_t pos);
+
+// True iff `text` is entirely well-formed UTF-8 (ASCII plus sequences
+// accepted by ValidUtf8SequenceLength).
+bool IsValidUtf8(std::string_view text);
+
 class Tokenizer {
  public:
   Tokenizer() = default;

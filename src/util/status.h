@@ -28,7 +28,12 @@ enum class StatusCode {
 // Human-readable name for a status code, e.g. "InvalidArgument".
 const char* StatusCodeToString(StatusCode code);
 
-class Status {
+// [[nodiscard]] at class level: any call that returns a Status (or a
+// Result) and ignores it is a compile-time warning everywhere, an error
+// under -Werror builds (tools/check.sh). Deliberate discards must be
+// spelled `(void)expr` — which tools/lint.py's discarded-status rule
+// also surfaces for review.
+class [[nodiscard]] Status {
  public:
   // Default-constructed Status is OK.
   Status() : code_(StatusCode::kOk) {}
@@ -75,7 +80,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 // Result<T> holds either a value or a non-OK Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Implicit construction from a value or an error Status keeps call
   // sites readable: `return value;` / `return Status::NotFound(...)`.

@@ -109,6 +109,41 @@ TEST(ReadCsvRecordTest, StripsCrlfTerminatorButKeepsQuotedCr) {
   EXPECT_EQ(record, "\"c\r\nd\",e");
 }
 
+TEST(ReadCsvRecordTest, LastRecordWithoutTrailingNewline) {
+  std::istringstream in("a,b\nc,d");
+  std::string record;
+  Result<bool> more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(record, "a,b");
+  more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(*more);
+  EXPECT_EQ(record, "c,d");
+  more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_FALSE(*more);
+}
+
+TEST(ReadCsvRecordTest, EmptyFieldsSurviveCrlfTermination) {
+  std::istringstream in("a,,\r\n,,b\r\n");
+  std::string record;
+  Result<bool> more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(MustParse(record), (std::vector<std::string>{"a", "", ""}));
+  more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(MustParse(record), (std::vector<std::string>{"", "", "b"}));
+}
+
+TEST(ReadCsvRecordTest, BareCarriageReturnStaysInUnquotedField) {
+  // A lone \r not followed by \n is field content, not a terminator.
+  std::istringstream in("a\rb,c\n");
+  std::string record;
+  Result<bool> more = ReadCsvRecord(in, &record);
+  ASSERT_TRUE(more.ok());
+  EXPECT_EQ(MustParse(record), (std::vector<std::string>{"a\rb", "c"}));
+}
+
 TEST(ReadCsvRecordTest, UnterminatedQuoteAtEofFails) {
   std::istringstream in("1,\"never closed\n2,x\n");
   std::string record;
@@ -204,6 +239,26 @@ TEST_F(CsvFileTest, CrlfLineEndings) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->rows.size(), 2u);
   EXPECT_EQ(r->rows[1][1], "world");
+}
+
+TEST_F(CsvFileTest, MissingTrailingNewlineStillReadsLastRow) {
+  std::ofstream out(path_, std::ios::binary);
+  out << "id,text\n1,first\n2,last row";  // no final terminator
+  out.close();
+  Result<CsvTable> r = ReadCsvFile(path_);
+  ASSERT_TRUE(r.ok()) << r.status().message();
+  ASSERT_EQ(r->rows.size(), 2u);
+  EXPECT_EQ(r->rows[1][1], "last row");
+}
+
+TEST_F(CsvFileTest, AllEmptyFieldsRoundTrip) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  table.rows = {{"", "", ""}, {"x", "", ""}, {"", "", "y"}};
+  ASSERT_TRUE(WriteCsvFile(path_, table).ok());
+  Result<CsvTable> read = ReadCsvFile(path_);
+  ASSERT_TRUE(read.ok()) << read.status().message();
+  EXPECT_EQ(read->rows, table.rows);
 }
 
 TEST_F(CsvFileTest, LoadCorpusFromCsv) {

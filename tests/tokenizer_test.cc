@@ -195,5 +195,84 @@ TEST(TokenizerTest, ValidUtf8StillCopiedWhole) {
             (std::vector<std::string>{"café", "open"}));
 }
 
+// Builds a string from raw byte values (test readability for the
+// malformed-sequence cases below).
+std::string Bytes(std::initializer_list<unsigned char> bytes) {
+  std::string s;
+  for (unsigned char b : bytes) s.push_back(static_cast<char>(b));
+  return s;
+}
+
+TEST(TokenizerTest, OverlongEncodingsDegradeToSingleBytes) {
+  Tokenizer t;
+  // C0 80 is the classic overlong NUL; C1 BF, E0 9F BF, and F0 8F BF BF
+  // are the maximal overlong forms of each length. Continuation-byte
+  // validation alone accepts all of them; RFC 3629 rejects them. Each
+  // byte must degrade to a single-byte copy — trailing ASCII proves the
+  // sequence was not consumed whole (it gets lowercased).
+  for (const std::string& overlong :
+       {Bytes({0xC0, 0x80}), Bytes({0xC1, 0xBF}), Bytes({0xE0, 0x9F, 0xBF}),
+        Bytes({0xF0, 0x8F, 0xBF, 0xBF})}) {
+    std::vector<std::string> toks = t.Tokenize(overlong + "Ab");
+    ASSERT_EQ(toks.size(), 1u) << "input bytes: " << overlong.size();
+    EXPECT_EQ(toks[0], overlong + "ab");
+    EXPECT_FALSE(IsValidUtf8(overlong));
+  }
+}
+
+TEST(TokenizerTest, SurrogateCodePointsDegradeToSingleBytes) {
+  Tokenizer t;
+  // ED A0 80 (U+D800, first high surrogate) and ED BF BF (U+DFFF, last
+  // low surrogate) are well-formed by continuation-byte shape only;
+  // UTF-8 forbids encoding surrogates. ED 9F BF (U+D7FF) is the last
+  // valid code point before the range and must still pass whole.
+  for (const std::string& surrogate :
+       {Bytes({0xED, 0xA0, 0x80}), Bytes({0xED, 0xBF, 0xBF})}) {
+    std::vector<std::string> toks = t.Tokenize(surrogate + "Ab");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0], surrogate + "ab");
+    EXPECT_FALSE(IsValidUtf8(surrogate));
+  }
+  const std::string just_below = Bytes({0xED, 0x9F, 0xBF});
+  EXPECT_TRUE(IsValidUtf8(just_below));
+  EXPECT_EQ(t.Tokenize(just_below + " x"),
+            (std::vector<std::string>{just_below, "x"}));
+}
+
+TEST(TokenizerTest, CodePointsAboveU10FFFFDegradeToSingleBytes) {
+  Tokenizer t;
+  // F4 90 80 80 is U+110000 (one past the Unicode ceiling); F5..F7 leads
+  // are always invalid. F4 8F BF BF (U+10FFFF) is the ceiling itself and
+  // must pass whole.
+  for (const std::string& above :
+       {Bytes({0xF4, 0x90, 0x80, 0x80}), Bytes({0xF5, 0x80, 0x80, 0x80})}) {
+    std::vector<std::string> toks = t.Tokenize(above + "Ab");
+    ASSERT_EQ(toks.size(), 1u);
+    EXPECT_EQ(toks[0], above + "ab");
+    EXPECT_FALSE(IsValidUtf8(above));
+  }
+  const std::string ceiling = Bytes({0xF4, 0x8F, 0xBF, 0xBF});
+  EXPECT_TRUE(IsValidUtf8(ceiling));
+  EXPECT_EQ(t.Tokenize(ceiling), (std::vector<std::string>{ceiling}));
+}
+
+TEST(TokenizerTest, ValidUtf8SequenceLengthBoundaries) {
+  // Direct checks of the validator the tokenizer (and the fuzz
+  // harnesses) lean on: minimal/maximal valid sequence of each length.
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xC2, 0x80}), 0), 2u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xDF, 0xBF}), 0), 2u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xE0, 0xA0, 0x80}), 0), 3u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xEF, 0xBF, 0xBF}), 0), 3u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xF0, 0x90, 0x80, 0x80}), 0), 4u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xF4, 0x8F, 0xBF, 0xBF}), 0), 4u);
+  // ASCII, stray continuation, truncation, out-of-range pos.
+  EXPECT_EQ(ValidUtf8SequenceLength("a", 0), 0u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0x80}), 0), 0u);
+  EXPECT_EQ(ValidUtf8SequenceLength(Bytes({0xE0, 0xA0}), 0), 0u);
+  EXPECT_EQ(ValidUtf8SequenceLength("ab", 5), 0u);
+  EXPECT_TRUE(IsValidUtf8(""));
+  EXPECT_TRUE(IsValidUtf8("plain ascii"));
+}
+
 }  // namespace
 }  // namespace infoshield

@@ -1,6 +1,8 @@
 #include "mdl/universal_code.h"
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -40,6 +42,91 @@ TEST(Log2BitsTest, DegenerateCases) {
 
 TEST(Log2BitsTest, SubadditivityOverProducts) {
   EXPECT_NEAR(Log2Bits(8 * 16), Log2Bits(8) + Log2Bits(16), 1e-12);
+}
+
+// Powers of two and their neighbors hit every branch of the codec: the
+// unary prefix grows exactly at 2^k - 1 -> 2^k (value domain m = n + 1).
+std::vector<uint64_t> BoundaryValues() {
+  std::vector<uint64_t> values = {0, 1, 2};
+  for (int k = 1; k < 64; ++k) {
+    const uint64_t p = uint64_t{1} << k;
+    values.push_back(p - 1);
+    values.push_back(p);
+    if (p != UINT64_MAX) values.push_back(p + 1);
+  }
+  values.push_back(UINT64_MAX - 2);
+  values.push_back(UINT64_MAX - 1);  // largest encodable n
+  return values;
+}
+
+TEST(UniversalBitsTest, RoundTripsBoundaryValues) {
+  for (uint64_t n : BoundaryValues()) {
+    std::vector<uint8_t> bits;
+    ASSERT_TRUE(AppendUniversalBits(n, &bits).ok()) << n;
+    EXPECT_EQ(bits.size(), UniversalBitsLength(n)) << n;
+    size_t pos = 0;
+    Result<uint64_t> decoded = DecodeUniversalBits(bits, &pos);
+    ASSERT_TRUE(decoded.ok()) << n;
+    EXPECT_EQ(*decoded, n);
+    EXPECT_EQ(pos, bits.size()) << n;
+  }
+}
+
+TEST(UniversalBitsTest, LengthTracksCostModelWithinTwoBits) {
+  for (uint64_t n : BoundaryValues()) {
+    const double exact = static_cast<double>(UniversalBitsLength(n));
+    const double model = UniversalCodeLength(n);
+    EXPECT_LE(std::abs(exact - model), 2.0 + 1e-9)
+        << "n=" << n << " exact=" << exact << " model=" << model;
+  }
+}
+
+TEST(UniversalBitsTest, PrefixFreeConcatenation) {
+  const std::vector<uint64_t> values = {0, 7, 1, 255, 2, 1023, 0};
+  std::vector<uint8_t> bits;
+  for (uint64_t n : values) {
+    ASSERT_TRUE(AppendUniversalBits(n, &bits).ok());
+  }
+  size_t pos = 0;
+  for (uint64_t n : values) {
+    Result<uint64_t> decoded = DecodeUniversalBits(bits, &pos);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, n);
+  }
+  EXPECT_EQ(pos, bits.size());
+}
+
+TEST(UniversalBitsTest, RejectsOverflowAndTruncation) {
+  std::vector<uint8_t> bits;
+  EXPECT_EQ(AppendUniversalBits(UINT64_MAX, &bits).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_TRUE(bits.empty());
+
+  // Truncated codeword: unary prefix claims more bits than remain.
+  ASSERT_TRUE(AppendUniversalBits(8, &bits).ok());
+  bits.pop_back();
+  size_t pos = 0;
+  EXPECT_EQ(DecodeUniversalBits(bits, &pos).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // All-zero stream: the unary run never terminates.
+  std::vector<uint8_t> zeros(10, 0);
+  pos = 0;
+  EXPECT_EQ(DecodeUniversalBits(zeros, &pos).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // A 64+-zero unary prefix would overflow even if bits followed.
+  std::vector<uint8_t> wide(64, 0);
+  wide.insert(wide.end(), 65, 1);
+  pos = 0;
+  EXPECT_EQ(DecodeUniversalBits(wide, &pos).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Decoding from past the end is an error, not a crash.
+  std::vector<uint8_t> one = {1};
+  pos = 2;
+  EXPECT_EQ(DecodeUniversalBits(one, &pos).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

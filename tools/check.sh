@@ -2,17 +2,26 @@
 # Full correctness gate for InfoShield.
 #
 #   tools/check.sh          lint, the clang thread-safety-analysis gate
-#                           (when clang++ is installed), then the whole
-#                           test suite under ASan+UBSan and again under
-#                           TSan (both with -Werror and the deep
-#                           invariant auditors on).
+#                           (when clang++ is installed), the whole test
+#                           suite under ASan+UBSan and again under TSan
+#                           (both with -Werror and the deep invariant
+#                           auditors on), then the line-coverage ratchet
+#                           (tools/coverage.sh against
+#                           tools/coverage_baseline.json).
 #   tools/check.sh --fast   lint + thread-safety gate + an ASan+UBSan run
 #                           of the unit tests only (slow sweep/pipeline
-#                           suites and the TSan pass are skipped).
-#                           Suitable as a pre-merge smoke check.
+#                           suites, the TSan pass, and the coverage
+#                           ratchet are skipped). Suitable as a pre-merge
+#                           smoke check.
+#   tools/check.sh --fuzz   fuzz smoke only: builds the libFuzzer
+#                           harnesses under clang + ASan/UBSan, replays
+#                           the seed corpora, then fuzzes each harness
+#                           for 60 seconds. Without clang++ the replay
+#                           runners still execute under gcc sanitizers.
 #
-# Build trees go to build-asan/, build-tsan/, and build-clang-tsa/ next
-# to build/ (all gitignored). Exits non-zero on the first failing stage.
+# Build trees go to build-asan/, build-tsan/, build-clang-tsa/,
+# build-fuzz/, and build-cov/ next to build/ (all gitignored). Exits
+# non-zero on the first failing stage.
 
 set -euo pipefail
 
@@ -20,11 +29,13 @@ ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 cd "$ROOT"
 
 FAST=0
+FUZZ=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
+    --fuzz) FUZZ=1 ;;
     -h|--help)
-      sed -n '2,13p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -44,6 +55,43 @@ export UBSAN_OPTIONS="suppressions=$SUPP_DIR/ubsan.supp:print_stacktrace=1:halt_
 export TSAN_OPTIONS="suppressions=$SUPP_DIR/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+# --fuzz: the fuzz smoke leg (DESIGN.md §12) and nothing else.
+if [[ "$FUZZ" == "1" ]]; then
+  if command -v clang++ > /dev/null 2>&1; then
+    step "fuzz smoke (clang, libFuzzer, ASan+UBSan)"
+    cmake -B build-fuzz -S . \
+      -DCMAKE_CXX_COMPILER=clang++ \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DINFOSHIELD_FUZZ=ON \
+      -DINFOSHIELD_SANITIZE="address,undefined" \
+      > /dev/null
+    cmake --build build-fuzz -j "$JOBS"
+    step "replaying seed corpora under sanitizers"
+    ctest --test-dir build-fuzz -R fuzz_replay --output-on-failure
+    step "fuzzing each harness for 60s"
+    mkdir -p build-fuzz/artifacts
+    for harness in tokenizer csv universal_code pairwise poa \
+                   diff_fine diff_coarse; do
+      step "fuzz_$harness"
+      ./build-fuzz/fuzz/fuzz_"$harness" \
+        -max_total_time=60 -print_final_stats=1 \
+        -artifact_prefix="build-fuzz/artifacts/${harness}-" \
+        "tests/fuzz_corpus/$harness"
+    done
+    step "fuzz smoke passed (crashers, if any, in build-fuzz/artifacts/)"
+  else
+    step "clang++ not installed — replaying seed corpora only (gcc, ASan+UBSan)"
+    cmake -B build-fuzz -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DINFOSHIELD_SANITIZE="address,undefined" \
+      > /dev/null
+    cmake --build build-fuzz -j "$JOBS"
+    ctest --test-dir build-fuzz -R fuzz_replay --output-on-failure
+    step "replay passed (install clang++ for the libFuzzer leg)"
+  fi
+  exit 0
+fi
 
 configure_and_build() {
   local dir="$1" sanitize="$2"
@@ -92,5 +140,8 @@ ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 step "TSan full test suite (thread_pool + parallel fine stage included)"
 configure_and_build build-tsan "thread"
 ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
+step "line-coverage ratchet (tools/coverage.sh vs coverage_baseline.json)"
+tools/coverage.sh
 
 step "all checks passed"

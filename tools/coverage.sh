@@ -1,0 +1,132 @@
+#!/usr/bin/env bash
+# Line-coverage report + ratchet gate for the InfoShield core.
+#
+#   tools/coverage.sh                    instrumented build, full test
+#                                        suite, per-directory report for
+#                                        src/{mdl,msa,text,io}, then the
+#                                        ratchet: exits non-zero if any
+#                                        tracked directory regressed
+#                                        beyond tolerance against
+#                                        tools/coverage_baseline.json.
+#   tools/coverage.sh --update-baseline  same, then rewrites the baseline
+#                                        from this run (commit the diff).
+#   tools/coverage.sh --fast             skips the slow sweep/pipeline
+#                                        suites. Iteration aid only —
+#                                        never compare or re-baseline a
+#                                        --fast run against a full one.
+#
+# Toolchains: prefers clang++ with source-based coverage
+# (-fprofile-instr-generate -fcoverage-mapping + llvm-profdata/llvm-cov
+# export); falls back to g++ --coverage + `gcov --json-format`. Either
+# way the raw export is reduced by tools/coverage_report.py, so the
+# report format (and the ratchet) is toolchain-independent.
+#
+# The build tree is build-cov/ (gitignored), reconfigured from scratch
+# each run so stale instrumentation never leaks into the numbers.
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+UPDATE_BASELINE=0
+FAST=0
+for arg in "$@"; do
+  case "$arg" in
+    --update-baseline) UPDATE_BASELINE=1 ;;
+    --fast) FAST=1 ;;
+    -h|--help)
+      sed -n '2,24p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      echo "unknown argument: $arg (try --help)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+JOBS="$(nproc 2> /dev/null || echo 4)"
+BUILD="$ROOT/build-cov"
+BASELINE="$ROOT/tools/coverage_baseline.json"
+REPORT="$BUILD/coverage_report.json"
+
+step() { printf '\n=== %s ===\n' "$*"; }
+
+CTEST_ARGS=(--test-dir "$BUILD" --output-on-failure -j "$JOBS")
+if [[ "$FAST" == "1" ]]; then
+  CTEST_ARGS+=(-E 'Sweep|Pipeline|Integration|EndToEnd')
+fi
+
+rm -rf "$BUILD"
+
+if command -v clang++ > /dev/null 2>&1 && \
+   command -v llvm-profdata > /dev/null 2>&1 && \
+   command -v llvm-cov > /dev/null 2>&1; then
+  step "instrumented build (clang++, source-based coverage)"
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fprofile-instr-generate -fcoverage-mapping" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fprofile-instr-generate" \
+    > /dev/null
+  cmake --build "$BUILD" -j "$JOBS"
+
+  step "test suite (profiles to build-cov/profiles/)"
+  mkdir -p "$BUILD/profiles"
+  LLVM_PROFILE_FILE="$BUILD/profiles/%p-%m.profraw" ctest "${CTEST_ARGS[@]}"
+
+  step "llvm-cov export"
+  llvm-profdata merge -sparse -o "$BUILD/merged.profdata" \
+    "$BUILD"/profiles/*.profraw
+  # Every test binary contributes coverage mapping; collect them all.
+  OBJECTS=()
+  while IFS= read -r bin; do
+    OBJECTS+=(-object "$bin")
+  done < <(find "$BUILD" -type f -perm -u+x \
+             \( -name '*_test' -o -name 'fuzz_*_replay' \) | sort)
+  if [[ "${#OBJECTS[@]}" -eq 0 ]]; then
+    echo "coverage: no test binaries found under $BUILD" >&2
+    exit 1
+  fi
+  llvm-cov export -format=text -instr-profile "$BUILD/merged.profdata" \
+    "${OBJECTS[@]:1}" > "$BUILD/llvm_export.json"
+  python3 tools/coverage_report.py aggregate --tool llvm-cov \
+    --input "$BUILD/llvm_export.json" --output "$REPORT"
+else
+  step "instrumented build (g++ --coverage; clang++/llvm-cov not found)"
+  cmake -B "$BUILD" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="--coverage" \
+    -DCMAKE_EXE_LINKER_FLAGS="--coverage" \
+    > /dev/null
+  cmake --build "$BUILD" -j "$JOBS"
+
+  step "test suite (.gcda counters accumulate in build-cov/)"
+  ctest "${CTEST_ARGS[@]}"
+
+  step "gcov export"
+  : > "$BUILD/gcov.jsonl"
+  # One JSON document per .gcda, one per line (gcov emits compact JSON).
+  find "$BUILD" -name '*.gcda' -print0 | sort -z | \
+    while IFS= read -r -d '' gcda; do
+      gcov --json-format --stdout "$gcda" 2> /dev/null | tr -d '\n' \
+        >> "$BUILD/gcov.jsonl"
+      echo >> "$BUILD/gcov.jsonl"
+    done
+  python3 tools/coverage_report.py aggregate --tool gcov \
+    --input "$BUILD/gcov.jsonl" --output "$REPORT"
+fi
+
+if [[ "$UPDATE_BASELINE" == "1" ]]; then
+  step "rewriting coverage baseline"
+  python3 tools/coverage_report.py update-baseline \
+    --report "$REPORT" --baseline "$BASELINE"
+  exit 0
+fi
+
+step "ratchet against tools/coverage_baseline.json"
+python3 tools/coverage_report.py compare --report "$REPORT" \
+  --baseline "$BASELINE"
+
+step "coverage gate passed"

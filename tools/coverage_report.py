@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Line-coverage aggregation and ratchet for the InfoShield core.
+
+Consumes raw coverage exports (llvm-cov JSON or gcov JSON), reduces them
+to per-directory line coverage over the tracked core directories, and
+compares the result against the checked-in ratchet file
+tools/coverage_baseline.json. Driven by tools/coverage.sh; DESIGN.md §12
+describes the policy.
+
+Subcommands
+-----------
+ aggregate  --tool {llvm-cov,gcov} --input FILE --output REPORT
+            llvm-cov: FILE is `llvm-cov export -format=text` JSON.
+            gcov:     FILE holds one `gcov --json-format --stdout`
+                      document per line (JSONL, one per .gcda).
+            Lines are keyed (source file, line) and a line counts as
+            covered if ANY translation unit executed it, so inlined
+            header lines are not double-counted.
+ compare    --report REPORT --baseline BASELINE [--tolerance PCT]
+            Exit 1 if any tracked directory's line coverage dropped
+            more than PCT percentage points (default 0.25) below the
+            baseline, or if a baselined directory vanished. Improvements
+            print a hint to re-baseline but do not fail.
+ update-baseline --report REPORT --baseline BASELINE
+            Rewrites BASELINE from REPORT (run after deliberately
+            raising coverage; review the diff like any other change).
+
+The tracked directories are the information-theoretic core: the MDL
+cost model, the alignment/MSA engines, tokenization, and IO — the code
+the fuzz harnesses (fuzz/) exist to exercise.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+TRACKED_DIRS = ("src/mdl", "src/msa", "src/text", "src/io")
+DEFAULT_TOLERANCE = 0.25  # percentage points
+
+
+def tracked_dir(path):
+    """Maps a compiler-reported source path to a tracked directory."""
+    norm = path.replace(os.sep, "/")
+    marker = norm.rfind("/src/")
+    if marker != -1:
+        norm = norm[marker + 1:]
+    for directory in TRACKED_DIRS:
+        if norm.startswith(directory + "/"):
+            return directory
+    return None
+
+
+def source_key(path):
+    norm = path.replace(os.sep, "/")
+    marker = norm.rfind("/src/")
+    return norm[marker + 1:] if marker != -1 else norm
+
+
+def aggregate_llvm(input_path):
+    """Per-(file, line) hit counts from `llvm-cov export` JSON."""
+    with open(input_path, encoding="utf-8") as f:
+        export = json.load(f)
+    hits = {}
+    for data in export.get("data", []):
+        for entry in data.get("files", []):
+            filename = entry.get("filename", "")
+            if tracked_dir(filename) is None:
+                continue
+            key = source_key(filename)
+            lines = hits.setdefault(key, {})
+            # Segment format: [line, col, count, has_count, is_region_entry,
+            # is_gap_region]. Line-level truth: max count of any counted
+            # segment starting on the line.
+            for seg in entry.get("segments", []):
+                line, _, count, has_count = seg[0], seg[1], seg[2], seg[3]
+                if not has_count:
+                    continue
+                lines[line] = max(lines.get(line, 0), count)
+    return hits
+
+
+def aggregate_gcov(input_path):
+    """Per-(file, line) hit counts from gcov JSONL output."""
+    hits = {}
+    with open(input_path, encoding="utf-8") as f:
+        for raw in f:
+            raw = raw.strip()
+            if not raw:
+                continue
+            doc = json.loads(raw)
+            for entry in doc.get("files", []):
+                filename = entry.get("file", "")
+                if tracked_dir(filename) is None:
+                    continue
+                key = source_key(filename)
+                lines = hits.setdefault(key, {})
+                for line in entry.get("lines", []):
+                    number = line["line_number"]
+                    lines[number] = max(lines.get(number, 0), line["count"])
+    return hits
+
+
+def reduce_to_report(hits, tool):
+    totals = {d: {"covered": 0, "total": 0} for d in TRACKED_DIRS}
+    for filename, lines in sorted(hits.items()):
+        directory = tracked_dir(filename)
+        if directory is None:
+            continue
+        totals[directory]["total"] += len(lines)
+        totals[directory]["covered"] += sum(1 for c in lines.values() if c)
+    report = {"tool": tool, "directories": {}}
+    for directory, t in totals.items():
+        percent = 100.0 * t["covered"] / t["total"] if t["total"] else 0.0
+        report["directories"][directory] = {
+            "covered": t["covered"],
+            "total": t["total"],
+            "percent": round(percent, 2),
+        }
+    return report
+
+
+def cmd_aggregate(args):
+    if args.tool == "llvm-cov":
+        hits = aggregate_llvm(args.input)
+    else:
+        hits = aggregate_gcov(args.input)
+    report = reduce_to_report(hits, args.tool)
+    with open(args.output, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    for directory in TRACKED_DIRS:
+        entry = report["directories"][directory]
+        print(f"coverage: {directory}: {entry['covered']}/{entry['total']} "
+              f"lines ({entry['percent']}%)")
+    empty = [d for d in TRACKED_DIRS
+             if report["directories"][d]["total"] == 0]
+    if empty:
+        print(f"coverage: ERROR: no instrumented lines found for {empty} — "
+              "was the build instrumented and were the tests run?")
+        return 1
+    return 0
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def cmd_compare(args):
+    report = load_json(args.report)["directories"]
+    baseline = load_json(args.baseline)["directories"]
+    failures = []
+    improvements = []
+    for directory, base in sorted(baseline.items()):
+        got = report.get(directory)
+        if got is None:
+            failures.append(f"{directory}: in baseline but absent from the "
+                            "report")
+            continue
+        delta = got["percent"] - base["percent"]
+        arrow = (f"{base['percent']}% -> {got['percent']}% "
+                 f"({delta:+.2f}pp)")
+        if delta < -args.tolerance:
+            failures.append(f"{directory}: coverage regressed {arrow}, "
+                            f"beyond the {args.tolerance}pp tolerance")
+        elif delta > args.tolerance:
+            improvements.append(f"{directory}: improved {arrow}")
+        print(f"coverage: {directory}: {arrow}")
+    if improvements:
+        print("coverage: improvements detected — consider "
+              "`coverage_report.py update-baseline` to ratchet up:")
+        for line in improvements:
+            print(f"coverage:   {line}")
+    if failures:
+        for line in failures:
+            print(f"coverage: FAIL: {line}")
+        print("coverage: regression against tools/coverage_baseline.json — "
+              "add tests (or deliberately re-baseline and justify it in "
+              "the change description)")
+        return 1
+    print("coverage: no regression against the baseline")
+    return 0
+
+
+def cmd_update_baseline(args):
+    report = load_json(args.report)
+    baseline = {
+        "comment": "Per-directory line-coverage ratchet; tools/coverage.sh "
+                   "compares fresh runs against this. Update only via "
+                   "coverage_report.py update-baseline.",
+        "tool": report["tool"],
+        "directories": report["directories"],
+    }
+    with open(args.baseline, "w", encoding="utf-8") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"coverage: baseline {args.baseline} rewritten from {args.report}")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("aggregate")
+    p.add_argument("--tool", choices=("llvm-cov", "gcov"), required=True)
+    p.add_argument("--input", required=True)
+    p.add_argument("--output", required=True)
+    p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("compare")
+    p.add_argument("--report", required=True)
+    p.add_argument("--baseline", required=True)
+    p.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("update-baseline")
+    p.add_argument("--report", required=True)
+    p.add_argument("--baseline", required=True)
+    p.set_defaults(func=cmd_update_baseline)
+
+    args = parser.parse_args()
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Self-test for tools/coverage_report.py's ratchet gate.
+
+Feeds synthetic reports/baselines (and a synthetic gcov JSONL export)
+through the real CLI and asserts:
+
+ * aggregate reduces per-line gcov records to the per-directory report,
+   taking the max hit count per (file, line) across translation units,
+   and fails when a tracked directory has no instrumented lines;
+ * compare passes on identical coverage and on drops inside tolerance;
+ * compare FAILS (exit 1) on a simulated regression beyond tolerance —
+   the property the CI gate relies on;
+ * compare fails when a baselined directory is missing from the report;
+ * update-baseline rewrites the baseline so a subsequent compare passes.
+
+Registered as the `coverage_ratchet_selftest` ctest by
+tools/CMakeLists.txt.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+CLI = os.path.join(TOOLS_DIR, "coverage_report.py")
+
+
+def run(*argv):
+    return subprocess.run([sys.executable, CLI, *argv],
+                          capture_output=True, text=True, check=False)
+
+
+def write_json(directory, name, payload):
+    path = os.path.join(directory, name)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f)
+    return path
+
+
+def report(percents):
+    return {
+        "tool": "gcov",
+        "directories": {
+            directory: {"covered": int(p * 10), "total": 1000,
+                        "percent": p}
+            for directory, p in percents.items()
+        },
+    }
+
+
+def gcov_doc(filename, line_counts):
+    return {"files": [{"file": filename,
+                       "lines": [{"line_number": n, "count": c}
+                                 for n, c in line_counts]}]}
+
+
+def main():
+    failures = []
+
+    def expect(ok, what):
+        if not ok:
+            failures.append(what)
+
+    dirs = {"src/mdl": 90.0, "src/msa": 85.0, "src/text": 95.0,
+            "src/io": 88.0}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # --- aggregate: max-per-line dedup across TUs + all-dirs check.
+        jsonl = os.path.join(tmp, "gcov.jsonl")
+        docs = [
+            # Same header lines seen from two TUs: one executes line 2.
+            gcov_doc("/x/src/mdl/universal_code.h",
+                     [(1, 1), (2, 0), (3, 4)]),
+            gcov_doc("/x/src/mdl/universal_code.h",
+                     [(1, 0), (2, 7), (3, 0)]),
+            gcov_doc("/x/src/msa/poa.cc", [(10, 2), (11, 0)]),
+            gcov_doc("/x/src/text/tokenizer.cc", [(5, 1)]),
+            gcov_doc("/x/src/io/csv.cc", [(7, 0), (8, 3)]),
+            gcov_doc("/x/src/coarse/untracked.cc", [(1, 1)]),
+        ]
+        with open(jsonl, "w", encoding="utf-8") as f:
+            for doc in docs:
+                f.write(json.dumps(doc) + "\n")
+        out = os.path.join(tmp, "agg_report.json")
+        proc = run("aggregate", "--tool", "gcov", "--input", jsonl,
+                   "--output", out)
+        expect(proc.returncode == 0,
+               f"aggregate: expected exit 0, got {proc.returncode}: "
+               f"{proc.stdout}")
+        with open(out, encoding="utf-8") as f:
+            agg = json.load(f)["directories"]
+        expect(agg["src/mdl"] == {"covered": 3, "total": 3,
+                                  "percent": 100.0},
+               f"aggregate: mdl max-per-line dedup wrong: {agg['src/mdl']}")
+        expect(agg["src/io"] == {"covered": 1, "total": 2, "percent": 50.0},
+               f"aggregate: io reduction wrong: {agg['src/io']}")
+        expect("src/coarse" not in agg,
+               "aggregate: untracked directory leaked into the report")
+
+        # Aggregate must fail when a tracked directory has no lines.
+        sparse = os.path.join(tmp, "sparse.jsonl")
+        with open(sparse, "w", encoding="utf-8") as f:
+            f.write(json.dumps(docs[0]) + "\n")
+        proc = run("aggregate", "--tool", "gcov", "--input", sparse,
+                   "--output", os.path.join(tmp, "sparse_report.json"))
+        expect(proc.returncode == 1,
+               "aggregate: expected exit 1 when tracked dirs have no "
+               f"instrumented lines, got {proc.returncode}")
+
+        # --- compare: identical coverage passes.
+        base = write_json(tmp, "baseline.json", report(dirs))
+        same = write_json(tmp, "same.json", report(dirs))
+        proc = run("compare", "--report", same, "--baseline", base)
+        expect(proc.returncode == 0,
+               f"compare: identical coverage must pass: {proc.stdout}")
+
+        # Drop inside tolerance passes.
+        slight = dict(dirs, **{"src/mdl": 89.9})
+        slight_path = write_json(tmp, "slight.json", report(slight))
+        proc = run("compare", "--report", slight_path, "--baseline", base,
+                   "--tolerance", "0.25")
+        expect(proc.returncode == 0,
+               f"compare: -0.1pp is inside tolerance: {proc.stdout}")
+
+        # Simulated regression beyond tolerance FAILS — the CI gate.
+        dropped = dict(dirs, **{"src/msa": 80.0})
+        dropped_path = write_json(tmp, "dropped.json", report(dropped))
+        proc = run("compare", "--report", dropped_path, "--baseline", base)
+        expect(proc.returncode == 1,
+               "compare: a 5pp regression must exit 1, got "
+               f"{proc.returncode}")
+        expect("src/msa" in proc.stdout and "FAIL" in proc.stdout,
+               f"compare: regression output names the directory: "
+               f"{proc.stdout}")
+
+        # A baselined directory missing from the report fails.
+        partial = report(dirs)
+        del partial["directories"]["src/io"]
+        partial_path = write_json(tmp, "partial.json", partial)
+        proc = run("compare", "--report", partial_path, "--baseline", base)
+        expect(proc.returncode == 1,
+               "compare: missing baselined directory must exit 1, got "
+               f"{proc.returncode}")
+
+        # --- update-baseline: ratchet moves, then compare passes.
+        proc = run("update-baseline", "--report", dropped_path,
+                   "--baseline", base)
+        expect(proc.returncode == 0,
+               f"update-baseline failed: {proc.stdout}{proc.stderr}")
+        proc = run("compare", "--report", dropped_path, "--baseline", base)
+        expect(proc.returncode == 0,
+               "compare after update-baseline must pass: "
+               f"{proc.stdout}")
+
+    if failures:
+        for f in failures:
+            print(f"coverage_selftest: FAIL: {f}")
+        return 1
+    print("coverage_selftest: ratchet gate behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -139,13 +139,12 @@ int Main(int argc, char** argv) {
     std::printf("wrote HTML report: %s\n", flags.GetString("html").c_str());
   }
   if (!flags.GetString("json").empty()) {
-    std::ofstream out(flags.GetString("json"));
-    if (!out) {
-      std::fprintf(stderr, "error: cannot write %s\n",
-                   flags.GetString("json").c_str());
+    Status write_status = WriteJsonFile(flags.GetString("json"),
+                                        ResultToJson(result, *corpus));
+    if (!write_status.ok()) {
+      std::fprintf(stderr, "error: %s\n", write_status.ToString().c_str());
       return 1;
     }
-    out << ResultToJson(result, *corpus);
     std::printf("wrote JSON result: %s\n", flags.GetString("json").c_str());
   }
   return 0;

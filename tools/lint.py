@@ -38,6 +38,16 @@ Rules
                      "commutative integer sum"). Hash-order must never
                      reach cluster ordering or emitted output; results
                      are byte-reproducible across runs and thread counts.
+ 8. discarded-status Calling a Status/Result-returning free function as
+                     a bare statement silently drops the error. Assign
+                     it, return it, or spell the deliberate discard
+                     `(void) Fn(...)`. Backs up the [[nodiscard]]
+                     attributes (util/status.h) for call sites compiled
+                     out of the default build (ifdef'd, templates).
+ 9. fuzz-corpus      Every fuzz harness (fuzz/<name>_fuzz.cc) must have
+                     a non-empty seed corpus at tests/fuzz_corpus/<name>/
+                     so the fuzz_replay_<name> ctest exercises the
+                     harness body on every plain build (DESIGN.md §12).
 
 Exit status is 1 when there are violations, 0 when clean (the true count
 is printed — a raw count would wrap modulo 256 and a multiple of 256
@@ -113,6 +123,22 @@ MUTEX_GLOBAL_RE = re.compile(r"^(?:static\s+)?(?:::infoshield::)?Mutex\s+\w+")
 UNORDERED_DECL_RE = re.compile(
     r"\bstd::unordered_(?:map|set)\s*<[^;()]*>\s+(\w+)\s*[;{(=]")
 DETERMINISM_MARKER = "determinism:"
+
+# --- Rule 8: discarded Status/Result. ---
+# Namespace-scope declarations of Status/Result-returning free functions
+# (column 0, same convention the symbol map relies on).
+STATUS_RETURN_DECL_RE = re.compile(
+    r"^(?:\[\[nodiscard\]\]\s*)?(?:Status|Result<[^;=\n]*>)\s+(\w+)\s*\(",
+    re.MULTILINE)
+# A statement whose previous line ends in one of these is a continuation
+# (the call's value is being consumed), not a bare discarding statement.
+CONSUMING_LINE_ENDINGS = ("=", "(", ",", "&&", "||", "?", ":", "return",
+                          "<<", "+")
+
+# --- Rule 9: fuzz harnesses and their seed corpora. ---
+FUZZ_ROOT = os.path.join(REPO_ROOT, "fuzz")
+CORPUS_ROOT = os.path.join(REPO_ROOT, "tests", "fuzz_corpus")
+FUZZ_SUFFIX = "_fuzz.cc"
 
 # Identifiers too generic to attribute reliably from a word match.
 SYMBOL_BLOCKLIST = {
@@ -406,6 +432,70 @@ def check_unordered_determinism(path, raw, text, header_text, report):
                "cannot leak>` comment here or on the line above")
 
 
+def build_status_function_set(headers):
+    """Names of free functions returning Status/Result, from headers."""
+    names = set()
+    for path in headers:
+        with open(path, encoding="utf-8") as f:
+            text = strip_comments_and_strings(f.read())
+        for match in STATUS_RETURN_DECL_RE.finditer(text):
+            names.add(match.group(1))
+    return names
+
+
+def check_discarded_status(path, text, status_fns, report):
+    """Rule 8: no bare statement calls of Status/Result-returning fns.
+
+    Flags lines whose statement starts with a call to a known
+    Status-returning free function. A declaration/definition starts with
+    the return type, so it never matches; a consumed value has the
+    function name mid-line (`s = Fn(`, `return Fn(`) or follows a line
+    that ends mid-expression. `(void) Fn(...)` is the deliberate-discard
+    spelling.
+    """
+    if not status_fns:
+        return
+    call_re = re.compile(
+        r"^\s*(" + "|".join(sorted(re.escape(n) for n in status_fns)) +
+        r")\s*\(")
+    prev = ""
+    for i, line in enumerate(text.splitlines(), start=1):
+        match = call_re.match(line)
+        if match and not prev.rstrip().endswith(CONSUMING_LINE_ENDINGS):
+            report(path, i, "discarded-status",
+                   f"result of `{match.group(1)}` is discarded — assign "
+                   "it, return it, or write `(void) "
+                   f"{match.group(1)}(...)` for a deliberate discard")
+        if line.strip():
+            prev = line
+
+
+def check_fuzz_corpora(fuzz_root, corpus_root, report):
+    """Rule 9: every harness has a non-empty checked-in seed corpus."""
+    if not os.path.isdir(fuzz_root):
+        return
+    for name in sorted(os.listdir(fuzz_root)):
+        if not name.endswith(FUZZ_SUFFIX):
+            continue
+        harness = name[:-len(FUZZ_SUFFIX)]
+        path = os.path.join(fuzz_root, name)
+        corpus = os.path.join(corpus_root, harness)
+        if not os.path.isdir(corpus):
+            report(path, 1, "fuzz-corpus",
+                   f"harness has no seed corpus directory "
+                   f"{repo_relative(corpus)}/ — add seeds (see "
+                   "tests/fuzz_corpus/make_seeds.py) so the replay ctest "
+                   "exercises it")
+            continue
+        seeds = [s for s in os.listdir(corpus)
+                 if not s.startswith(".") and
+                 os.path.isfile(os.path.join(corpus, s))]
+        if not seeds:
+            report(path, 1, "fuzz-corpus",
+                   f"seed corpus {repo_relative(corpus)}/ is empty — the "
+                   "replay ctest would only run the empty input")
+
+
 def paired_header_text(impl_path):
     header = impl_path[:-len(".cc")] + ".h"
     if not os.path.exists(header):
@@ -445,14 +535,24 @@ def main():
     parser.add_argument("--src-root", default=None,
                         help="lint this tree instead of src/ (used by "
                              "tools/lint_selftest.py fixtures)")
+    parser.add_argument("--fuzz-root", default=None,
+                        help="fuzz harness tree instead of fuzz/ (used by "
+                             "tools/lint_selftest.py fixtures)")
+    parser.add_argument("--corpus-root", default=None,
+                        help="seed corpus tree instead of tests/fuzz_corpus/")
     args = parser.parse_args()
 
     if args.src_root is not None:
         global SRC_ROOT
         SRC_ROOT = os.path.abspath(args.src_root)
+    fuzz_root = os.path.abspath(args.fuzz_root) if args.fuzz_root \
+        else FUZZ_ROOT
+    corpus_root = os.path.abspath(args.corpus_root) if args.corpus_root \
+        else CORPUS_ROOT
 
     headers, impls = list_sources()
     symbols = build_symbol_map(headers)
+    status_fns = build_status_function_set(headers)
 
     violations = []
 
@@ -471,6 +571,7 @@ def main():
         check_raw_concurrency(path, text, report)
         check_mutable_globals(path, text, report)
         check_unordered_determinism(path, raw, text, "", report)
+        check_discarded_status(path, text, status_fns, report)
     for path in impls:
         with open(path, encoding="utf-8") as f:
             raw = f.read()
@@ -481,6 +582,9 @@ def main():
         check_mutable_globals(path, text, report)
         check_unordered_determinism(path, raw, text,
                                     paired_header_text(path), report)
+        check_discarded_status(path, text, status_fns, report)
+
+    check_fuzz_corpora(fuzz_root, corpus_root, report)
 
     for v in violations:
         print(v)

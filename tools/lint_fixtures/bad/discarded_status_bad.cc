@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): calling a Status/Result-returning
+// function as a bare statement drops the error on the floor.
+
+#include "util/status.h"
+
+void Fixture() {
+  SaveThing(1);  // finding: discarded Status
+  LoadThing(2);  // finding: discarded Result
+  {
+    SaveThing(3);  // finding: block position does not consume the value
+  }
+
+  Status kept = SaveThing(4);   // consumed: no finding
+  (void) SaveThing(5);          // deliberate discard spelling: no finding
+  Status wrapped =
+      SaveThing(6);             // continuation line: no finding
+  (void) kept;
+  (void) wrapped;
+}

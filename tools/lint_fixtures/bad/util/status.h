@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): stands in for the real util/status.h
+// so the discarded-status fixture has Status/Result-returning free
+// functions for the linter to discover. Lives at util/status.h inside
+// the fixture tree because that path is exempt from the
+// include-util-status half of the status-contract rule.
+
+#ifndef INFOSHIELD_UTIL_STATUS_H_
+#define INFOSHIELD_UTIL_STATUS_H_
+
+class Status;
+template <typename T>
+class Result;
+
+Status SaveThing(int id);
+Result<int> LoadThing(int id);
+
+#endif  // INFOSHIELD_UTIL_STATUS_H_

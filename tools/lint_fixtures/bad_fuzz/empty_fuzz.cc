@@ -1,0 +1,2 @@
+// Lint fixture (never compiled): a fuzz harness whose corpus directory
+// exists but holds no seeds (dotfiles such as .gitkeep do not count).

@@ -1,0 +1,2 @@
+// Lint fixture (never compiled): a fuzz harness with no seed corpus
+// directory at all — the replay ctest would exit 2.

@@ -1,0 +1,2 @@
+// Lint fixture (never compiled): a fuzz harness with a populated seed
+// corpus — the fuzz-corpus rule must stay silent.

@@ -5,10 +5,13 @@ Runs the linter over the fixture trees in tools/lint_fixtures/ and
 asserts:
 
  * each bad fixture trips exactly the rule it was written for, the
-   expected number of times;
+   expected number of times — including discarded-status (bare calls of
+   Status/Result-returning functions) and fuzz-corpus (harnesses with a
+   missing or empty seed corpus, exercised via fixture fuzz/corpus
+   roots);
  * the util/ exemption (raw primitives are legal under src/util/), the
-   `determinism:` marker, Mutex-typed globals, and constants do NOT
-   trip anything;
+   `determinism:` marker, Mutex-typed globals, constants, `(void)`
+   discards, and consuming call sites do NOT trip anything;
  * a clean tree exits 0;
  * the exit status of a failing run is 1, not the violation count (a
    raw count would wrap modulo 256 on POSIX — 256 violations would
@@ -35,13 +38,21 @@ EXPECTED = {
     ("raw_concurrency_bad.cc", "raw-concurrency"): 4,
     ("mutable_global_bad.cc", "mutable-global"): 3,
     ("unordered_iter_bad.cc", "unordered-determinism"): 2,
+    ("discarded_status_bad.cc", "discarded-status"): 3,
+    ("orphan_fuzz.cc", "fuzz-corpus"): 1,
+    ("empty_fuzz.cc", "fuzz-corpus"): 1,
 }
 
 
 def run_lint(tree):
+    # Each source tree is paired with its own fuzz/corpus fixture roots
+    # so the fuzz-corpus rule is tested hermetically, never against the
+    # real fuzz/ directory.
     proc = subprocess.run(
         [sys.executable, LINT, "--no-clang-tidy",
-         "--src-root", os.path.join(FIXTURES, tree)],
+         "--src-root", os.path.join(FIXTURES, tree),
+         "--fuzz-root", os.path.join(FIXTURES, tree + "_fuzz"),
+         "--corpus-root", os.path.join(FIXTURES, tree + "_corpus")],
         capture_output=True, text=True, check=False)
     findings = collections.Counter()
     for line in proc.stdout.splitlines():
