@@ -76,6 +76,7 @@ CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
   return RunParallel(corpus, threads);
 }
 
+// analyzer: hot
 CoarseResult CoarseClustering::RunSerial(const Corpus& corpus) const {
   CoarseResult result;
   const size_t n = corpus.size();
@@ -91,9 +92,14 @@ CoarseResult CoarseClustering::RunSerial(const Corpus& corpus) const {
   timer.Restart();
   result.doc_top_phrases.resize(n);
   for (const Document& doc : corpus.docs()) {
-    for (const ScoredPhrase& phrase : index.TopPhrases(doc)) {
+    // analyzer: allow(hot-loop-alloc) -- TopPhrases returns its scored
+    // list by value (one move per document, the API contract).
+    const std::vector<ScoredPhrase> scored = index.TopPhrases(doc);
+    std::vector<PhraseHash>& top = result.doc_top_phrases[doc.id];
+    top.reserve(scored.size());
+    for (const ScoredPhrase& phrase : scored) {
       ++result.num_edges;
-      result.doc_top_phrases[doc.id].push_back(phrase.hash);
+      top.push_back(phrase.hash);
     }
   }
   result.stats.top_phrase_seconds = timer.ElapsedSeconds();
@@ -114,6 +120,7 @@ CoarseResult CoarseClustering::RunSerial(const Corpus& corpus) const {
   return result;
 }
 
+// analyzer: hot
 CoarseResult CoarseClustering::RunParallel(const Corpus& corpus,
                                            size_t threads) const {
   CoarseResult result;
@@ -142,9 +149,16 @@ CoarseResult CoarseClustering::RunParallel(const Corpus& corpus,
     std::vector<CoarseEdge>& edges = chunk_edges[chunk];
     for (size_t d = begin; d < end; ++d) {
       const Document& doc = corpus.docs()[d];
+      // analyzer: allow(hot-loop-alloc) -- TopPhrases returns by value
+      // (one move per document, the API contract).
+      const std::vector<ScoredPhrase> scored = index.TopPhrases(doc);
       std::vector<PhraseHash>& top = result.doc_top_phrases[d];
-      for (const ScoredPhrase& phrase : index.TopPhrases(doc)) {
+      top.reserve(scored.size());
+      for (const ScoredPhrase& phrase : scored) {
         top.push_back(phrase.hash);
+        // analyzer: allow(hot-loop-alloc) -- the chunk edge buffer grows
+        // amortized across all documents in the chunk; a per-document
+        // reserve would be quadratic in re-walked capacity.
         edges.push_back(CoarseEdge{doc.id, phrase.hash});
       }
     }

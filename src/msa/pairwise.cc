@@ -20,6 +20,7 @@ enum Move : uint8_t { kFromDiag = 0, kFromUp = 1, kFromLeft = 2, kFromNone = 3 }
 
 }  // namespace
 
+// analyzer: hot
 Alignment NeedlemanWunsch(const std::vector<TokenId>& a,
                           const std::vector<TokenId>& b,
                           const AlignmentScoring& scoring,

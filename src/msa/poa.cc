@@ -74,6 +74,7 @@ void PoaGraph::RecomputeTopoOrder() {
   CHECK_EQ(topo_order_.size(), n);
 }
 
+// analyzer: hot
 void PoaGraph::AddSequence(const std::vector<TokenId>& seq) {
   ++num_sequences_;
   if (seq.empty()) return;
@@ -106,10 +107,12 @@ void PoaGraph::AddSequence(const std::vector<TokenId>& seq) {
     from_row[at(0, j)] = 0;
   }
 
+  // Predecessor-row scratch, hoisted out of the row loop and reused.
+  std::vector<uint32_t> preds;
   for (size_t r = 1; r < num_rows; ++r) {
     const Node& v = nodes_[topo_order_[r - 1]];
     // Predecessor rows (virtual start if the node is a source).
-    std::vector<uint32_t> preds;
+    preds.clear();
     if (v.in.empty()) {
       preds.push_back(0);
     } else {
@@ -172,6 +175,7 @@ void PoaGraph::AddSequence(const std::vector<TokenId>& seq) {
     size_t col;    // column the move lands on
   };
   std::vector<Step> steps;
+  steps.reserve(num_rows + m);  // a step consumes a row or a column
   size_t r = best_row;
   size_t j = m;
   while (r != 0 || j != 0) {

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""AST-grounded project analyzer — drives the five checks over every TU
+in src/ and tools/ and enforces the suppression + baseline contract.
+
+Usage (normally via `cmake --build build --target analyze` or
+`tools/check.sh --analyze`):
+
+  analyze.py [--repo-root DIR] [--roots src tools ...]
+             [--frontend auto|clang|internal]
+             [--baseline FILE | --no-baseline] [--write-baseline]
+             [--dot-out FILE] [--cache-dir DIR] [--quiet]
+
+Checks: guarded-ref-escape, lock-order-cycle, hot-loop-alloc,
+unordered-iter, discarded-status (see DESIGN.md §13).
+
+Suppression: `// analyzer: allow(<check>[, ...]) -- <reason>` on the
+finding line or in the unbroken //-comment run directly above it — the
+same geometry lint.py uses for `determinism:` markers. The reason is
+mandatory; an allow without one is itself reported.
+
+Baseline: tools/analyzer/baseline.json maps "<path>:<check>" to a
+finding count. Counts may only shrink: a count above baseline fails
+(new findings), and a count below baseline also fails until the
+baseline is re-shrunk with --write-baseline — the ratchet never slips.
+
+Exit status is capped at 1 (a raw count would wrap modulo 256).
+"""
+
+import argparse
+import collections
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import checks as checks_mod                                  # noqa: E402
+import lockgraph                                             # noqa: E402
+import parser as parser_mod                                  # noqa: E402
+from model import Finding, comment_run_covers                # noqa: E402
+
+SKIP_DIR_NAMES = {"fixtures", "lint_fixtures", "corpus", "third_party",
+                  "__pycache__"}
+
+ALL_CHECKS = sorted(list(checks_mod.PER_TU_CHECKS) + ["lock-order-cycle"])
+
+
+def discover_sources(repo_root, roots):
+    files = []
+    for root in roots:
+        top = os.path.join(repo_root, root)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in SKIP_DIR_NAMES and not d.startswith("build"))
+            for name in sorted(filenames):
+                if name.endswith((".h", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+    return files
+
+
+def parse_tree(files, repo_root, frontend, cache_dir, quiet):
+    tus = []
+    notes = []
+    clang = None
+    hdr_digest = None
+    if frontend in ("auto", "clang"):
+        import clang_frontend
+        clang = clang_frontend.find_clang()
+        if clang is None:
+            if frontend == "clang":
+                print("analyze: error: --frontend clang requested but no "
+                      "clang++ driver found", file=sys.stderr)
+                sys.exit(2)
+            notes.append("no clang++ driver found; using the internal "
+                         "frontend for all TUs")
+        else:
+            hdr_digest = clang_frontend.headers_digest(repo_root)
+    for path in files:
+        rel = os.path.relpath(path, repo_root).replace(os.sep, "/")
+        tu = None
+        if clang is not None:
+            import clang_frontend
+            try:
+                tu = clang_frontend.parse_file_clang(
+                    clang, path, rel, repo_root, cache_dir, hdr_digest)
+            except clang_frontend.ClangFrontendError as e:
+                notes.append(f"clang frontend fell back on {rel}: {e}")
+        if tu is None:
+            tu = parser_mod.parse_file(path, rel)
+        tus.append(tu)
+    if not quiet:
+        for n in notes:
+            print(f"analyze: note: {n}")
+    return tus
+
+
+def apply_suppressions(findings, tus_by_path):
+    """Splits findings into (active, suppressed) per the allow() comment
+    geometry, and appends allow-syntax findings for reason-less allows."""
+    active = []
+    suppressed = []
+    for f in findings:
+        tu = tus_by_path.get(f.path)
+        if tu is None:
+            active.append(f)
+            continue
+        marker_lines = {ln for ln, cs in tu.allow.items() if f.check in cs}
+        if comment_run_covers(f.line, marker_lines, tu.raw_lines):
+            suppressed.append(f)
+        else:
+            active.append(f)
+    for tu in tus_by_path.values():
+        for ln, cs in sorted(tu.allow.items()):
+            if "__missing_reason__" in cs:
+                active.append(Finding(
+                    tu.path, ln, "allow-syntax",
+                    "analyzer: allow(...) without `-- <reason>`; every "
+                    "suppression must say why"))
+    return active, suppressed
+
+
+def check_baseline(active, baseline):
+    """Returns (new_findings, stale_keys, baselined). Counts may only
+    shrink: above-baseline counts surface the newest findings; below-
+    baseline counts demand the baseline file itself be shrunk."""
+    counts = collections.Counter(f"{f.path}:{f.check}" for f in active)
+    new = []
+    baselined = []
+    per_key = collections.defaultdict(list)
+    for f in active:
+        per_key[f"{f.path}:{f.check}"].append(f)
+    for key, fs in sorted(per_key.items()):
+        allowed = baseline.get(key, 0)
+        fs_sorted = sorted(fs, key=lambda f: f.line)
+        baselined.extend(fs_sorted[:allowed])
+        new.extend(fs_sorted[allowed:])
+    stale = sorted(key for key, allowed in baseline.items()
+                   if counts.get(key, 0) < allowed)
+    return new, stale, baselined
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    here = os.path.dirname(os.path.abspath(__file__))
+    default_root = os.path.dirname(os.path.dirname(here))
+    ap.add_argument("--repo-root", default=default_root)
+    ap.add_argument("--roots", nargs="+", default=["src", "tools"])
+    ap.add_argument("--frontend", choices=["auto", "clang", "internal"],
+                    default="auto")
+    ap.add_argument("--baseline", default=os.path.join(here,
+                                                       "baseline.json"))
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="ignore the baseline file (fixture/selftest runs)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="rewrite the baseline to the current counts")
+    ap.add_argument("--dot-out", default="",
+                    help="write the lock-order graph as graphviz dot")
+    ap.add_argument("--cache-dir", default="",
+                    help="AST-dump cache directory (clang frontend)")
+    ap.add_argument("--list-checks", action="store_true")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_checks:
+        for c in ALL_CHECKS:
+            print(c)
+        return 0
+
+    files = discover_sources(args.repo_root, args.roots)
+    if not files:
+        print(f"analyze: error: no sources under {args.roots} in "
+              f"{args.repo_root}", file=sys.stderr)
+        return 2
+    tus = parse_tree(files, args.repo_root, args.frontend, args.cache_dir,
+                     args.quiet)
+    tus_by_path = {tu.path: tu for tu in tus}
+    ctx = checks_mod.Context(tus)
+
+    findings = []
+    for tu in tus:
+        for _name, fn in sorted(checks_mod.PER_TU_CHECKS.items()):
+            findings.extend(fn(tu, ctx))
+    graph, lock_findings = lockgraph.build_lock_graph(tus, ctx)
+    findings.extend(lock_findings)
+
+    if args.dot_out:
+        os.makedirs(os.path.dirname(os.path.abspath(args.dot_out)),
+                    exist_ok=True)
+        with open(args.dot_out, "w", encoding="utf-8") as f:
+            f.write(graph.to_dot())
+        if not args.quiet:
+            print(f"analyze: lock-order graph ({len(graph.nodes)} mutexes, "
+                  f"{len(graph.edges)} edges) -> {args.dot_out}")
+
+    active, suppressed = apply_suppressions(findings, tus_by_path)
+
+    baseline = {}
+    if not args.no_baseline and os.path.exists(args.baseline):
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+
+    if args.write_baseline:
+        counts = collections.Counter(f"{f.path}:{f.check}" for f in active)
+        with open(args.baseline, "w", encoding="utf-8") as f:
+            json.dump(dict(sorted(counts.items())), f, indent=2,
+                      sort_keys=True)
+            f.write("\n")
+        print(f"analyze: wrote baseline with {sum(counts.values())} "
+              f"finding(s) to {args.baseline}")
+        return 0
+
+    new, stale, baselined = check_baseline(active, baseline)
+
+    for f in sorted(new, key=lambda f: (f.path, f.line, f.check)):
+        print(f"{f.path}:{f.line}: [{f.check}] {f.message}")
+    for key in stale:
+        print(f"analyze: stale baseline entry {key!r}: fewer findings than "
+              "baselined — shrink tools/analyzer/baseline.json "
+              "(--write-baseline) so the ratchet holds")
+
+    tally = (f"analyze: {len(files)} TU(s), {len(new)} finding(s), "
+             f"{len(baselined)} baselined, {len(suppressed)} suppressed")
+    if not args.quiet or new or stale:
+        print(tally)
+    # Cap at 1: a raw count would wrap modulo 256 on POSIX.
+    return 1 if (new or stale) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

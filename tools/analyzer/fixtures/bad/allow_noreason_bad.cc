@@ -1,0 +1,17 @@
+// Fixture: a suppression without a reason is itself a finding — the
+// underlying unordered-iter finding is suppressed, but the bare
+// allow() must be reported.
+#include <unordered_map>
+
+class Table {
+ public:
+  void Dump(int* out) const {
+    // analyzer: allow(unordered-iter)
+    for (const auto& kv : m_) {
+      *out += kv.second;
+    }
+  }
+
+ private:
+  std::unordered_map<int, int> m_;
+};

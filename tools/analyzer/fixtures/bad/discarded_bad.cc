@@ -1,0 +1,14 @@
+// Fixture: Status values dropped through the escapes the old regex
+// rule cannot see — plus the plain bare call.
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status Flush();
+
+void Caller() {
+  Flush();
+  (Flush(), 0);
+  static_cast<Status>(Flush());
+}

@@ -1,0 +1,24 @@
+// Fixture: every accessor here leaks an alias to GUARDED_BY state.
+#include <vector>
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class StatTable {
+ public:
+  // Reference return: the alias outlives the lock.
+  const std::vector<int>& rows() const { return rows_; }
+
+  // Pointer into the guarded buffer.
+  const int* FirstRow() const { return rows_.data(); }
+
+  // Out-parameter binding of the guarded field's address.
+  void Export(std::vector<int>** out) { *out = &rows_; }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<int> rows_ GUARDED_BY(mu_);
+};

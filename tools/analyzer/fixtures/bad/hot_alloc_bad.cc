@@ -1,0 +1,19 @@
+// Fixture: every allocating construct the hot-loop check knows about,
+// inside the loop of a `// analyzer: hot` function.
+#include <map>
+#include <string>
+#include <vector>
+
+// analyzer: hot
+void Transform(const std::vector<int>& xs, std::vector<int>& out,
+               std::map<int, int>& counts, std::string& label) {
+  for (size_t i = 0; i < xs.size(); ++i) {
+    int* p = new int(3);
+    out.push_back(xs[i]);
+    std::string name;
+    counts[xs[i]] += 1;
+    label += "x";
+    delete p;
+    (void)name;
+  }
+}

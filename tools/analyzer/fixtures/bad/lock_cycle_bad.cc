@@ -1,0 +1,27 @@
+// Fixture: two scopes acquire the same pair of mutexes in opposite
+// orders — the seeded lock-order cycle the analyzer must fail on.
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+  bool TryLock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+Mutex g_mu_a;
+Mutex g_mu_b;
+
+void TransferForward() {
+  MutexLock a(&g_mu_a);
+  MutexLock b(&g_mu_b);
+}
+
+void TransferBackward() {
+  MutexLock b(&g_mu_b);
+  MutexLock a(&g_mu_a);
+}

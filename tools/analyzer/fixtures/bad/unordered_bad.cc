@@ -1,0 +1,24 @@
+// Fixture: hash-table iteration order leaking, with no determinism
+// justification.
+#include <unordered_map>
+#include <unordered_set>
+
+class Histogram {
+ public:
+  int Sum() const {
+    int total = 0;
+    for (const auto& kv : counts_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  int First() const {
+    auto it = seen_.begin();
+    return it != seen_.end() ? *it : 0;
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+  std::unordered_set<int> seen_;
+};

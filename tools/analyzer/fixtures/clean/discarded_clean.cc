@@ -1,0 +1,23 @@
+// Fixture: every sanctioned way of consuming (or deliberately
+// discarding) a Status.
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status Flush();
+void Fail();
+
+Status Propagate() {
+  Status st = Flush();
+  if (!st.ok()) {
+    return st;
+  }
+  st = Flush();
+  (void)Flush();
+  static_cast<void>(Flush());
+  if (!Flush().ok()) {
+    Fail();
+  }
+  return st;
+}

@@ -1,0 +1,41 @@
+// Fixture: by-value snapshots of GUARDED_BY state are the sanctioned
+// pattern and must not be flagged.
+#include <vector>
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class StatTable {
+ public:
+  // Copy under the lock: no alias escapes.
+  std::vector<int> snapshot() const {
+    MutexLock lock(&mu_);
+    return rows_;
+  }
+
+  // Out-parameter receives a copy, not an address.
+  void Export(std::vector<int>* out) const {
+    MutexLock lock(&mu_);
+    *out = rows_;
+  }
+
+  // Scalar by value.
+  int count() const {
+    MutexLock lock(&mu_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::vector<int> rows_ GUARDED_BY(mu_);
+  int count_ GUARDED_BY(mu_) = 0;
+};

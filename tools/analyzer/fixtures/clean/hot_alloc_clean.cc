@@ -1,0 +1,22 @@
+// Fixture: a hot function with proper reserve/hoist discipline, and a
+// non-annotated function whose loop allocations are out of scope.
+#include <string>
+#include <vector>
+
+// analyzer: hot
+void Transform(const std::vector<int>& xs, std::vector<int>* out) {
+  out->reserve(xs.size());
+  // Scratch hoisted out of the loop and reused.
+  std::string scratch;
+  scratch.reserve(64);
+  for (int x : xs) {
+    out->push_back(x * 2);
+    scratch.clear();
+  }
+}
+
+void NotAnnotated(std::vector<int>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(i);
+  }
+}

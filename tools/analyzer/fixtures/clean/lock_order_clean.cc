@@ -1,0 +1,41 @@
+// Fixture: consistent acquisition order everywhere, plus the
+// TryLock-then-Lock retry idiom (a self edge, which is not an ordering
+// fact) — none of this may be flagged.
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+  bool TryLock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+Mutex g_mu_a;
+Mutex g_mu_b;
+
+void Both() {
+  MutexLock a(&g_mu_a);
+  MutexLock b(&g_mu_b);
+}
+
+void BothNested() {
+  MutexLock a(&g_mu_a);
+  {
+    MutexLock b(&g_mu_b);
+  }
+}
+
+void SelfRetry() {
+  if (!g_mu_a.TryLock()) {
+    g_mu_a.Lock();
+  }
+  g_mu_a.Unlock();
+}
+
+void InnerOnly() {
+  MutexLock b(&g_mu_b);
+}

@@ -1,0 +1,40 @@
+// Fixture: justified unordered iteration, ordered containers, and an
+// ordered wrapper over unordered element types — none may be flagged.
+#include <array>
+#include <unordered_map>
+#include <vector>
+
+class Histogram {
+ public:
+  int Sum() const {
+    int total = 0;
+    // determinism: commutative integer sum; iteration order cannot
+    // change the total.
+    for (const auto& kv : counts_) {
+      total += kv.second;
+    }
+    return total;
+  }
+
+  int VectorWalk(const std::vector<int>& xs) const {
+    int total = 0;
+    for (int x : xs) {
+      total += x;
+    }
+    return total;
+  }
+
+  // Iterating the std::array is deterministic even though its elements
+  // are unordered maps.
+  size_t Shards() const {
+    size_t n = 0;
+    for (const auto& shard : shards_) {
+      n += shard.size();
+    }
+    return n;
+  }
+
+ private:
+  std::unordered_map<int, int> counts_;
+  std::array<std::unordered_map<int, int>, 4> shards_;
+};

@@ -1,0 +1,365 @@
+"""Whole-program lock-order analysis (the `lock-order-cycle` check).
+
+Builds the acquired-while-held graph: a directed edge A -> B means some
+code path acquires mutex B while already holding mutex A. Acquisition
+sites come from three sources:
+
+  * `MutexLock lock(&mu)` scoped acquisitions (released at block end);
+  * explicit `mu.Lock()` / `mu.TryLock()` / `mu.Unlock()` calls;
+  * `REQUIRES(mu)` annotations (the mutex is held on entry).
+
+Mutexes are canonicalized to stable node names: `Class::field` for
+members (the class is recovered through the type resolver, so
+`shard.mu` names `Shard::mu`) and `<filestem>::<name>` for file-scope
+globals (`logging::g_severity_mu`, `audit::g_stats_mu`).
+
+Two deliberate modeling decisions:
+
+  * CHECK*/LOG* sites pseudo-acquire `logging::g_severity_mu` — the
+    LogMessage destructor really does take it via MinLogSeverity(), so a
+    CHECK under a lock is a genuine lock-order edge, and one that has
+    bitten real systems (logging inside a hot lock).
+  * Calls made while holding a lock pull in the callee's *transitive*
+    acquisition set, resolved by unqualified name across the whole
+    parse (an over-approximation that errs toward reporting edges).
+
+Lambda bodies do not inherit the enclosing held set (the closure may
+run later on another thread), but their acquisitions do count toward
+the enclosing function's summary: calling the function still triggers
+them via ThreadPool::ParallelFor and friends.
+
+src/util/mutex.{h,cc} and thread_annotations.h are excluded: they are
+the primitive layer whose internal std::mutex is below this analysis.
+
+Self-edges (re-acquiring the mutex you hold, e.g. the TryLock-then-Lock
+fallback in ShardedPhraseCounter::Flush) are not recorded: TSA already
+rejects true double-acquisition, and the idiomatic fallback is not an
+ordering fact.
+"""
+
+import posixpath
+import re
+
+from cpputil import Scope, extract_calls, type_head
+from model import (Block, ExprStmt, Finding, If, LocalClass, Loop, Return,
+                   VarDecl)
+
+EXCLUDED_FILES = ("util/mutex.h", "util/mutex.cc",
+                  "util/thread_annotations.h")
+
+LOCK_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*(?:\.|->))*[A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(Lock|TryLock|Unlock)\s*\(")
+
+REQUIRES_RE = re.compile(
+    r"\b(?:REQUIRES|EXCLUSIVE_LOCKS_REQUIRED)\s*\(")
+
+LOG_PSEUDO_LOCK = "logging::g_severity_mu"
+
+MUTEX_TYPE_HEADS = ("Mutex", "util::Mutex", "infoshield::Mutex")
+MUTEXLOCK_TYPE_HEADS = ("MutexLock", "util::MutexLock",
+                        "infoshield::MutexLock")
+
+
+def _is_excluded(path):
+    return any(path.endswith(e) for e in EXCLUDED_FILES)
+
+
+def _file_stem(path):
+    return posixpath.basename(path).rsplit(".", 1)[0]
+
+
+def _is_log_call(name):
+    return name.startswith("CHECK") or name == "LOG" or \
+        name.startswith("LOG_")
+
+
+class LockGraph:
+    def __init__(self):
+        self.nodes = set()
+        self.edges = {}  # (held, acquired) -> first "path:line (detail)"
+
+    def add_edge(self, held, acquired, site):
+        if held == acquired:
+            return
+        self.nodes.add(held)
+        self.nodes.add(acquired)
+        self.edges.setdefault((held, acquired), site)
+
+    def to_dot(self):
+        lines = ["digraph lock_order {",
+                 '  rankdir=LR;',
+                 '  node [shape=box, fontname="monospace"];']
+        for n in sorted(self.nodes):
+            lines.append(f'  "{n}";')
+        for (a, b) in sorted(self.edges):
+            site = self.edges[(a, b)]
+            lines.append(f'  "{a}" -> "{b}" [label="{site}"];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def cycles(self):
+        """Strongly connected components with more than one node (self
+        edges are never recorded), as sorted node lists."""
+        # Tarjan, iterative.
+        adj = {}
+        for (a, b) in self.edges:
+            adj.setdefault(a, []).append(b)
+        for n in self.nodes:
+            adj.setdefault(n, [])
+        index = {}
+        low = {}
+        on_stack = set()
+        stack = []
+        sccs = []
+        counter = [0]
+
+        for root in sorted(adj):
+            if root in index:
+                continue
+            work = [(root, iter(sorted(adj[root])))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        index[nxt] = low[nxt] = counter[0]
+                        counter[0] += 1
+                        stack.append(nxt)
+                        on_stack.add(nxt)
+                        work.append((nxt, iter(sorted(adj[nxt]))))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1:
+                        sccs.append(sorted(comp))
+        return sorted(sccs)
+
+
+class _FnSummary:
+    def __init__(self, fn, tu):
+        self.fn = fn
+        self.tu = tu
+        self.direct = set()      # canonical mutexes acquired anywhere
+        self.calls = set()       # unqualified callee names
+        self.callsites = []      # (callee, held tuple, path, line)
+        self.calls_log = False
+
+
+class Canonicalizer:
+    def __init__(self, ctx, tu, fn, owner, scope):
+        self.ctx = ctx
+        self.tu = tu
+        self.fn = fn
+        self.owner = owner
+        self.scope = scope
+
+    def canon(self, expr):
+        e = expr.strip().lstrip("&*").strip()
+        e = re.sub(r"^this\s*->\s*", "", e)
+        # Split off the final member on the last top-level . or ->
+        m = re.match(r"^(.*?)(?:\.|->)\s*([A-Za-z_]\w*)$", e, re.DOTALL)
+        if m:
+            obj, field = m.group(1).strip(), m.group(2)
+            t = self.scope.resolve(obj)
+            cls = self.ctx.class_of_type(t)
+            if cls is not None:
+                return f"{cls.name}::{field}"
+            return f"?::{e}"
+        name = e
+        if self.owner is not None and name in self.owner.fields:
+            return f"{self.owner.name}::{name}"
+        if name in self.tu.globals:
+            return f"{_file_stem(self.tu.path)}::{name}"
+        if name in self.scope.vars:
+            return f"{self.fn.qname}::{name}"
+        return f"?::{name}"
+
+
+def _walk_function(fn, tu, ctx, owner, summary, graph):
+    scope = Scope(ctx, tu, fn, owner)
+    canon = Canonicalizer(ctx, tu, fn, owner, scope)
+
+    entry_held = []
+    for ann in fn.annotations:
+        m = REQUIRES_RE.search(ann)
+        if m:
+            inner = ann[m.end():ann.rfind(")")]
+            from cpputil import split_top_level
+            for arg in split_top_level(inner):
+                if arg.strip():
+                    entry_held.append(canon.canon(arg))
+    summary.direct.update(entry_held)
+
+    def acquire(name, held, path, line, detail):
+        summary.direct.add(name)
+        graph.nodes.add(name)
+        for h in held:
+            graph.add_edge(h, name, f"{path}:{line} ({detail})")
+
+    def scan_text(text, held, line):
+        consumed = set()
+        for m in LOCK_CALL_RE.finditer(text):
+            obj, op = m.group(1), m.group(2)
+            consumed.add(f"{obj}.{op}")
+            name = canon.canon(obj)
+            if op == "Unlock":
+                if name in held:
+                    held.remove(name)
+            else:
+                acquire(name, held, tu.path, line, f"{obj}.{op}()")
+                held.append(name)
+        for path_, _args, _pos in extract_calls(text):
+            callee = re.split(r"::|\.|->", path_)[-1]
+            if callee in ("Lock", "TryLock", "Unlock"):
+                continue
+            if _is_log_call(callee):
+                summary.calls_log = True
+                if held:
+                    acquire(LOG_PSEUDO_LOCK, held, tu.path, line,
+                            f"{callee} logs under lock")
+                continue
+            summary.calls.add(callee)
+            if held:
+                summary.callsites.append(
+                    (callee, tuple(held), tu.path, line))
+
+    def walk(block, held):
+        held = list(held)
+        for s in block.stmts:
+            if isinstance(s, VarDecl):
+                if type_head(s.type_text) in MUTEXLOCK_TYPE_HEADS:
+                    arg = s.init_text.strip().lstrip("(").rstrip(")")
+                    arg = arg.split(",")[0]
+                    name = canon.canon(arg)
+                    acquire(name, held, tu.path, s.line,
+                            f"MutexLock in {fn.qname}")
+                    held.append(name)
+                else:
+                    scan_text(s.text, held, s.line)
+                for ch in s.children:
+                    walk(ch, [])  # lambda: fresh held set
+            elif isinstance(s, ExprStmt):
+                scan_text(s.text, held, s.line)
+                for ch in s.children:
+                    walk(ch, [])
+            elif isinstance(s, Return):
+                if s.expr_text:
+                    scan_text(s.expr_text, held, s.line)
+            elif isinstance(s, If):
+                scan_text(s.cond_text, held, s.line)
+                walk(s.then_block, held)
+                if s.else_block is not None:
+                    walk(s.else_block, held)
+            elif isinstance(s, Loop):
+                scan_text(s.header_text, held, s.line)
+                walk(s.body, held)
+            elif isinstance(s, Block):
+                walk(s, held)
+            elif isinstance(s, LocalClass):
+                pass  # its methods are walked as their own functions
+
+    if fn.body is not None:
+        walk(fn.body, entry_held)
+
+
+def declared_mutex_nodes(tus):
+    """Every Mutex-typed declaration in the analyzed tree, so the graph
+    names all mutex users even when an edge never touches them."""
+    nodes = set()
+    for tu in tus:
+        if _is_excluded(tu.path):
+            continue
+        for cls in tu.all_classes():
+            for name, field in cls.fields.items():
+                if type_head(field.type_text) in MUTEX_TYPE_HEADS:
+                    nodes.add(f"{cls.name}::{name}")
+        for name, type_text in tu.globals.items():
+            if type_head(type_text) in MUTEX_TYPE_HEADS:
+                nodes.add(f"{_file_stem(tu.path)}::{name}")
+    return nodes
+
+
+def build_lock_graph(tus, ctx):
+    """Returns (graph, findings)."""
+    graph = LockGraph()
+    graph.nodes.update(declared_mutex_nodes(tus))
+
+    summaries = []
+    for tu in tus:
+        if _is_excluded(tu.path):
+            continue
+        for fn in tu.all_functions():
+            if fn.body is None:
+                continue
+            owner = ctx.class_by_name(fn.owner) if fn.owner else None
+            summary = _FnSummary(fn, tu)
+            _walk_function(fn, tu, ctx, owner, summary, graph)
+            summaries.append(summary)
+
+    # Transitive acquisition sets by unqualified function name.
+    trans = {}
+    calls_by_name = {}
+    logs_by_name = {}
+    for s in summaries:
+        trans.setdefault(s.fn.name, set()).update(s.direct)
+        calls_by_name.setdefault(s.fn.name, set()).update(s.calls)
+        logs_by_name[s.fn.name] = logs_by_name.get(s.fn.name, False) or \
+            s.calls_log
+    changed = True
+    while changed:
+        changed = False
+        for name in trans:
+            add = set()
+            if logs_by_name.get(name):
+                add.add(LOG_PSEUDO_LOCK)
+            for callee in calls_by_name.get(name, ()):
+                add.update(trans.get(callee, ()))
+                if logs_by_name.get(callee):
+                    add.add(LOG_PSEUDO_LOCK)
+            if not add <= trans[name]:
+                trans[name] |= add
+                changed = True
+
+    for s in summaries:
+        for callee, held, path, line in s.callsites:
+            for acquired in sorted(trans.get(callee, ())):
+                for h in held:
+                    graph.add_edge(h, acquired,
+                                   f"{path}:{line} (via {callee}())")
+
+    findings = []
+    for comp in graph.cycles():
+        witness = []
+        for (a, b), site in sorted(graph.edges.items()):
+            if a in comp and b in comp:
+                witness.append(f"{a} -> {b} at {site}")
+        path, line = "src", 0
+        if witness:
+            m = re.search(r"at ([^:]+):(\d+)", witness[0])
+            if m:
+                path, line = m.group(1), int(m.group(2))
+        findings.append(Finding(
+            path, line, "lock-order-cycle",
+            "lock acquisition cycle: " + " <-> ".join(comp) +
+            "; edges: " + "; ".join(witness)))
+    return graph, findings

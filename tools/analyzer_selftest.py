@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Self-test for the AST-grounded analyzer (tools/analyzer/).
+
+Runs the analyzer over the fixture trees in tools/analyzer/fixtures/
+and over the real tree, asserting:
+
+ * each bad fixture trips exactly the check it was written for, the
+   expected number of times — including the seeded lock-order cycle,
+   which must fail the run (the acceptance criterion that a cycle
+   fails the build);
+ * the clean fixtures — by-value snapshots, consistent lock order,
+   reserve/hoist discipline, determinism markers, reasoned allow()
+   suppressions — trip nothing, and a clean tree exits 0;
+ * an allow() without a `-- reason` is itself reported;
+ * baseline semantics: matching counts pass, counts above baseline
+   fail, counts below baseline fail as stale (the ratchet only
+   shrinks), and --write-baseline round-trips;
+ * the real tree has zero unsuppressed findings and its lock-order
+   graph names the mutexes of every current Mutex user (thread_pool,
+   logging, sharded_counter, audit);
+ * a failing run exits 1, not the violation count (a raw count would
+   wrap modulo 256 on POSIX).
+
+The fixture runs pin --frontend internal so results do not depend on
+whether a clang driver happens to be installed; fixture sources are
+parse targets, not compile targets. Registered as the
+`analyzer_selftest` ctest by tools/CMakeLists.txt.
+"""
+
+import collections
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+ANALYZE = os.path.join(TOOLS_DIR, "analyzer", "analyze.py")
+FIXTURES = os.path.join(TOOLS_DIR, "analyzer", "fixtures")
+REPO_ROOT = os.path.dirname(TOOLS_DIR)
+
+FINDING_RE = re.compile(r"^(?P<path>\S+?):(?P<line>\d+): \[(?P<check>[\w-]+)\]")
+
+# (fixture file, check) -> expected number of findings. Files in the bad
+# tree absent here must produce zero findings.
+EXPECTED = {
+    ("guarded_escape_bad.cc", "guarded-ref-escape"): 3,
+    ("lock_cycle_bad.cc", "lock-order-cycle"): 1,
+    ("hot_alloc_bad.cc", "hot-loop-alloc"): 5,
+    ("unordered_bad.cc", "unordered-iter"): 2,
+    ("discarded_bad.cc", "discarded-status"): 3,
+    ("allow_noreason_bad.cc", "allow-syntax"): 1,
+}
+
+# Mutex nodes the real-tree lock graph must name (acceptance criterion:
+# coverage of every current Mutex user).
+REQUIRED_GRAPH_NODES = (
+    "ThreadPool::mutex_",
+    "logging::g_severity_mu",
+    "ShardedPhraseCounter::stats_mu_",
+    "Shard::mu",
+    "audit::g_stats_mu",
+)
+
+
+def run_analyze(extra_args):
+    proc = subprocess.run(
+        [sys.executable, ANALYZE, "--frontend", "internal", "--quiet"] +
+        extra_args,
+        capture_output=True, text=True, check=False)
+    findings = collections.Counter()
+    for line in proc.stdout.splitlines():
+        match = FINDING_RE.match(line)
+        if match:
+            findings[(os.path.basename(match.group("path")),
+                      match.group("check"))] += 1
+    return proc, findings
+
+
+def main():
+    failures = []
+
+    def expect(ok, what):
+        if not ok:
+            failures.append(what)
+
+    # --- bad fixtures: every check fires, run fails (capped exit) ------
+    proc, findings = run_analyze(
+        ["--repo-root", FIXTURES, "--roots", "bad", "--no-baseline"])
+    expect(proc.returncode == 1,
+           f"bad tree: expected exit 1 (capped), got {proc.returncode}")
+    for key, want in EXPECTED.items():
+        got = findings.pop(key, 0)
+        expect(got == want,
+               f"{key[0]}: expected {want} [{key[1]}], got {got}")
+    expect(not findings,
+           f"bad tree: unexpected findings {dict(findings)}")
+    expect("lock-order-cycle" in proc.stdout and
+           "g_mu_a" in proc.stdout and "g_mu_b" in proc.stdout,
+           "seeded cycle: expected both mutexes named in the cycle report")
+
+    # --- clean fixtures: nothing fires -------------------------------
+    proc, findings = run_analyze(
+        ["--repo-root", FIXTURES, "--roots", "clean", "--no-baseline"])
+    expect(proc.returncode == 0,
+           f"clean tree: expected exit 0, got {proc.returncode}")
+    expect(not findings,
+           f"clean tree: unexpected findings {dict(findings)} (reserve "
+           "discipline, determinism marker, allow(reason), or by-value "
+           "snapshot handling regressed)")
+
+    # --- baseline semantics -------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        baseline = os.path.join(tmp, "baseline.json")
+        # --write-baseline captures the bad tree, then a normal run with
+        # that baseline passes with everything baselined.
+        proc, _ = run_analyze(["--repo-root", FIXTURES, "--roots", "bad",
+                               "--baseline", baseline, "--write-baseline"])
+        expect(proc.returncode == 0,
+               f"write-baseline: expected exit 0, got {proc.returncode}")
+        with open(baseline, encoding="utf-8") as f:
+            captured = json.load(f)
+        expect(sum(captured.values()) == sum(EXPECTED.values()),
+               f"write-baseline: expected {sum(EXPECTED.values())} "
+               f"entries, captured {sum(captured.values())}")
+        proc, findings = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad",
+             "--baseline", baseline])
+        expect(proc.returncode == 0 and not findings,
+               "baselined run: expected exit 0 with no printed findings, "
+               f"got {proc.returncode} / {dict(findings)}")
+
+        # Growth: shrink one baseline entry — the newest finding escapes
+        # the baseline and fails the run.
+        grown = dict(captured)
+        key = "bad/hot_alloc_bad.cc:hot-loop-alloc"
+        grown[key] = grown[key] - 1
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump(grown, f)
+        proc, findings = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad",
+             "--baseline", baseline])
+        expect(proc.returncode == 1 and
+               findings.get(("hot_alloc_bad.cc", "hot-loop-alloc")) == 1,
+               "baseline growth: expected exactly the one above-baseline "
+               f"finding to fail, got {proc.returncode} / {dict(findings)}")
+
+        # Staleness: inflate an entry — fewer findings than baselined
+        # must fail until the baseline is re-shrunk.
+        stale = dict(captured)
+        stale[key] = stale[key] + 2
+        with open(baseline, "w", encoding="utf-8") as f:
+            json.dump(stale, f)
+        proc, _ = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad",
+             "--baseline", baseline])
+        expect(proc.returncode == 1 and "stale baseline" in proc.stdout,
+               f"stale baseline: expected failure, got {proc.returncode}")
+
+    # --- real tree: zero unsuppressed findings + full mutex coverage --
+    with tempfile.TemporaryDirectory() as tmp:
+        dot = os.path.join(tmp, "lock_order.dot")
+        proc, findings = run_analyze(
+            ["--repo-root", REPO_ROOT, "--roots", "src", "tools",
+             "--dot-out", dot])
+        expect(proc.returncode == 0,
+               f"real tree: expected exit 0, got {proc.returncode}:\n"
+               f"{proc.stdout}")
+        expect(not findings,
+               f"real tree: unsuppressed findings {dict(findings)}")
+        with open(dot, encoding="utf-8") as f:
+            graph = f.read()
+        for node in REQUIRED_GRAPH_NODES:
+            expect(f'"{node}"' in graph,
+                   f"lock graph: missing required mutex node {node}")
+
+    if failures:
+        for f in failures:
+            print(f"analyzer_selftest: FAIL: {f}")
+        return 1
+    print("analyzer_selftest: all check fixtures, baseline semantics, and "
+          "the real-tree gate behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

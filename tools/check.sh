@@ -13,6 +13,14 @@
 #                           suites, the TSan pass, and the coverage
 #                           ratchet are skipped). Suitable as a pre-merge
 #                           smoke check.
+#   tools/check.sh --analyze
+#                           the AST-grounded analyzer only
+#                           (tools/analyzer/analyze.py): guarded-ref
+#                           escapes, lock-order cycles, hot-loop
+#                           allocations, unordered-iteration and
+#                           discarded-Status checks, plus the lock-order
+#                           dot graph. Also part of every full and
+#                           --fast run.
 #   tools/check.sh --fuzz   fuzz smoke only: builds the libFuzzer
 #                           harnesses under clang + ASan/UBSan, replays
 #                           the seed corpora, then fuzzes each harness
@@ -30,10 +38,12 @@ cd "$ROOT"
 
 FAST=0
 FUZZ=0
+ANALYZE_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --fuzz) FUZZ=1 ;;
+    --analyze) ANALYZE_ONLY=1 ;;
     -h|--help)
       sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
@@ -55,6 +65,23 @@ export UBSAN_OPTIONS="suppressions=$SUPP_DIR/ubsan.supp:print_stacktrace=1:halt_
 export TSAN_OPTIONS="suppressions=$SUPP_DIR/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
 
 step() { printf '\n=== %s ===\n' "$*"; }
+
+# The AST-grounded analyzer (DESIGN.md §13): five checks over every TU
+# in src/ and tools/, the allow()/baseline ratchet, and the lock-order
+# graph artifact. Uses clang ASTs when clang++ is installed, the
+# built-in frontend otherwise.
+run_analyzer() {
+  step "AST analyzer (tools/analyzer: 5 checks + lock-order graph)"
+  mkdir -p build
+  python3 tools/analyzer/analyze.py \
+    --cache-dir "$ROOT/.analyzer-cache" \
+    --dot-out "$ROOT/build/lock_order.dot"
+}
+
+if [[ "$ANALYZE_ONLY" == "1" ]]; then
+  run_analyzer
+  exit 0
+fi
 
 # --fuzz: the fuzz smoke leg (DESIGN.md §12) and nothing else.
 if [[ "$FUZZ" == "1" ]]; then
@@ -107,6 +134,8 @@ configure_and_build() {
 step "lint (tools/lint.py + clang-tidy when available)"
 configure_and_build build-asan "address,undefined"
 python3 tools/lint.py --clang-tidy-build-dir "$ROOT/build-asan"
+
+run_analyzer
 
 # Clang thread-safety analysis: compiles all of src/ (and everything that
 # includes it) with -Wthread-safety -Wthread-safety-beta promoted to

@@ -29,7 +29,8 @@ Rules
                      banned outside an explicit allowlist. Mutex-typed
                      globals are always allowed — the lock itself is the
                      protection.
- 7. unordered-determinism
+ 7. unordered-determinism  [fast-path; authoritative version in
+                     tools/analyzer]
                      Iterating a std::unordered_map/std::unordered_set
                      (range-for, or a NAME.begin(), NAME.end() copy) is
                      flagged unless the line — or the line above it —
@@ -38,12 +39,21 @@ Rules
                      "commutative integer sum"). Hash-order must never
                      reach cluster ordering or emitted output; results
                      are byte-reproducible across runs and thread counts.
- 8. discarded-status Calling a Status/Result-returning free function as
+                     This regex version is the cheap first line; the
+                     AST-accurate `unordered-iter` check in
+                     tools/analyzer/ resolves real container types
+                     (through references, aliases, and members) and is
+                     the one the analyze gate enforces.
+ 8. discarded-status [fast-path; authoritative version in tools/analyzer]
+                     Calling a Status/Result-returning free function as
                      a bare statement silently drops the error. Assign
                      it, return it, or spell the deliberate discard
                      `(void) Fn(...)`. Backs up the [[nodiscard]]
                      attributes (util/status.h) for call sites compiled
                      out of the default build (ifdef'd, templates).
+                     The AST-accurate `discarded-status` check in
+                     tools/analyzer/ additionally catches discards
+                     laundered through casts and comma expressions.
  9. fuzz-corpus      Every fuzz harness (fuzz/<name>_fuzz.cc) must have
                      a non-empty seed corpus at tests/fuzz_corpus/<name>/
                      so the fuzz_replay_<name> ctest exercises the
