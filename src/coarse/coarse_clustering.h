@@ -85,6 +85,9 @@ struct CoarseResult {
   // over-merges (the paper leans on the fine stage to split such
   // components; near-duplicates always share top phrases directly, so
   // neighbor seeding loses nothing).
+  // analyzer: allow(race-infer) -- coarse workers fill disjoint
+  // per-DocId slots fork-join; afterwards the fine stage only reads it
+  // (RunOnCluster takes const*, the flagged write is that &-arg)
   std::vector<std::vector<PhraseHash>> doc_top_phrases;
   // Bipartite edge count (for diagnostics / scaling studies).
   size_t num_edges = 0;

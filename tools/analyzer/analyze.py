@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""AST-grounded project analyzer — drives the five checks over every TU
-in src/ and tools/ and enforces the suppression + baseline contract.
+"""AST-grounded project analyzer — drives the checks over every TU in
+src/, tools/, and fuzz/ and enforces the suppression + baseline
+contract.
 
 Usage (normally via `cmake --build build --target analyze` or
-`tools/check.sh --analyze`):
+`tools/check.sh --analyze` / `--races`):
 
-  analyze.py [--repo-root DIR] [--roots src tools ...]
-             [--frontend auto|clang|internal]
+  analyze.py [--repo-root DIR] [--roots src tools fuzz ...]
+             [--frontend auto|clang|internal] [--checks a,b,...]
              [--baseline FILE | --no-baseline] [--write-baseline]
-             [--dot-out FILE] [--cache-dir DIR] [--quiet]
+             [--dot-out FILE] [--race-report FILE]
+             [--cache-dir DIR] [--cache-cap N] [--quiet]
 
 Checks: guarded-ref-escape, lock-order-cycle, hot-loop-alloc,
-unordered-iter, discarded-status (see DESIGN.md §13).
+unordered-iter, discarded-status (DESIGN.md §13); race-infer,
+missing-guarded-by, blocking-under-lock, unordered-output-flow
+(interprocedural lockset inference, DESIGN.md §14).
 
 Suppression: `// analyzer: allow(<check>[, ...]) -- <reason>` on the
 finding line or in the unbroken //-comment run directly above it — the
@@ -34,15 +38,22 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import callgraph as callgraph_mod                            # noqa: E402
 import checks as checks_mod                                  # noqa: E402
+import dataflow as dataflow_mod                              # noqa: E402
 import lockgraph                                             # noqa: E402
+import locksets                                              # noqa: E402
 import parser as parser_mod                                  # noqa: E402
+import raceinfer                                             # noqa: E402
 from model import Finding, comment_run_covers                # noqa: E402
 
 SKIP_DIR_NAMES = {"fixtures", "lint_fixtures", "corpus", "third_party",
                   "__pycache__"}
 
-ALL_CHECKS = sorted(list(checks_mod.PER_TU_CHECKS) + ["lock-order-cycle"])
+WHOLE_PROGRAM_CHECKS = ["lock-order-cycle", "race-infer",
+                        "missing-guarded-by", "blocking-under-lock"]
+
+ALL_CHECKS = sorted(list(checks_mod.PER_TU_CHECKS) + WHOLE_PROGRAM_CHECKS)
 
 
 def discover_sources(repo_root, roots):
@@ -61,11 +72,13 @@ def discover_sources(repo_root, roots):
     return files
 
 
-def parse_tree(files, repo_root, frontend, cache_dir, quiet):
+def parse_tree(files, repo_root, frontend, cache_dir, quiet,
+               cache_cap=None):
     tus = []
     notes = []
     clang = None
     hdr_digest = None
+    live_keys = set()
     if frontend in ("auto", "clang"):
         import clang_frontend
         clang = clang_frontend.find_clang()
@@ -85,12 +98,20 @@ def parse_tree(files, repo_root, frontend, cache_dir, quiet):
             import clang_frontend
             try:
                 tu = clang_frontend.parse_file_clang(
-                    clang, path, rel, repo_root, cache_dir, hdr_digest)
+                    clang, path, rel, repo_root, cache_dir, hdr_digest,
+                    live_keys=live_keys)
             except clang_frontend.ClangFrontendError as e:
                 notes.append(f"clang frontend fell back on {rel}: {e}")
         if tu is None:
             tu = parser_mod.parse_file(path, rel)
         tus.append(tu)
+    if clang is not None and cache_dir:
+        import clang_frontend
+        removed = clang_frontend.evict_cache(cache_dir, live_keys,
+                                             cap=cache_cap)
+        if removed:
+            notes.append(f"evicted {removed} stale/over-cap AST dump(s) "
+                         f"from {cache_dir}")
     if not quiet:
         for n in notes:
             print(f"analyze: note: {n}")
@@ -147,9 +168,13 @@ def main():
     here = os.path.dirname(os.path.abspath(__file__))
     default_root = os.path.dirname(os.path.dirname(here))
     ap.add_argument("--repo-root", default=default_root)
-    ap.add_argument("--roots", nargs="+", default=["src", "tools"])
+    ap.add_argument("--roots", nargs="+", default=["src", "tools", "fuzz"])
     ap.add_argument("--frontend", choices=["auto", "clang", "internal"],
                     default="auto")
+    ap.add_argument("--checks", default="",
+                    help="comma-separated subset of checks to enforce "
+                         "(default: all); the baseline is filtered to "
+                         "the same subset")
     ap.add_argument("--baseline", default=os.path.join(here,
                                                        "baseline.json"))
     ap.add_argument("--no-baseline", action="store_true",
@@ -158,8 +183,13 @@ def main():
                     help="rewrite the baseline to the current counts")
     ap.add_argument("--dot-out", default="",
                     help="write the lock-order graph as graphviz dot")
+    ap.add_argument("--race-report", default="",
+                    help="write the race-inference report as JSON "
+                         "(schema: infoshield-race-report/1)")
     ap.add_argument("--cache-dir", default="",
                     help="AST-dump cache directory (clang frontend)")
+    ap.add_argument("--cache-cap", type=int, default=512,
+                    help="LRU cap on cached AST dumps (see evict_cache)")
     ap.add_argument("--list-checks", action="store_true")
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args()
@@ -174,17 +204,34 @@ def main():
         print(f"analyze: error: no sources under {args.roots} in "
               f"{args.repo_root}", file=sys.stderr)
         return 2
+    selected = {c.strip() for c in args.checks.split(",") if c.strip()}
+    unknown = selected - set(ALL_CHECKS)
+    if unknown:
+        print(f"analyze: error: unknown check(s) {sorted(unknown)}; "
+              f"known: {ALL_CHECKS}", file=sys.stderr)
+        return 2
+
     tus = parse_tree(files, args.repo_root, args.frontend, args.cache_dir,
-                     args.quiet)
+                     args.quiet, cache_cap=args.cache_cap)
     tus_by_path = {tu.path: tu for tu in tus}
     ctx = checks_mod.Context(tus)
 
     findings = []
     for tu in tus:
-        for _name, fn in sorted(checks_mod.PER_TU_CHECKS.items()):
+        for name, fn in sorted(checks_mod.PER_TU_CHECKS.items()):
+            if selected and name not in selected:
+                continue
             findings.extend(fn(tu, ctx))
-    graph, lock_findings = lockgraph.build_lock_graph(tus, ctx)
+    walks = locksets.walk_tree(tus, ctx)
+    graph, lock_findings = lockgraph.build_lock_graph(tus, ctx, walks=walks)
     findings.extend(lock_findings)
+    cg = callgraph_mod.CallGraph(walks, ctx)
+    race_findings, race_report = raceinfer.infer(walks, cg, tus, ctx)
+    findings.extend(race_findings)
+    findings.extend(dataflow_mod.check_blocking_under_lock(walks, ctx))
+    if selected:
+        findings = [f for f in findings
+                    if f.check in selected or f.check == "allow-syntax"]
 
     if args.dot_out:
         os.makedirs(os.path.dirname(os.path.abspath(args.dot_out)),
@@ -195,12 +242,32 @@ def main():
             print(f"analyze: lock-order graph ({len(graph.nodes)} mutexes, "
                   f"{len(graph.edges)} edges) -> {args.dot_out}")
 
+    if args.race_report:
+        os.makedirs(os.path.dirname(os.path.abspath(args.race_report)),
+                    exist_ok=True)
+        with open(args.race_report, "w", encoding="utf-8") as f:
+            json.dump(race_report, f, indent=2, sort_keys=False)
+            f.write("\n")
+        if not args.quiet:
+            s = race_report["summary"]
+            print(f"analyze: race report ({sum(s.values())} field(s): "
+                  f"{s.get('annotated', 0)} annotated, "
+                  f"{s.get('racy', 0)} racy, "
+                  f"{len(race_report['thread_roots'])} thread root(s)) "
+                  f"-> {args.race_report}")
+
     active, suppressed = apply_suppressions(findings, tus_by_path)
+    if selected:
+        active = [f for f in active
+                  if f.check in selected or f.check == "allow-syntax"]
 
     baseline = {}
     if not args.no_baseline and os.path.exists(args.baseline):
         with open(args.baseline, encoding="utf-8") as f:
             baseline = json.load(f)
+    if selected:
+        baseline = {k: v for k, v in baseline.items()
+                    if k.rsplit(":", 1)[-1] in selected}
 
     if args.write_baseline:
         counts = collections.Counter(f"{f.path}:{f.check}" for f in active)

@@ -380,11 +380,16 @@ def _scan_discard(text, line, tu, ctx, findings, fn, via=""):
             f"{name}(){via} — check it or cast to (void) with a comment"))
 
 
-# check name -> per-TU implementation. lock-order-cycle is whole-program
-# and is invoked separately by the driver (see lockgraph.py).
+# check name -> per-TU implementation. lock-order-cycle, race-infer,
+# missing-guarded-by, and blocking-under-lock are whole-program and are
+# invoked separately by the driver (see lockgraph.py / raceinfer.py /
+# dataflow.py).
+import dataflow                                              # noqa: E402
+
 PER_TU_CHECKS = {
     "guarded-ref-escape": check_guarded_ref_escape,
     "hot-loop-alloc": check_hot_loop_alloc,
     "unordered-iter": check_unordered_iter,
     "discarded-status": check_discarded_status,
+    "unordered-output-flow": dataflow.check_unordered_output_flow,
 }

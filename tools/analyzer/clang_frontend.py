@@ -77,20 +77,35 @@ def headers_digest(repo_root):
     return h.hexdigest()
 
 
-def dump_ast(clang, src_path, repo_root, cache_dir, hdr_digest):
+CACHE_SUFFIX = ".json.gz"
+
+# Default ceiling on cached dumps. The tree is ~200 TUs; 512 leaves
+# room for a few branches' worth of rewrites in one persisted CI cache
+# without letting it grow without bound.
+DEFAULT_CACHE_CAP = 512
+
+
+def dump_ast(clang, src_path, repo_root, cache_dir, hdr_digest,
+             live_keys=None):
     with open(src_path, "rb") as f:
         content = f.read()
     key = hashlib.sha256(
         (clang_version(clang) + "|" + hdr_digest).encode() + b"|" +
         content).hexdigest()
+    if live_keys is not None:
+        live_keys.add(key)
     cache_file = None
     if cache_dir:
         os.makedirs(cache_dir, exist_ok=True)
-        cache_file = os.path.join(cache_dir, key + ".json.gz")
+        cache_file = os.path.join(cache_dir, key + CACHE_SUFFIX)
         if os.path.exists(cache_file):
             try:
                 with gzip.open(cache_file, "rt", encoding="utf-8") as f:
-                    return json.load(f)
+                    root = json.load(f)
+                # Refresh mtime so the LRU cull (evict_cache) ranks this
+                # entry as recently used.
+                os.utime(cache_file)
+                return root
             except (OSError, json.JSONDecodeError):
                 pass  # corrupt cache entry: re-dump below
     cmd = [clang, "-x", "c++", "-std=c++20", "-fsyntax-only",
@@ -112,6 +127,54 @@ def dump_ast(clang, src_path, repo_root, cache_dir, hdr_digest):
             json.dump(root, f)
         os.replace(tmp, cache_file)
     return root
+
+
+def evict_cache(cache_dir, live_keys, cap=None):
+    """Prunes the AST-dump cache after a parse pass. Two rules:
+
+      1. staleness — an entry whose content key was not produced by any
+         TU in the current tree corresponds to a source version that no
+         longer exists (the key hashes clang version + headers digest +
+         TU bytes), so it can never be hit again by this tree; drop it.
+      2. LRU cap — among live entries, keep at most `cap`, evicting the
+         least recently *used* (dump_ast touches mtime on every hit).
+
+    Without this, CI's persisted cache grew monotonically: every edit
+    minted a new key and the old one stayed forever. Returns the number
+    of files removed; tolerates concurrent removal races."""
+    if cap is None:
+        cap = DEFAULT_CACHE_CAP
+    if not cache_dir or not os.path.isdir(cache_dir):
+        return 0
+    removed = 0
+    live = []
+    for name in os.listdir(cache_dir):
+        if not name.endswith(CACHE_SUFFIX):
+            if name.endswith(CACHE_SUFFIX + ".tmp"):
+                _remove_quiet(os.path.join(cache_dir, name))
+            continue
+        path = os.path.join(cache_dir, name)
+        key = name[: -len(CACHE_SUFFIX)]
+        if key not in live_keys:
+            removed += _remove_quiet(path)
+            continue
+        try:
+            live.append((os.path.getmtime(path), path))
+        except OSError:
+            continue
+    if len(live) > cap:
+        live.sort()  # oldest mtime first
+        for _mtime, path in live[: len(live) - cap]:
+            removed += _remove_quiet(path)
+    return removed
+
+
+def _remove_quiet(path):
+    try:
+        os.remove(path)
+        return 1
+    except OSError:
+        return 0
 
 
 def _loc_dict(loc):
@@ -317,10 +380,11 @@ def _first_declref_name(node):
 
 
 def parse_file_clang(clang, abs_path, repo_rel, repo_root, cache_dir,
-                     hdr_digest):
+                     hdr_digest, live_keys=None):
     with open(abs_path, encoding="utf-8") as f:
         raw = f.read()
-    root = dump_ast(clang, abs_path, repo_root, cache_dir, hdr_digest)
+    root = dump_ast(clang, abs_path, repo_root, cache_dir, hdr_digest,
+                    live_keys=live_keys)
     try:
         tu = _Lowerer(abs_path, repo_rel, raw).lower(root)
     except ClangFrontendError:

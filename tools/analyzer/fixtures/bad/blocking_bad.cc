@@ -1,0 +1,51 @@
+// Fixture: blocking work done while holding a mutex — directly, via
+// the pool, and hidden one call deep. Every other thread that wants
+// the lock stalls behind I/O it never asked for.
+#include <cstdio>
+#include <functional>
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class ThreadPool {
+ public:
+  void Submit(std::function<void()> fn);
+  void Wait();
+};
+
+class Flusher {
+ public:
+  // Direct: stdio under the lock.
+  void FlushDirect() {
+    MutexLock lock(&mu_);
+    std::fprintf(stderr, "flushing\n");
+  }
+
+  // Pool: Wait() parks the caller for as long as the queue is deep,
+  // with the lock pinned the whole time.
+  void Drain(ThreadPool* pool) {
+    MutexLock lock(&mu_);
+    pool->Wait();
+  }
+
+  // Transitive: the callee does the blocking; the caller holds the
+  // lock. Same dataflow, one hop removed.
+  void FlushViaHelper() {
+    MutexLock lock(&mu_);
+    WriteOut();
+  }
+
+ private:
+  void WriteOut() { std::fprintf(stderr, "x\n"); }
+
+  Mutex mu_;
+};

@@ -1,0 +1,42 @@
+// Fixture: a field that every concurrent access protects with the same
+// mutex, but the declaration never says so — inference should demand
+// the GUARDED_BY so TSA takes over enforcement.
+#include <functional>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class ThreadPool {
+ public:
+  void Submit(std::function<void()> fn);
+  void Wait();
+};
+
+class Registry {
+ public:
+  void Publish(ThreadPool* pool) {
+    pool->Submit([this] {
+      MutexLock lock(&mu_);
+      ++published_;
+    });
+    pool->Submit([this] {
+      MutexLock lock(&mu_);
+      ++published_;
+    });
+  }
+
+ private:
+  Mutex mu_;
+  long published_ = 0;  // consistently under mu_, never annotated
+};

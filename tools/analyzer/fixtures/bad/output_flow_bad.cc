@@ -1,0 +1,29 @@
+// Fixture: unordered iteration order flowing into serialization sinks.
+// The `determinism:` markers keep the coarse unordered-iter lint quiet
+// on purpose: the flow check must catch what a claimed-but-wrong
+// comment waves through, so only unordered-output-flow may fire here.
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void WriteCsv(const std::vector<std::string>& rows);
+
+// Flow 1: hash-order elements straight into the console stream.
+void DumpCounts(const std::unordered_map<std::string, int>& counts) {
+  // determinism: output is machine-diffed downstream (it is not).
+  for (const auto& kv : counts) {
+    std::cout << kv.first << "=" << kv.second << "\n";
+  }
+}
+
+// Flow 2: hash order laundered through a vector that is never sorted
+// before reaching the serialization sink.
+void EmitNames(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> names;
+  // determinism: names are sorted before use (they are not).
+  for (const auto& kv : counts) {
+    names.push_back(kv.first);
+  }
+  WriteCsv(names);
+}

@@ -1,0 +1,91 @@
+// Fixture: four fields written from concurrent contexts without a
+// consistent lock — the seeded races the interprocedural lockset
+// inference must catch. Self-contained (stub Mutex/ThreadPool, real
+// attribute spelling) so the clang frontend can parse it too.
+#include <functional>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+  bool TryLock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class ThreadPool {
+ public:
+  void Submit(std::function<void()> fn);
+  void Wait();
+};
+
+// Race 1: unlocked write from a launched lambda (two workers bump the
+// same counter through the captured `this`).
+class Telemetry {
+ public:
+  void Start(ThreadPool* pool) {
+    pool->Submit([this] { ++dropped_; });
+    pool->Submit([this] { ++dropped_; });
+  }
+
+ private:
+  long dropped_ = 0;
+};
+
+// Race 2: every write holds *a* lock, but not the same one — the
+// lockset intersection over concurrent accesses is empty.
+class Ledger {
+ public:
+  void Churn(ThreadPool* pool) {
+    pool->Submit([this] {
+      MutexLock lock(&mu_);
+      balance_ += 1;
+    });
+    pool->Submit([this] {
+      MutexLock lock(&alt_mu_);
+      balance_ -= 1;
+    });
+  }
+
+ private:
+  Mutex mu_;
+  Mutex alt_mu_;
+  long balance_ = 0;
+};
+
+// Race 3: the write hides one call deep — the launched lambda looks
+// innocent, the helper it calls touches the field with no lock. TSA
+// cannot see this without annotations; inference must.
+class Journal {
+ public:
+  void Start(ThreadPool* pool) {
+    pool->Submit([this] { Append(); });
+    pool->Submit([this] { Append(); });
+  }
+
+ private:
+  void Append() { ++entries_; }
+  long entries_ = 0;
+};
+
+// Race 4: a main-thread write inside the Submit..Wait window races the
+// in-flight task that also writes the field.
+class Pipeline {
+ public:
+  void Run() {
+    pending_ = 0;  // pre-launch: still single-threaded
+    pool_.Submit([this] { ++pending_; });
+    pending_ = 1;  // in the window: races the submitted task
+    pool_.Wait();
+  }
+
+ private:
+  ThreadPool pool_;
+  long pending_ = 0;
+};

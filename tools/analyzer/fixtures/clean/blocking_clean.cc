@@ -1,0 +1,47 @@
+// Fixture: the sanctioned shape — copy state out under the lock,
+// release, then do the slow thing. Nothing blocks while a mutex is
+// held.
+#include <cstdio>
+#include <functional>
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class ThreadPool {
+ public:
+  void Submit(std::function<void()> fn);
+  void Wait();
+};
+
+class CleanFlusher {
+ public:
+  void Flush() {
+    long n = 0;
+    {
+      MutexLock lock(&mu_);
+      n = count_;
+    }
+    std::fprintf(stderr, "count=%ld\n", n);  // lock already released
+  }
+
+  void Drain(ThreadPool* pool) {
+    {
+      MutexLock lock(&mu_);
+      count_ = 0;
+    }
+    pool->Wait();  // no lock held across the park
+  }
+
+ private:
+  Mutex mu_;
+  long count_ = 0;
+};

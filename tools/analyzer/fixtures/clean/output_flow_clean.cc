@@ -1,0 +1,41 @@
+// Fixture: unordered containers feeding sinks the sanctioned way — the
+// order is laundered through a sort (or never observed) before any
+// serialization boundary.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void WriteCsv(const std::vector<std::string>& rows);
+
+// Collected in hash order, sorted, then emitted: deterministic.
+void EmitSortedNames(const std::unordered_map<std::string, int>& counts) {
+  std::vector<std::string> names;
+  // determinism: names are sorted below before emission.
+  for (const auto& kv : counts) {
+    names.push_back(kv.first);
+  }
+  std::sort(names.begin(), names.end());
+  WriteCsv(names);
+}
+
+// Ordered container straight to the sink: nothing unordered in the
+// flow at all.
+void DumpOrdered(const std::map<std::string, int>& counts) {
+  for (const auto& kv : counts) {
+    std::cout << kv.first << "=" << kv.second << "\n";
+  }
+}
+
+// Order-insensitive reduction of an unordered container may reach a
+// sink: the sum does not observe iteration order.
+void DumpTotal(const std::unordered_map<std::string, int>& counts) {
+  long total = 0;
+  // determinism: commutative sum; element order never observed.
+  for (const auto& kv : counts) {
+    total += kv.second;
+  }
+  std::cout << "total=" << total << "\n";
+}

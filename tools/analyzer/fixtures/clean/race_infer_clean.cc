@@ -1,0 +1,65 @@
+// Fixture: the concurrent idioms the race inference must NOT flag —
+// annotated state behind a REQUIRES helper chain, fields retired
+// before launch or after Wait, read-only sharing, per-worker owned
+// accumulators, and caller-owned out-params.
+#include <functional>
+
+#define GUARDED_BY(x) __attribute__((guarded_by(x)))
+#define REQUIRES(...) __attribute__((exclusive_locks_required(__VA_ARGS__)))
+
+class Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+  ~MutexLock();
+};
+
+class ThreadPool {
+ public:
+  void Submit(std::function<void()> fn);
+  void Wait();
+};
+
+// A worker's private tally: by-value local in the lambda, merged under
+// the lock through a pointer parameter. Nothing here is shared state.
+struct LocalTally {
+  long n = 0;
+};
+
+class CleanCounter {
+ public:
+  void Run(ThreadPool* pool) {
+    seed_ = 7;  // written before any launch: single-threaded
+    pool->Submit([this] {
+      LocalTally tally;
+      tally.n += seed_;  // concurrent *read* of seed_ only
+      Absorb(&tally);
+    });
+    pool->Submit([this] {
+      LocalTally tally;
+      tally.n += seed_;
+      Absorb(&tally);
+    });
+    pool->Wait();
+    finished_ = true;  // after Wait: the workers are gone
+  }
+
+ private:
+  // Lockset propagation through the helper chain: Absorb takes the
+  // lock, BumpLocked inherits it via REQUIRES.
+  void Absorb(LocalTally* tally) {
+    MutexLock lock(&mu_);
+    BumpLocked(tally->n);
+  }
+  void BumpLocked(long n) REQUIRES(mu_) { total_ += n; }
+
+  Mutex mu_;
+  long total_ GUARDED_BY(mu_) = 0;
+  int seed_ = 0;
+  bool finished_ = false;
+};

@@ -35,43 +35,26 @@ Self-edges (re-acquiring the mutex you hold, e.g. the TryLock-then-Lock
 fallback in ShardedPhraseCounter::Flush) are not recorded: TSA already
 rejects true double-acquisition, and the idiomatic fallback is not an
 ordering fact.
+
+Since the race-inference PR, this module no longer walks function
+bodies itself: it replays the acquisition/call/log events collected by
+the shared lockset walker (locksets.py) — the same events race
+inference and blocking-under-lock consume, so the analyses cannot
+disagree about where a lock is held.
 """
 
 import posixpath
 import re
 
-from cpputil import Scope, extract_calls, type_head
-from model import (Block, ExprStmt, Finding, If, LocalClass, Loop, Return,
-                   VarDecl)
-
-EXCLUDED_FILES = ("util/mutex.h", "util/mutex.cc",
-                  "util/thread_annotations.h")
-
-LOCK_CALL_RE = re.compile(
-    r"((?:[A-Za-z_]\w*(?:\.|->))*[A-Za-z_]\w*)\s*(?:\.|->)\s*"
-    r"(Lock|TryLock|Unlock)\s*\(")
-
-REQUIRES_RE = re.compile(
-    r"\b(?:REQUIRES|EXCLUSIVE_LOCKS_REQUIRED)\s*\(")
-
-LOG_PSEUDO_LOCK = "logging::g_severity_mu"
-
-MUTEX_TYPE_HEADS = ("Mutex", "util::Mutex", "infoshield::Mutex")
-MUTEXLOCK_TYPE_HEADS = ("MutexLock", "util::MutexLock",
-                        "infoshield::MutexLock")
-
-
-def _is_excluded(path):
-    return any(path.endswith(e) for e in EXCLUDED_FILES)
+import locksets
+from locksets import (EXCLUDED_FILES, LOG_PSEUDO_LOCK, MUTEX_TYPE_HEADS,
+                      is_excluded as _is_excluded)
+from cpputil import type_head
+from model import Finding
 
 
 def _file_stem(path):
     return posixpath.basename(path).rsplit(".", 1)[0]
-
-
-def _is_log_call(name):
-    return name.startswith("CHECK") or name == "LOG" or \
-        name.startswith("LOG_")
 
 
 class LockGraph:
@@ -165,121 +148,35 @@ class _FnSummary:
         self.calls_log = False
 
 
-class Canonicalizer:
-    def __init__(self, ctx, tu, fn, owner, scope):
-        self.ctx = ctx
-        self.tu = tu
-        self.fn = fn
-        self.owner = owner
-        self.scope = scope
-
-    def canon(self, expr):
-        e = expr.strip().lstrip("&*").strip()
-        e = re.sub(r"^this\s*->\s*", "", e)
-        # Split off the final member on the last top-level . or ->
-        m = re.match(r"^(.*?)(?:\.|->)\s*([A-Za-z_]\w*)$", e, re.DOTALL)
-        if m:
-            obj, field = m.group(1).strip(), m.group(2)
-            t = self.scope.resolve(obj)
-            cls = self.ctx.class_of_type(t)
-            if cls is not None:
-                return f"{cls.name}::{field}"
-            return f"?::{e}"
-        name = e
-        if self.owner is not None and name in self.owner.fields:
-            return f"{self.owner.name}::{name}"
-        if name in self.tu.globals:
-            return f"{_file_stem(self.tu.path)}::{name}"
-        if name in self.scope.vars:
-            return f"{self.fn.qname}::{name}"
-        return f"?::{name}"
-
-
-def _walk_function(fn, tu, ctx, owner, summary, graph):
-    scope = Scope(ctx, tu, fn, owner)
-    canon = Canonicalizer(ctx, tu, fn, owner, scope)
-
-    entry_held = []
-    for ann in fn.annotations:
-        m = REQUIRES_RE.search(ann)
-        if m:
-            inner = ann[m.end():ann.rfind(")")]
-            from cpputil import split_top_level
-            for arg in split_top_level(inner):
-                if arg.strip():
-                    entry_held.append(canon.canon(arg))
-    summary.direct.update(entry_held)
-
-    def acquire(name, held, path, line, detail):
-        summary.direct.add(name)
-        graph.nodes.add(name)
-        for h in held:
-            graph.add_edge(h, name, f"{path}:{line} ({detail})")
-
-    def scan_text(text, held, line):
-        consumed = set()
-        for m in LOCK_CALL_RE.finditer(text):
-            obj, op = m.group(1), m.group(2)
-            consumed.add(f"{obj}.{op}")
-            name = canon.canon(obj)
-            if op == "Unlock":
-                if name in held:
-                    held.remove(name)
-            else:
-                acquire(name, held, tu.path, line, f"{obj}.{op}()")
-                held.append(name)
-        for path_, _args, _pos in extract_calls(text):
-            callee = re.split(r"::|\.|->", path_)[-1]
-            if callee in ("Lock", "TryLock", "Unlock"):
-                continue
-            if _is_log_call(callee):
-                summary.calls_log = True
-                if held:
-                    acquire(LOG_PSEUDO_LOCK, held, tu.path, line,
-                            f"{callee} logs under lock")
-                continue
-            summary.calls.add(callee)
-            if held:
-                summary.callsites.append(
-                    (callee, tuple(held), tu.path, line))
-
-    def walk(block, held):
-        held = list(held)
-        for s in block.stmts:
-            if isinstance(s, VarDecl):
-                if type_head(s.type_text) in MUTEXLOCK_TYPE_HEADS:
-                    arg = s.init_text.strip().lstrip("(").rstrip(")")
-                    arg = arg.split(",")[0]
-                    name = canon.canon(arg)
-                    acquire(name, held, tu.path, s.line,
-                            f"MutexLock in {fn.qname}")
-                    held.append(name)
-                else:
-                    scan_text(s.text, held, s.line)
-                for ch in s.children:
-                    walk(ch, [])  # lambda: fresh held set
-            elif isinstance(s, ExprStmt):
-                scan_text(s.text, held, s.line)
-                for ch in s.children:
-                    walk(ch, [])
-            elif isinstance(s, Return):
-                if s.expr_text:
-                    scan_text(s.expr_text, held, s.line)
-            elif isinstance(s, If):
-                scan_text(s.cond_text, held, s.line)
-                walk(s.then_block, held)
-                if s.else_block is not None:
-                    walk(s.else_block, held)
-            elif isinstance(s, Loop):
-                scan_text(s.header_text, held, s.line)
-                walk(s.body, held)
-            elif isinstance(s, Block):
-                walk(s, held)
-            elif isinstance(s, LocalClass):
-                pass  # its methods are walked as their own functions
-
-    if fn.body is not None:
-        walk(fn.body, entry_held)
+def _summarize(top, graph):
+    """Replays one top-level FnWalk (plus its nested lambdas) into the
+    graph and a _FnSummary — the exact semantics the pre-refactor
+    body walker had: lambda acquisitions count toward the enclosing
+    function's summary, CHECK/LOG under a held lock pseudo-acquires the
+    logging mutex, and every acquisition adds edges from the locks held
+    at that site."""
+    s = _FnSummary(top.fn, top.tu)
+    s.direct.update(top.entry_held)
+    s.calls = top.all_callee_names()
+    s.calls_log = top.any_calls_log()
+    for w in top.walks():
+        for a in w.acquires:
+            s.direct.add(a.name)
+            graph.nodes.add(a.name)
+            for h in a.held_before:
+                graph.add_edge(h, a.name,
+                               f"{w.tu.path}:{a.line} ({a.detail})")
+        for held, line, callee in w.log_under_lock:
+            s.direct.add(LOG_PSEUDO_LOCK)
+            graph.nodes.add(LOG_PSEUDO_LOCK)
+            for h in held:
+                graph.add_edge(h, LOG_PSEUDO_LOCK,
+                               f"{w.tu.path}:{line} "
+                               f"({callee} logs under lock)")
+        for c in w.callsites:
+            if c.held:
+                s.callsites.append((c.name, c.held, w.tu.path, c.line))
+    return s
 
 
 def declared_mutex_nodes(tus):
@@ -299,22 +196,16 @@ def declared_mutex_nodes(tus):
     return nodes
 
 
-def build_lock_graph(tus, ctx):
-    """Returns (graph, findings)."""
+def build_lock_graph(tus, ctx, walks=None):
+    """Returns (graph, findings). Pass the FnWalk list from
+    locksets.walk_tree to share one walk with the race inference; it is
+    computed here when omitted."""
     graph = LockGraph()
     graph.nodes.update(declared_mutex_nodes(tus))
 
-    summaries = []
-    for tu in tus:
-        if _is_excluded(tu.path):
-            continue
-        for fn in tu.all_functions():
-            if fn.body is None:
-                continue
-            owner = ctx.class_by_name(fn.owner) if fn.owner else None
-            summary = _FnSummary(fn, tu)
-            _walk_function(fn, tu, ctx, owner, summary, graph)
-            summaries.append(summary)
+    if walks is None:
+        walks = locksets.walk_tree(tus, ctx)
+    summaries = [_summarize(top, graph) for top in walks]
 
     # Transitive acquisition sets by unqualified function name.
     trans = {}

@@ -15,9 +15,20 @@ and over the real tree, asserting:
  * baseline semantics: matching counts pass, counts above baseline
    fail, counts below baseline fail as stale (the ratchet only
    shrinks), and --write-baseline round-trips;
- * the real tree has zero unsuppressed findings and its lock-order
+ * the race-inference stack (DESIGN.md §14): the seeded races carry
+   verdict `racy` in race_report.json, the consistently-locked field
+   demands its GUARDED_BY, the clean concurrent idioms (pre-launch
+   writes, post-Wait writes, owned accumulators, REQUIRES chains,
+   sorted sinks) stay silent, --checks filters to exactly the race
+   legs, and — when a clang driver exists — the seeded races are
+   caught under clang lowering too;
+ * AST-dump cache eviction: stale keys pruned, stray .tmp files
+   cleaned, live entries LRU-capped;
+ * the real tree has zero unsuppressed findings, its lock-order
    graph names the mutexes of every current Mutex user (thread_pool,
-   logging, sharded_counter, audit);
+   logging, sharded_counter, audit), and its race report carries the
+   schema tag, the pipeline's thread roots, and the annotated
+   shared-state surface;
  * a failing run exits 1, not the violation count (a raw count would
    wrap modulo 256 on POSIX).
 
@@ -51,7 +62,16 @@ EXPECTED = {
     ("unordered_bad.cc", "unordered-iter"): 2,
     ("discarded_bad.cc", "discarded-status"): 3,
     ("allow_noreason_bad.cc", "allow-syntax"): 1,
+    ("race_infer_bad.cc", "race-infer"): 4,
+    ("missing_guard_bad.cc", "missing-guarded-by"): 1,
+    ("blocking_bad.cc", "blocking-under-lock"): 3,
+    ("output_flow_bad.cc", "unordered-output-flow"): 2,
 }
+
+# The four seeded races by field, as they must appear in the race
+# report (and under BOTH frontends when a clang driver is available).
+SEEDED_RACES = ("Telemetry::dropped_", "Ledger::balance_",
+                "Journal::entries_", "Pipeline::pending_")
 
 # Mutex nodes the real-tree lock graph must name (acceptance criterion:
 # coverage of every current Mutex user).
@@ -64,9 +84,9 @@ REQUIRED_GRAPH_NODES = (
 )
 
 
-def run_analyze(extra_args):
+def run_analyze(extra_args, frontend="internal"):
     proc = subprocess.run(
-        [sys.executable, ANALYZE, "--frontend", "internal", "--quiet"] +
+        [sys.executable, ANALYZE, "--frontend", frontend, "--quiet"] +
         extra_args,
         capture_output=True, text=True, check=False)
     findings = collections.Counter()
@@ -109,6 +129,105 @@ def main():
            f"clean tree: unexpected findings {dict(findings)} (reserve "
            "discipline, determinism marker, allow(reason), or by-value "
            "snapshot handling regressed)")
+
+    # --- race report: schema, seeded verdicts, check filtering --------
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "race_report.json")
+        proc, findings = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad", "--no-baseline",
+             "--race-report", report_path,
+             "--checks", "race-infer,missing-guarded-by,"
+                         "blocking-under-lock,unordered-output-flow"])
+        expect(proc.returncode == 1,
+               f"--checks races leg: expected exit 1, got {proc.returncode}")
+        # allow-syntax always rides along: a broken suppression must
+        # never be filtered out of view.
+        race_checks = {"race-infer", "missing-guarded-by",
+                       "blocking-under-lock", "unordered-output-flow",
+                       "allow-syntax"}
+        expect(all(check in race_checks for (_f, check) in findings),
+               f"--checks filter leaked other checks: {dict(findings)}")
+        got = sum(n for (f, c), n in EXPECTED.items() if c in race_checks)
+        expect(sum(findings.values()) == got,
+               f"--checks races leg: expected {got} findings, got "
+               f"{sum(findings.values())}")
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+        expect(report.get("schema") == "infoshield-race-report/1",
+               f"race report schema: got {report.get('schema')!r}")
+        expect(report.get("thread_roots"),
+               "race report: expected at least one thread root in the "
+               "bad fixture tree")
+        verdicts = {e["field"]: e["verdict"] for e in report["fields"]}
+        for field in SEEDED_RACES:
+            expect(verdicts.get(field) == "racy",
+                   f"race report: {field} should be racy, got "
+                   f"{verdicts.get(field)!r}")
+        expect(verdicts.get("Registry::published_") ==
+               "guarded-unannotated",
+               "race report: Registry::published_ should be "
+               f"guarded-unannotated, got "
+               f"{verdicts.get('Registry::published_')!r}")
+        expect(report["summary"].get("racy", 0) == len(SEEDED_RACES),
+               f"race report summary: expected {len(SEEDED_RACES)} racy, "
+               f"got {report['summary'].get('racy')}")
+        comp = report.get("tu_completeness", {})
+        expect(any(v["unannotated_shared"] > 0 for v in comp.values()),
+               "race report: completeness should count the unannotated "
+               "shared fields of the bad tree")
+
+    # --- clean fixtures under the race checks: FP guards hold ---------
+    proc, findings = run_analyze(
+        ["--repo-root", FIXTURES, "--roots", "clean", "--no-baseline",
+         "--checks", "race-infer,missing-guarded-by,blocking-under-lock,"
+                     "unordered-output-flow"])
+    expect(proc.returncode == 0 and not findings,
+           "clean tree under race checks: expected silence (pre-launch "
+           "writes, post-Wait writes, owned accumulators, REQUIRES "
+           "chains, sorted sinks), got "
+           f"{proc.returncode} / {dict(findings)}")
+
+    # --- dual frontend: the seeded races survive clang lowering -------
+    sys.path.insert(0, os.path.join(TOOLS_DIR, "analyzer"))
+    import clang_frontend
+    if clang_frontend.find_clang() is None:
+        print("analyzer_selftest: note: no clang++ driver found; "
+              "skipping the clang-frontend race leg")
+    else:
+        proc, findings = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad", "--no-baseline",
+             "--checks", "race-infer,missing-guarded-by"],
+            frontend="clang")
+        expect(findings.get(("race_infer_bad.cc", "race-infer")) == 4 and
+               findings.get(("missing_guard_bad.cc",
+                             "missing-guarded-by")) == 1,
+               "clang frontend: seeded races must be caught under clang "
+               f"lowering too, got {dict(findings)}")
+
+    # --- cache eviction: stale prune + LRU cap ------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        suffix = clang_frontend.CACHE_SUFFIX
+        live_keys = set()
+        for i in range(6):
+            key = f"live{i}"
+            path = os.path.join(tmp, key + suffix)
+            with open(path, "wb") as f:
+                f.write(b"x")
+            # Deterministic, strictly increasing mtimes: live0 oldest.
+            os.utime(path, (1000 + i, 1000 + i))
+            live_keys.add(key)
+        with open(os.path.join(tmp, "stale" + suffix), "wb") as f:
+            f.write(b"x")
+        with open(os.path.join(tmp, "junk" + suffix + ".tmp"), "wb") as f:
+            f.write(b"x")
+        removed = clang_frontend.evict_cache(tmp, live_keys, cap=4)
+        left = sorted(os.listdir(tmp))
+        expect(removed == 3,
+               f"evict_cache: expected 3 removals (1 stale + 2 over "
+               f"cap), got {removed}")
+        expect(left == [f"live{i}{suffix}" for i in range(2, 6)],
+               f"evict_cache: expected the 4 newest live entries, got "
+               f"{left}")
 
     # --- baseline semantics -------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
@@ -161,9 +280,10 @@ def main():
     # --- real tree: zero unsuppressed findings + full mutex coverage --
     with tempfile.TemporaryDirectory() as tmp:
         dot = os.path.join(tmp, "lock_order.dot")
+        report_path = os.path.join(tmp, "race_report.json")
         proc, findings = run_analyze(
-            ["--repo-root", REPO_ROOT, "--roots", "src", "tools",
-             "--dot-out", dot])
+            ["--repo-root", REPO_ROOT, "--roots", "src", "tools", "fuzz",
+             "--dot-out", dot, "--race-report", report_path])
         expect(proc.returncode == 0,
                f"real tree: expected exit 0, got {proc.returncode}:\n"
                f"{proc.stdout}")
@@ -174,6 +294,15 @@ def main():
         for node in REQUIRED_GRAPH_NODES:
             expect(f'"{node}"' in graph,
                    f"lock graph: missing required mutex node {node}")
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+        expect(report.get("schema") == "infoshield-race-report/1" and
+               report.get("thread_roots"),
+               "real tree: race report should carry the schema tag and "
+               "the pipeline's thread roots")
+        expect(report["summary"].get("annotated", 0) >= 10,
+               "real tree: expected the annotated shared-state surface "
+               f"in the report, got {report['summary']}")
 
     if failures:
         for f in failures:

@@ -18,9 +18,17 @@
 #                           (tools/analyzer/analyze.py): guarded-ref
 #                           escapes, lock-order cycles, hot-loop
 #                           allocations, unordered-iteration and
-#                           discarded-Status checks, plus the lock-order
-#                           dot graph. Also part of every full and
-#                           --fast run.
+#                           discarded-Status checks, the interprocedural
+#                           race-inference checks, the lock-order dot
+#                           graph, and build/race_report.json. Also part
+#                           of every full and --fast run.
+#   tools/check.sh --races  the race-inference legs only (race-infer,
+#                           missing-guarded-by, blocking-under-lock,
+#                           unordered-output-flow) + race_report.json —
+#                           the lockset-analysis counterpart to the TSan
+#                           and thread-safety gates, for states TSA
+#                           cannot see (unannotated fields, cross-call
+#                           locksets).
 #   tools/check.sh --fuzz   fuzz smoke only: builds the libFuzzer
 #                           harnesses under clang + ASan/UBSan, replays
 #                           the seed corpora, then fuzzes each harness
@@ -39,13 +47,15 @@ cd "$ROOT"
 FAST=0
 FUZZ=0
 ANALYZE_ONLY=0
+RACES_ONLY=0
 for arg in "$@"; do
   case "$arg" in
     --fast) FAST=1 ;;
     --fuzz) FUZZ=1 ;;
     --analyze) ANALYZE_ONLY=1 ;;
+    --races) RACES_ONLY=1 ;;
     -h|--help)
-      sed -n '2,23p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,38p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -66,20 +76,38 @@ export TSAN_OPTIONS="suppressions=$SUPP_DIR/tsan.supp:halt_on_error=1:second_dea
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-# The AST-grounded analyzer (DESIGN.md §13): five checks over every TU
-# in src/ and tools/, the allow()/baseline ratchet, and the lock-order
-# graph artifact. Uses clang ASTs when clang++ is installed, the
-# built-in frontend otherwise.
+# The AST-grounded analyzer (DESIGN.md §13 + §14): nine checks over
+# every TU in src/, tools/, and fuzz/, the allow()/baseline ratchet,
+# the lock-order graph, and the race-inference report. Uses clang ASTs
+# when clang++ is installed, the built-in frontend otherwise.
 run_analyzer() {
-  step "AST analyzer (tools/analyzer: 5 checks + lock-order graph)"
+  step "AST analyzer (tools/analyzer: 9 checks + lock-order graph + race report)"
   mkdir -p build
   python3 tools/analyzer/analyze.py \
     --cache-dir "$ROOT/.analyzer-cache" \
-    --dot-out "$ROOT/build/lock_order.dot"
+    --dot-out "$ROOT/build/lock_order.dot" \
+    --race-report "$ROOT/build/race_report.json"
+}
+
+# --races: only the interprocedural lockset legs (DESIGN.md §14). The
+# baseline is filtered to the same checks, so inference findings gate
+# here without retesting the §13 checks.
+run_races() {
+  step "race inference (race-infer, missing-guarded-by, blocking-under-lock, unordered-output-flow)"
+  mkdir -p build
+  python3 tools/analyzer/analyze.py \
+    --cache-dir "$ROOT/.analyzer-cache" \
+    --checks race-infer,missing-guarded-by,blocking-under-lock,unordered-output-flow \
+    --race-report "$ROOT/build/race_report.json"
 }
 
 if [[ "$ANALYZE_ONLY" == "1" ]]; then
   run_analyzer
+  exit 0
+fi
+
+if [[ "$RACES_ONLY" == "1" ]]; then
+  run_races
   exit 0
 fi
 

@@ -40,10 +40,13 @@ Rules
                      reach cluster ordering or emitted output; results
                      are byte-reproducible across runs and thread counts.
                      This regex version is the cheap first line; the
-                     AST-accurate `unordered-iter` check in
-                     tools/analyzer/ resolves real container types
-                     (through references, aliases, and members) and is
-                     the one the analyze gate enforces.
+                     AST-accurate checks in tools/analyzer/ are the ones
+                     the analyze gate enforces: `unordered-iter` resolves
+                     real container types (through references, aliases,
+                     and members), and `unordered-output-flow`
+                     (DESIGN.md §14) taint-tracks hash order to
+                     serialization sinks and ignores `determinism:`
+                     comments — the claim is checked, not trusted.
  8. discarded-status [fast-path; authoritative version in tools/analyzer]
                      Calling a Status/Result-returning free function as
                      a bare statement silently drops the error. Assign
@@ -407,6 +410,12 @@ def check_unordered_determinism(path, raw, text, header_text, report):
     or in the contiguous comment block directly above (stating why hash
     order cannot reach the output: sorted below, commutative reduction,
     per-entry validation, ...) suppresses the finding.
+
+    Fast path only. The authoritative versions live in tools/analyzer/:
+    `unordered-iter` type-resolves the container, and
+    `unordered-output-flow` (DESIGN.md §14) taint-tracks the iteration
+    order to serialization sinks without trusting the `determinism:`
+    comment this rule accepts.
     """
 
     def justified(raw_lines, i):
