@@ -22,36 +22,10 @@ struct CoarseEdge {
   PhraseHash phrase;
 };
 
-// The anchor/degree/union pass over edges in canonical order, shared by
-// both paths so they cannot drift. Instead of materializing phrase
-// vertices, union documents that share a top phrase: the first document
-// seen with each phrase acts as the phrase's anchor. This yields exactly
-// the connected components of the bipartite graph restricted to document
-// vertices.
-class EdgeAccumulator {
- public:
-  EdgeAccumulator(size_t max_phrase_degree, UnionFind* uf)
-      : max_phrase_degree_(max_phrase_degree), uf_(uf) {}
+}  // namespace
 
-  void Add(DocId doc, PhraseHash phrase) {
-    if (max_phrase_degree_ > 0) {
-      uint32_t d = ++degree_[phrase];
-      if (d > max_phrase_degree_) return;
-    }
-    auto [it, inserted] = anchor_.emplace(phrase, doc);
-    if (!inserted) uf_->Union(it->second, doc);
-  }
-
- private:
-  const size_t max_phrase_degree_;
-  UnionFind* uf_;
-  std::unordered_map<PhraseHash, DocId> anchor_;
-  std::unordered_map<PhraseHash, uint32_t> degree_;
-};
-
-// Component extraction + canonical emission, shared by both paths.
-void EmitComponents(UnionFind& uf, const CoarseOptions& options,
-                    CoarseResult* result) {
+void EmitCoarseComponents(UnionFind& uf, const CoarseOptions& options,
+                          CoarseResult* result) {
   Components components = ExtractComponents(uf, /*min_component_size=*/1);
   for (auto& group : components.groups) {
     if (group.size() < options.min_cluster_size) {
@@ -65,8 +39,6 @@ void EmitComponents(UnionFind& uf, const CoarseOptions& options,
   // list is the same ascending sequence however the groups fell out.
   std::sort(result->singletons.begin(), result->singletons.end());
 }
-
-}  // namespace
 
 CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
   const size_t threads = ThreadPool::ResolveNumThreads(options_.num_threads);
@@ -106,7 +78,7 @@ CoarseResult CoarseClustering::RunSerial(const Corpus& corpus) const {
 
   timer.Restart();
   UnionFind uf(n);
-  EdgeAccumulator edges(options_.max_phrase_degree, &uf);
+  CoarseEdgeAccumulator edges(options_.max_phrase_degree, &uf);
   for (DocId d = 0; d < n; ++d) {
     for (PhraseHash phrase : result.doc_top_phrases[d]) {
       edges.Add(d, phrase);
@@ -115,7 +87,7 @@ CoarseResult CoarseClustering::RunSerial(const Corpus& corpus) const {
   result.stats.graph_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
-  EmitComponents(uf, options_, &result);
+  EmitCoarseComponents(uf, options_, &result);
   result.stats.components_seconds = timer.ElapsedSeconds();
   return result;
 }
@@ -192,14 +164,14 @@ CoarseResult CoarseClustering::RunParallel(const Corpus& corpus,
                    });
   result.num_edges = all_edges.size();
   UnionFind uf(n);
-  EdgeAccumulator acc(options_.max_phrase_degree, &uf);
+  CoarseEdgeAccumulator acc(options_.max_phrase_degree, &uf);
   for (const CoarseEdge& e : all_edges) {
     acc.Add(e.doc, e.phrase);
   }
   result.stats.graph_seconds = timer.ElapsedSeconds();
 
   timer.Restart();
-  EmitComponents(uf, options_, &result);
+  EmitCoarseComponents(uf, options_, &result);
   result.stats.components_seconds = timer.ElapsedSeconds();
   return result;
 }

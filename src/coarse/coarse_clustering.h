@@ -13,8 +13,10 @@
 #ifndef INFOSHIELD_COARSE_COARSE_CLUSTERING_H_
 #define INFOSHIELD_COARSE_COARSE_CLUSTERING_H_
 
+#include <unordered_map>
 #include <vector>
 
+#include "graph/union_find.h"
 #include "text/corpus.h"
 #include "text/ngram.h"
 #include "tfidf/tfidf_index.h"
@@ -95,6 +97,55 @@ struct CoarseResult {
   // canonical JSON).
   CoarseStageStats stats;
 };
+
+// The anchor/degree/union pass over bipartite edges in canonical
+// (document, phrase-rank) order, shared by the serial and parallel
+// batch paths — and, statefully, by the incremental ingest path — so
+// none of them can drift. Instead of materializing phrase vertices,
+// documents sharing a top phrase are unioned directly: the first
+// document seen with each phrase acts as the phrase's anchor. This
+// yields exactly the connected components of the bipartite graph
+// restricted to document vertices, provided edges are replayed in the
+// canonical order (the degree cap drops the same edges only then).
+class CoarseEdgeAccumulator {
+ public:
+  CoarseEdgeAccumulator(size_t max_phrase_degree, UnionFind* uf)
+      : max_phrase_degree_(max_phrase_degree), uf_(uf) {}
+
+  void Add(DocId doc, PhraseHash phrase) {
+    if (max_phrase_degree_ > 0) {
+      uint32_t d = ++degree_[phrase];
+      if (d > max_phrase_degree_) return;
+    }
+    auto [it, inserted] = anchor_.emplace(phrase, doc);
+    if (!inserted) uf_->Union(it->second, doc);
+  }
+
+  // Drops all anchor/degree state and rebinds to `uf` (which the caller
+  // has reset to all-singletons). The incremental path uses this when a
+  // top-phrase set shrank and the graph must be replayed from scratch;
+  // between rebuilds it keeps one live accumulator and feeds it only the
+  // newly added edges.
+  void Reset(UnionFind* uf) {
+    uf_ = uf;
+    anchor_.clear();
+    degree_.clear();
+  }
+
+ private:
+  const size_t max_phrase_degree_;
+  UnionFind* uf_;
+  std::unordered_map<PhraseHash, DocId> anchor_;
+  std::unordered_map<PhraseHash, uint32_t> degree_;
+};
+
+// Component extraction + canonical cluster/singleton emission into
+// `result`, shared by the batch paths and the incremental assembly:
+// components below min_cluster_size spill into result->singletons
+// (sorted ascending), the rest append to result->clusters in
+// smallest-member order.
+void EmitCoarseComponents(UnionFind& uf, const CoarseOptions& options,
+                          CoarseResult* result);
 
 class CoarseClustering {
  public:

@@ -1,5 +1,14 @@
 // Disjoint-set (union-find) with path halving and union by size.
 // Backbone of the coarse stage's connected-component computation.
+//
+// Growable: AddElement appends a fresh singleton set, which is what lets
+// the incremental ingestion path (DESIGN.md §15) union new documents'
+// edges into the existing doc–phrase graph without rebuilding it. Growth
+// makes stale-id bugs far more likely (an id minted against a newer
+// generation handed to an older structure), so every entry point
+// bounds-checks its argument, and Find additionally validates each
+// parent-chain hop in audited builds — a corrupt in-range entry would
+// otherwise walk off the array silently.
 
 #ifndef INFOSHIELD_GRAPH_UNION_FIND_H_
 #define INFOSHIELD_GRAPH_UNION_FIND_H_
@@ -16,7 +25,14 @@ class UnionFind {
  public:
   explicit UnionFind(size_t n);
 
-  // Representative of x's set.
+  // Appends a new element as its own singleton set; returns its id
+  // (== the previous num_elements()).
+  uint32_t AddElement();
+
+  // Pre-grows internal storage for n total elements.
+  void Reserve(size_t n);
+
+  // Representative of x's set. Pre-condition: x < num_elements(). Checked.
   uint32_t Find(uint32_t x);
 
   // Merges the sets of a and b; returns true if they were distinct.

@@ -1,11 +1,26 @@
 #include "text/corpus.h"
 
 #include "util/logging.h"
+#include "util/status.h"
+#include "util/string_util.h"
 #include "util/thread_pool.h"
 
 namespace infoshield {
 
+Status Corpus::CheckRoom(size_t additional) const {
+  const size_t effective = docs_.size() + debug_size_offset_;
+  if (additional <= kMaxDocuments && effective <= kMaxDocuments - additional) {
+    return Status::Ok();
+  }
+  return Status::ResourceExhausted(
+      StrFormat("corpus holds %zu documents; adding %zu would exceed the "
+                "DocId capacity of %zu",
+                effective, additional, kMaxDocuments));
+}
+
 DocId Corpus::Add(std::string_view text) {
+  Status room = CheckRoom(1);
+  CHECK(room.ok()) << room.ToString();
   Document d;
   d.id = static_cast<DocId>(docs_.size());
   d.raw.assign(text);
@@ -16,8 +31,15 @@ DocId Corpus::Add(std::string_view text) {
   return docs_.back().id;
 }
 
+Result<DocId> Corpus::TryAdd(std::string_view text) {
+  INFOSHIELD_RETURN_IF_ERROR(CheckRoom(1));
+  return Add(text);
+}
+
 DocId Corpus::AddBatch(const std::vector<std::string>& texts,
                        size_t num_threads) {
+  Status room = CheckRoom(texts.size());
+  CHECK(room.ok()) << room.ToString();
   const DocId first = static_cast<DocId>(docs_.size());
   // Tokenization touches no shared state; each worker writes only its
   // own token_lists slot. Interning below stays serial and in input
@@ -39,7 +61,15 @@ DocId Corpus::AddBatch(const std::vector<std::string>& texts,
   return first;
 }
 
+Result<DocId> Corpus::TryAddBatch(const std::vector<std::string>& texts,
+                                  size_t num_threads) {
+  INFOSHIELD_RETURN_IF_ERROR(CheckRoom(texts.size()));
+  return AddBatch(texts, num_threads);
+}
+
 DocId Corpus::AddTokens(std::vector<TokenId> tokens, std::string raw) {
+  Status room = CheckRoom(1);
+  CHECK(room.ok()) << room.ToString();
   for (TokenId t : tokens) CHECK_LT(t, vocab_.size());
   Document d;
   d.id = static_cast<DocId>(docs_.size());

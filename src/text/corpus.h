@@ -12,6 +12,7 @@
 
 #include "text/tokenizer.h"
 #include "text/vocabulary.h"
+#include "util/status.h"
 
 namespace infoshield {
 
@@ -39,8 +40,23 @@ class Corpus {
   Corpus(Corpus&&) = default;
   Corpus& operator=(Corpus&&) = default;
 
+  // DocId is uint32_t, so the corpus can hold at most 2^32 - 1 documents
+  // (the last representable id is reserved so "the next id" — what
+  // AddBatch returns for an empty batch — always fits in a DocId).
+  // Appending past this limit would silently wrap ids and corrupt the
+  // doc–phrase graph; Add/AddBatch/AddTokens CHECK-fail instead, and the
+  // TryAdd/TryAddBatch variants return ResourceExhausted for callers
+  // (e.g. the incremental ingestion path) that must surface the error.
+  static constexpr size_t kMaxDocuments =
+      static_cast<size_t>(UINT32_MAX) - 1;
+
   // Tokenizes, interns, and appends a document; returns its DocId.
+  // CHECK-fails when the corpus is full (see kMaxDocuments).
   DocId Add(std::string_view text);
+
+  // As Add, but reports a full corpus as Status ResourceExhausted
+  // instead of dying. On error the corpus is unchanged.
+  Result<DocId> TryAdd(std::string_view text);
 
   // Tokenizes `texts` across `num_threads` workers (1 = sequential,
   // 0 = hardware concurrency), then interns and appends them in input
@@ -49,7 +65,14 @@ class Corpus {
   // vocabulary are byte-identical to calling Add on each text in turn.
   // Returns the DocId of the first appended document (the rest follow
   // consecutively); returns the would-be next id when `texts` is empty.
+  // CHECK-fails when the batch would overflow kMaxDocuments.
   DocId AddBatch(const std::vector<std::string>& texts, size_t num_threads);
+
+  // As AddBatch, but reports an overflowing batch as ResourceExhausted
+  // instead of dying. The check is all-or-nothing and happens before any
+  // tokenization: on error the corpus is unchanged.
+  Result<DocId> TryAddBatch(const std::vector<std::string>& texts,
+                            size_t num_threads);
 
   // Appends a pre-tokenized document (token ids must be valid for the
   // corpus vocabulary — used by data generators that intern directly).
@@ -68,9 +91,17 @@ class Corpus {
   std::string TokenText(DocId id) const;
 
  private:
+  friend class CorpusTestPeer;
+
+  // OK iff `additional` more documents fit under kMaxDocuments. The test
+  // peer raises debug_size_offset_ to exercise the limit without
+  // materializing ~2^32 documents.
+  Status CheckRoom(size_t additional) const;
+
   Tokenizer tokenizer_;
   Vocabulary vocab_;
   std::vector<Document> docs_;
+  size_t debug_size_offset_ = 0;
 };
 
 }  // namespace infoshield

@@ -28,6 +28,8 @@
 
 namespace infoshield {
 
+class SnapshotDfTable;
+
 class ShardedPhraseCounter {
  public:
   // Power of two so ShardOf is a shift+mask. 64 shards keep the
@@ -64,6 +66,11 @@ class ShardedPhraseCounter {
 
    private:
     friend class ShardedPhraseCounter;
+    // SnapshotDfTable::ApplyBatch consumes a Local as its batch df-delta
+    // buffer (snapshot_df_table.h) — same shard partition, same
+    // commutative-sum merge, just folded into copy-on-write shards
+    // instead of locked ones.
+    friend class SnapshotDfTable;
     std::array<std::unordered_map<PhraseHash, uint32_t>, kNumShards> maps_;
   };
 

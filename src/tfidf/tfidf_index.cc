@@ -15,6 +15,8 @@ void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options,
                        size_t num_threads) {
   options_ = options;
   num_documents_ = corpus.size();
+  from_snapshot_ = false;
+  snapshot_ = DfSnapshot();
   df_.clear();
   build_stats_ = TfidfBuildStats{};
   const size_t threads = ThreadPool::ResolveNumThreads(num_threads);
@@ -67,17 +69,32 @@ void TfidfIndex::Build(const Corpus& corpus, const TfidfOptions& options,
   INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
 }
 
+void TfidfIndex::BuildFromSnapshot(const DfSnapshot& snapshot,
+                                   const TfidfOptions& options) {
+  options_ = options;
+  num_documents_ = snapshot.num_documents();
+  from_snapshot_ = true;
+  snapshot_ = snapshot;
+  df_.clear();
+  build_stats_ = TfidfBuildStats{};
+  INFOSHIELD_AUDIT_INVARIANTS(ValidateInvariants());
+}
+
 size_t TfidfIndex::DocumentFrequency(PhraseHash phrase) const {
+  if (from_snapshot_) return snapshot_.DocumentFrequency(phrase);
   auto it = df_.find(phrase);
   return it == df_.end() ? 0 : it->second;
 }
 
-double TfidfIndex::Score(PhraseHash phrase, size_t tf) const {
-  size_t df = DocumentFrequency(phrase);
+double TfidfIndex::ScoreWithDf(size_t df, size_t tf) const {
   if (df == 0 || num_documents_ == 0) return 0.0;
   double idf =
       std::log(static_cast<double>(num_documents_) / static_cast<double>(df));
   return static_cast<double>(tf) * idf;
+}
+
+double TfidfIndex::Score(PhraseHash phrase, size_t tf) const {
+  return ScoreWithDf(DocumentFrequency(phrase), tf);
 }
 
 std::vector<ScoredPhrase> TfidfIndex::TopPhrases(const Document& doc) const {
@@ -92,9 +109,12 @@ std::vector<ScoredPhrase> TfidfIndex::TopPhrases(const Document& doc) const {
   std::vector<ScoredPhrase> scored;
   scored.reserve(tf.size());
   // determinism: unordered gather; `scored` is fully sorted below.
+  // One df lookup per phrase: the min_df filter and the score share it
+  // (Score(hash, tf) would redo the hash probe).
   for (const auto& [hash, count] : tf) {
-    if (DocumentFrequency(hash) < options_.min_df) continue;
-    scored.push_back(ScoredPhrase{hash, Score(hash, count)});
+    const size_t df = DocumentFrequency(hash);
+    if (df < options_.min_df) continue;
+    scored.push_back(ScoredPhrase{hash, ScoreWithDf(df, count)});
   }
 
   // top_fraction applies to the phrases actually eligible after the
@@ -123,6 +143,13 @@ Status TfidfIndex::ValidateInvariants() const {
            StrFormat("top_fraction %.3f outside [0, 1]",
                      options_.top_fraction));
   a.Expect(options_.max_ngram >= 1, "max_ngram is 0");
+  if (from_snapshot_) {
+    a.Expect(df_.empty(), "snapshot-backed index also owns a df map");
+    a.Expect(num_documents_ == snapshot_.num_documents(),
+             StrFormat("index says %zu documents but its snapshot says %zu",
+                       num_documents_, snapshot_.num_documents()));
+    return a.Finish();
+  }
   // determinism: validation only; each entry is checked independently.
   for (const auto& [hash, df] : df_) {
     if (df < 1 || df > num_documents_) {

@@ -22,6 +22,7 @@
 
 #include "text/corpus.h"
 #include "text/ngram.h"
+#include "tfidf/snapshot_df_table.h"
 #include "util/status.h"
 
 namespace infoshield {
@@ -70,6 +71,17 @@ class TfidfIndex {
   void Build(const Corpus& corpus, const TfidfOptions& options,
              size_t num_threads = 1);
 
+  // Points the index at a frozen df snapshot (snapshot_df_table.h)
+  // instead of scanning a corpus: no df maps are copied, so this is
+  // O(1). Scoring then reads the snapshot's generation no matter what
+  // later ApplyBatch calls do to the underlying table. Because df
+  // accumulation is additive, an index built from a snapshot covering
+  // documents [0, N) scores byte-identically to Build over those same
+  // N documents — the bridge the incremental path's differential oracle
+  // rests on.
+  void BuildFromSnapshot(const DfSnapshot& snapshot,
+                         const TfidfOptions& options);
+
   // Document frequency of a phrase (0 if unseen).
   size_t DocumentFrequency(PhraseHash phrase) const;
 
@@ -80,7 +92,9 @@ class TfidfIndex {
   double Score(PhraseHash phrase, size_t tf) const;
 
   size_t num_documents() const { return num_documents_; }
-  size_t num_phrases() const { return df_.size(); }
+  size_t num_phrases() const {
+    return from_snapshot_ ? snapshot_.num_phrases() : df_.size();
+  }
   const TfidfOptions& options() const { return options_; }
   const TfidfBuildStats& build_stats() const { return build_stats_; }
 
@@ -90,10 +104,19 @@ class TfidfIndex {
   Status ValidateInvariants() const;
 
  private:
+  // tf-idf for a phrase whose df lookup the caller already did —
+  // TopPhrases' inner loop needs the df twice (min_df filter, then the
+  // score) and must not pay the hash lookup twice.
+  double ScoreWithDf(size_t df, size_t tf) const;
+
   TfidfOptions options_;
   size_t num_documents_ = 0;
   TfidfBuildStats build_stats_;
+  // Exactly one df source is active: the owned map (after Build) or the
+  // frozen snapshot (after BuildFromSnapshot).
+  bool from_snapshot_ = false;
   std::unordered_map<PhraseHash, uint32_t> df_;
+  DfSnapshot snapshot_;
 };
 
 // Audits a TopPhrases result: scores are finite, the list is sorted by

@@ -23,6 +23,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kIoError,
+  kResourceExhausted,
 };
 
 // Human-readable name for a status code, e.g. "InvalidArgument".
@@ -58,6 +59,9 @@ class [[nodiscard]] Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

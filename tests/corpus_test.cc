@@ -3,6 +3,16 @@
 #include <gtest/gtest.h>
 
 namespace infoshield {
+
+// Fakes the document counter close to the DocId limit so the overflow
+// guards are testable without materializing ~2^32 documents.
+class CorpusTestPeer {
+ public:
+  static void SetSizeOffset(Corpus& corpus, size_t offset) {
+    corpus.debug_size_offset_ = offset;
+  }
+};
+
 namespace {
 
 TEST(CorpusTest, AddTokenizesAndInterns) {
@@ -113,6 +123,53 @@ TEST(CorpusTest, DocIdsAreSequential) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(c.Add("doc " + std::to_string(i)), static_cast<DocId>(i));
   }
+}
+
+TEST(CorpusTest, TryAddBehavesLikeAddWhenRoomRemains) {
+  Corpus c;
+  Result<DocId> id = c.TryAdd("great soap");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0u);
+  Result<DocId> first = c.TryAddBatch({"a b", "c d"}, /*num_threads=*/2);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 1u);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(CorpusTest, TryAddReportsExhaustionAtTheDocIdLimit) {
+  Corpus c;
+  c.Add("existing");
+  CorpusTestPeer::SetSizeOffset(c, Corpus::kMaxDocuments - c.size());
+  // Exactly full: one more document would mint an id past the last
+  // representable DocId instead of wrapping silently.
+  Result<DocId> id = c.TryAdd("one too many");
+  ASSERT_FALSE(id.ok());
+  EXPECT_EQ(id.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(c.size(), 1u);  // corpus unchanged
+}
+
+TEST(CorpusTest, TryAddBatchIsAllOrNothingNearTheLimit) {
+  Corpus c;
+  c.Add("existing");
+  CorpusTestPeer::SetSizeOffset(c, Corpus::kMaxDocuments - c.size() - 2);
+  // Two slots left: a three-document batch must be rejected whole.
+  Result<DocId> first =
+      c.TryAddBatch({"a", "b", "c"}, /*num_threads=*/1);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(c.size(), 1u);
+  // A two-document batch still fits.
+  Result<DocId> fits = c.TryAddBatch({"a", "b"}, /*num_threads=*/1);
+  ASSERT_TRUE(fits.ok());
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(CorpusDeathTest, AddPastTheDocIdLimitDies) {
+  Corpus c;
+  CorpusTestPeer::SetSizeOffset(c, Corpus::kMaxDocuments);
+  EXPECT_DEATH(c.Add("overflow"), "Check failed");
+  EXPECT_DEATH(c.AddBatch({"overflow"}, /*num_threads=*/1), "Check failed");
+  EXPECT_DEATH(c.AddTokens({}, "overflow"), "Check failed");
 }
 
 }  // namespace

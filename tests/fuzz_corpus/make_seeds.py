@@ -181,4 +181,16 @@ write("diff_coarse", "min_cluster_three",
       synthetic(0x08, [([1, 3, 5, 7, 9, 11], [[0] * 6, [0] * 6, [0] * 6])],
                 []))
 
+# --- diff_incremental: option byte + families + batch cut points -----
+# After the synthetic corpus, the harness decodes ascending batch cut
+# increments with TakeBounded(docs_remaining); exhausted input implies
+# "everything left in one final batch". two_families + noise decodes to
+# 7 documents.
+write("diff_incremental", "two_families_three_batches",
+      synthetic(0x00, two_families, noise) + u64(3) + u64(2))
+write("diff_incremental", "threaded_with_degree_cap",
+      synthetic(0x14, two_families, noise) + u64(1) + u64(1) + u64(1))
+write("diff_incremental", "unigram_vocab_growth",
+      synthetic(0x03, two_families, noise) + u64(2) + u64(0) + u64(4))
+
 print("seed corpora regenerated under", ROOT)

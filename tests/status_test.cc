@@ -30,6 +30,15 @@ TEST(StatusTest, AllCodesHaveNames) {
                "FailedPrecondition");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kResourceExhausted),
+               "ResourceExhausted");
+}
+
+TEST(StatusTest, ResourceExhaustedFactory) {
+  Status s = Status::ResourceExhausted("corpus full");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.ToString(), "ResourceExhausted: corpus full");
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {

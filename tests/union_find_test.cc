@@ -3,6 +3,16 @@
 #include <gtest/gtest.h>
 
 namespace infoshield {
+
+// Reaches into the private parent array to plant corruption the public
+// API can never produce, so the chain bounds check in Find is testable.
+class UnionFindTestPeer {
+ public:
+  static void SetParent(UnionFind& uf, uint32_t element, uint32_t parent) {
+    uf.parent_[element] = parent;
+  }
+};
+
 namespace {
 
 TEST(UnionFindTest, InitiallyAllSingletons) {
@@ -53,6 +63,62 @@ TEST(UnionFindTest, ChainCollapsesUnderPathHalving) {
 TEST(UnionFindDeathTest, FindOutOfRangeDies) {
   UnionFind uf(2);
   EXPECT_DEATH(uf.Find(2), "Check failed");
+}
+
+TEST(UnionFindTest, AddElementGrowsAsSingleton) {
+  UnionFind uf(2);
+  uf.Union(0, 1);
+  const uint32_t id = uf.AddElement();
+  EXPECT_EQ(id, 2u);
+  EXPECT_EQ(uf.num_elements(), 3u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_EQ(uf.Find(id), id);
+  EXPECT_EQ(uf.SetSize(id), 1u);
+  EXPECT_FALSE(uf.Connected(0, id));
+  EXPECT_TRUE(uf.ValidateInvariants().ok());
+}
+
+TEST(UnionFindTest, AddedElementsUnionWithOldOnes) {
+  UnionFind uf(3);
+  uf.Union(0, 1);
+  const uint32_t a = uf.AddElement();
+  const uint32_t b = uf.AddElement();
+  EXPECT_TRUE(uf.Union(a, 0));
+  EXPECT_TRUE(uf.Union(b, 2));
+  EXPECT_TRUE(uf.Connected(a, 1));
+  EXPECT_EQ(uf.SetSize(0), 3u);
+  EXPECT_EQ(uf.SetSize(2), 2u);
+  EXPECT_EQ(uf.num_sets(), 2u);
+  EXPECT_TRUE(uf.ValidateInvariants().ok());
+}
+
+TEST(UnionFindTest, AddElementFromEmpty) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.AddElement(), 0u);
+  EXPECT_EQ(uf.AddElement(), 1u);
+  uf.Reserve(100);
+  EXPECT_EQ(uf.num_elements(), 2u);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_TRUE(uf.ValidateInvariants().ok());
+}
+
+TEST(UnionFindDeathTest, CorruptParentChainDiesInsteadOfSilentUb) {
+  // A stale or corrupt in-range element whose PARENT entry walked off
+  // the array used to be silent UB in the path-halving read
+  // (parent_[parent_[x]]); the chain bounds check turns it into a fatal
+  // check. The argument check alone cannot catch this: x itself is in
+  // range.
+  UnionFind uf(3);
+  UnionFindTestPeer::SetParent(uf, 1, 7);
+  EXPECT_DEATH(uf.Find(1), "Check failed");
+}
+
+TEST(UnionFindTest, ValidateInvariantsFlagsCorruptParent) {
+  UnionFind uf(3);
+  UnionFindTestPeer::SetParent(uf, 1, 7);
+  const Status status = uf.ValidateInvariants();
+  EXPECT_FALSE(status.ok());
 }
 
 }  // namespace
