@@ -19,10 +19,10 @@
 // Usage: bench_coarse [output.json]   (default ./BENCH_coarse.json)
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "coarse/coarse_clustering.h"
 #include "datagen/trafficking_gen.h"
 #include "io/json_writer.h"
@@ -181,8 +181,8 @@ int main(int argc, char** argv) {
   std::printf("speedup at 4 threads: %.2fx  (outputs identical: yes)\n",
               speedup4);
 
-  JsonWriter w;
-  w.BeginObject();
+  bench::BenchJson bench_json("infoshield-bench-coarse/2");
+  JsonWriter& w = bench_json.writer();
   w.Key("corpus_documents").Int(static_cast<int64_t>(texts.size()));
   w.Key("trials").Int(kTrials);
   w.Key("outputs_identical").Bool(true);
@@ -194,14 +194,5 @@ int main(int argc, char** argv) {
   }
   w.EndArray();
   w.Key("speedup_4_threads").Double(speedup4);
-  w.EndObject();
-
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  out << w.str() << "\n";
-  std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return bench_json.Finish(out_path);
 }

@@ -12,9 +12,9 @@
 // Usage: bench_fine [output.json]   (default ./BENCH_fine.json)
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 
+#include "bench_util.h"
 #include "core/infoshield.h"
 #include "datagen/trafficking_gen.h"
 #include "io/json_writer.h"
@@ -108,21 +108,12 @@ int main(int argc, char** argv) {
               optimized.stats.cache_hit_rate());
   std::printf("speedup: %.2fx  (outputs byte-identical: yes)\n", speedup);
 
-  JsonWriter w;
-  w.BeginObject();
+  bench::BenchJson bench_json("infoshield-bench-fine/2");
+  JsonWriter& w = bench_json.writer();
   w.Key("corpus_documents").Int(static_cast<int64_t>(data.corpus.size()));
   w.Key("outputs_identical").Bool(true);
   WriteRun(w, "optimized", optimized);
   WriteRun(w, "naive", naive);
   w.Key("fine_speedup").Double(speedup);
-  w.EndObject();
-
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  out << w.str() << "\n";
-  std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return bench_json.Finish(out_path);
 }

@@ -17,10 +17,10 @@
 // Usage: bench_incremental [output.json]  (default ./BENCH_incremental.json)
 
 #include <cstdio>
-#include <fstream>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/infoshield.h"
 #include "datagen/trafficking_gen.h"
 #include "incremental/incremental_infoshield.h"
@@ -173,8 +173,8 @@ int main(int argc, char** argv) {
       "(%.2fx, outputs identical: yes)\n",
       incremental_update_total, full_rebuild_total, speedup);
 
-  JsonWriter w;
-  w.BeginObject();
+  bench::BenchJson bench_json("infoshield-bench-incremental/2");
+  JsonWriter& w = bench_json.writer();
   w.Key("base_documents").Int(static_cast<int64_t>(rounds[0].stats.total_docs));
   w.Key("update_rounds").Int(kRounds);
   w.Key("docs_per_update").Int(kCopies);
@@ -185,14 +185,5 @@ int main(int argc, char** argv) {
     WriteRound(w, r);
   }
   w.EndArray();
-  w.EndObject();
-
-  std::ofstream out(out_path);
-  if (!out) {
-    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
-    return 1;
-  }
-  out << w.str() << "\n";
-  std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return bench_json.Finish(out_path);
 }

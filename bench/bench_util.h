@@ -4,13 +4,51 @@
 #define INFOSHIELD_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "core/infoshield.h"
 #include "eval/metrics.h"
+#include "io/json_writer.h"
 
 namespace infoshield {
 namespace bench {
+
+// `git describe --always --dirty --tags` of the working tree, or
+// "unknown" when git (or the repo) is unavailable — benches run from
+// the build tree, which lives inside the checkout.
+std::string GitDescribe();
+
+// The canonical BENCH_*.json envelope shared by every harness
+// (bench_fine, bench_coarse, bench_incremental, bench_lsh): one
+// top-level object opened with a "schema" name (e.g.
+// "infoshield-bench-lsh/1") and a "git_describe" provenance field, an
+// arbitrary harness-driven body via writer(), and a uniform
+// write-with-trailing-newline + error-report tail via Finish. Keeps the
+// emission idiom (and its failure handling) in one place instead of
+// hand-rolled per bench.
+class BenchJson {
+ public:
+  explicit BenchJson(const std::string& schema);
+
+  // The underlying writer, positioned inside the top-level object.
+  JsonWriter& writer() { return writer_; }
+  JsonWriter& Key(std::string_view key) { return writer_.Key(key); }
+
+  // Flat metric map emitted as "<name>": value pairs (std::map so the
+  // key order — and therefore the bytes — is deterministic).
+  void Metrics(const std::map<std::string, double>& metrics);
+
+  // Closes the top-level object, writes the document (with trailing
+  // newline) to `path`, and prints "wrote <path>". Returns a main()
+  // exit code: 0 on success, 1 (with a stderr report) on I/O failure.
+  // Call exactly once.
+  int Finish(const std::string& path);
+
+ private:
+  JsonWriter writer_;
+};
 
 // Binary metrics of an InfoShield run against per-document truth.
 inline BinaryMetrics ScoreRun(const InfoShieldResult& result,

@@ -6,6 +6,7 @@
 
 #include "graph/connected_components.h"
 #include "graph/union_find.h"
+#include "lsh/lsh_coarse.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -42,7 +43,12 @@ void EmitCoarseComponents(UnionFind& uf, const CoarseOptions& options,
 
 CoarseResult CoarseClustering::Run(const Corpus& corpus) const {
   const size_t threads = ThreadPool::ResolveNumThreads(options_.num_threads);
-  if (options_.use_serial_coarse || threads <= 1 || corpus.size() < 2) {
+  const bool serial =
+      options_.use_serial_coarse || threads <= 1 || corpus.size() < 2;
+  if (options_.backend == CoarseBackend::kMinhashLsh) {
+    return RunLshCoarse(corpus, options_, serial ? 1 : threads);
+  }
+  if (serial) {
     return RunSerial(corpus);
   }
   return RunParallel(corpus, threads);

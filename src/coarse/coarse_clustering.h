@@ -13,18 +13,49 @@
 #ifndef INFOSHIELD_COARSE_COARSE_CLUSTERING_H_
 #define INFOSHIELD_COARSE_COARSE_CLUSTERING_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/union_find.h"
+#include "lsh/lsh_index.h"
+#include "lsh/minhash.h"
 #include "text/corpus.h"
 #include "text/ngram.h"
 #include "tfidf/tfidf_index.h"
 
 namespace infoshield {
 
+// Which candidate generator connects documents into coarse components.
+//
+//  * kTfidfGraph — the paper-faithful doc–phrase bipartite graph over
+//    tf-idf top phrases (§IV-A). Quasi-linear, but the df table forces
+//    a global freeze barrier and its constant is large.
+//  * kMinhashLsh — shingled MinHash signatures + banded LSH buckets
+//    (DESIGN.md §16). No global state, O(docs * num_hashes) candidate
+//    generation; the standard sub-linear generator for near-duplicate
+//    structure. Components are the connected components of the
+//    "shares a band bucket" relation.
+//
+// Both backends emit through the same CoarseEdgeAccumulator replay and
+// EmitCoarseComponents, so downstream fine-stage code is untouched and
+// both are byte-identical across thread counts.
+enum class CoarseBackend : uint8_t {
+  kTfidfGraph = 0,
+  kMinhashLsh = 1,
+};
+
 struct CoarseOptions {
   TfidfOptions tfidf;
+  // Candidate-generation backend; tfidf/max_phrase_degree apply to
+  // kTfidfGraph, minhash/lsh to kMinhashLsh (where max_phrase_degree
+  // caps bucket degree instead of phrase degree — same hub guard).
+  CoarseBackend backend = CoarseBackend::kTfidfGraph;
+  // MinHash/LSH parameters (kMinhashLsh only). Callers surface
+  // lsh.Validate(minhash) before running; Run CHECK-fails on invalid
+  // combinations.
+  MinHashParams minhash;
+  LshParams lsh;
   // Components smaller than this are dropped (2 = eliminate singletons).
   size_t min_cluster_size = 2;
   // Safety valve against degenerate giant components: phrases connecting
@@ -69,10 +100,17 @@ struct CoarseStageStats {
   size_t shard_contended = 0;
   // Worker count the run actually used (1 = serial path ran).
   size_t parallel_threads = 1;
+  // MinHash/LSH backend phases and bucket diagnostics (all 0 on the
+  // tf-idf backend; index/top_phrase are 0 on the LSH backend).
+  double signature_seconds = 0.0;  // MinHash signature computation
+  double bucket_seconds = 0.0;     // banded bucketing (LshIndex::Build)
+  size_t lsh_buckets = 0;          // distinct occupied (band, bucket) keys
+  size_t lsh_max_bucket = 0;       // fullest bucket (hub diagnostic)
+  size_t lsh_candidate_pairs = 0;  // sum over buckets of C(size, 2)
 
   double total_seconds() const {
-    return index_seconds + top_phrase_seconds + graph_seconds +
-           components_seconds;
+    return index_seconds + top_phrase_seconds + signature_seconds +
+           bucket_seconds + graph_seconds + components_seconds;
   }
 };
 
@@ -86,7 +124,10 @@ struct CoarseResult {
   // which keeps the pipeline quasi-linear even when a coarse component
   // over-merges (the paper leans on the fine stage to split such
   // components; near-duplicates always share top phrases directly, so
-  // neighbor seeding loses nothing).
+  // neighbor seeding loses nothing). Under kMinhashLsh the entries are
+  // the document's LSH band bucket keys instead — "shares a bucket"
+  // replaces "shares a top phrase" and the fine stage's neighbor
+  // seeding works unchanged.
   // analyzer: allow(race-infer) -- coarse workers fill disjoint
   // per-DocId slots fork-join; afterwards the fine stage only reads it
   // (RunOnCluster takes const*, the flagged write is that &-arg)
@@ -153,10 +194,13 @@ class CoarseClustering {
   explicit CoarseClustering(CoarseOptions options)
       : options_(options) {}
 
-  // Dispatches to the serial reference path (use_serial_coarse, or an
-  // effective thread count of 1) or the sharded parallel path. The two
-  // produce byte-identical results (enforced by determinism_test and
-  // bench_coarse).
+  // Dispatches on options().backend: the tf-idf graph backend goes to
+  // the serial reference path (use_serial_coarse, or an effective
+  // thread count of 1) or the sharded parallel path; kMinhashLsh goes
+  // to RunLshCoarse (lsh/lsh_coarse.h), forced to one worker under the
+  // same use_serial_coarse escape hatch. Every path produces
+  // byte-identical results at any thread count (enforced by
+  // determinism_test, bench_coarse, and bench_lsh).
   CoarseResult Run(const Corpus& corpus) const;
 
   const CoarseOptions& options() const { return options_; }

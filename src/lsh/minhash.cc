@@ -1,0 +1,90 @@
+#include "lsh/minhash.h"
+
+#include <limits>
+
+#include "text/ngram.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace infoshield {
+
+Status MinHashParams::Validate() const {
+  if (num_hashes == 0) {
+    return Status::InvalidArgument("MinHash num_hashes must be positive");
+  }
+  if (shingle_k == 0) {
+    return Status::InvalidArgument("MinHash shingle_k must be positive");
+  }
+  return Status::Ok();
+}
+
+MinHashFamily::MinHashFamily(const MinHashParams& params) : params_(params) {
+  CHECK(params_.Validate().ok())
+      << "invalid MinHashParams reached MinHashFamily: "
+      << params_.Validate().ToString();
+  mul_.reserve(params_.num_hashes);
+  add_.reserve(params_.num_hashes);
+  uint64_t state = params_.seed;
+  for (size_t j = 0; j < params_.num_hashes; ++j) {
+    // Odd multiplier => h_j is a bijection on Z/2^64, so distinct
+    // shingles cannot collapse and the min is uniformly distributed.
+    mul_.push_back(SplitMix64(state) | 1u);
+    add_.push_back(SplitMix64(state));
+  }
+}
+
+std::vector<uint64_t> ShingleHashes(const std::vector<TokenId>& tokens,
+                                    size_t shingle_k) {
+  std::vector<uint64_t> shingles;
+  if (tokens.empty() || shingle_k == 0) return shingles;
+  if (tokens.size() < shingle_k) {
+    // Whole-document shingle so short documents still sketch; exact
+    // duplicates of any length keep identical signatures.
+    shingles.push_back(HashNgram(tokens.data(), tokens.size()));
+    return shingles;
+  }
+  shingles.reserve(tokens.size() - shingle_k + 1);
+  for (size_t i = 0; i + shingle_k <= tokens.size(); ++i) {
+    shingles.push_back(HashNgram(tokens.data() + i, shingle_k));
+  }
+  return shingles;
+}
+
+// analyzer: hot
+MinHashSignature MinHashFamily::Signature(
+    const std::vector<TokenId>& tokens) const {
+  MinHashSignature sig;
+  if (tokens.empty()) return sig;
+  // analyzer: allow(hot-loop-alloc) -- one shingle buffer per document
+  // (the API returns by value); reused across all hash rows below.
+  const std::vector<uint64_t> shingles =
+      ShingleHashes(tokens, params_.shingle_k);
+  sig.assign(params_.num_hashes, std::numeric_limits<uint64_t>::max());
+  // Row-major over hashes so mul_[j]/add_[j] stay in registers through
+  // the shingle sweep; the whole computation is O(shingles * hashes)
+  // with no allocation.
+  for (size_t j = 0; j < params_.num_hashes; ++j) {
+    const uint64_t a = mul_[j];
+    const uint64_t b = add_[j];
+    uint64_t min_h = std::numeric_limits<uint64_t>::max();
+    for (const uint64_t s : shingles) {
+      const uint64_t h = a * s + b;
+      if (h < min_h) min_h = h;
+    }
+    sig[j] = min_h;
+  }
+  return sig;
+}
+
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b) {
+  CHECK(a.size() == b.size()) << "signatures from different families";
+  if (a.empty()) return 0.0;
+  size_t agree = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (a[j] == b[j]) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace infoshield

@@ -1,0 +1,93 @@
+// MinHash signatures over k-token shingles (DESIGN.md §16).
+//
+// The MinHash/LSH coarse backend replaces the tf-idf top-phrase graph
+// with the standard sub-linear near-duplicate candidate generator: each
+// document is reduced to a fixed-width signature whose j-th component is
+// the minimum of a 64-bit multiply-shift hash h_j over the document's
+// k-token shingle set. For two documents the probability that one
+// signature component agrees equals their shingle-set Jaccard
+// similarity, so the signature is an unbiased Jaccard sketch with
+// Chernoff-bounded error O(1/sqrt(num_hashes)).
+//
+// Shingles reuse the existing tokenizer + n-gram machinery: a shingle is
+// HashNgram over k consecutive TokenIds, so the backend sees exactly the
+// token stream the tf-idf backend does. Signatures are a pure function
+// of (tokens, params) — no document-frequency table, no global barrier —
+// which is what lets the coarse stage scale past the df-freeze point.
+
+#ifndef INFOSHIELD_LSH_MINHASH_H_
+#define INFOSHIELD_LSH_MINHASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace infoshield {
+
+struct MinHashParams {
+  // Signature width. More hashes tighten the Jaccard estimate
+  // (tolerance ~ sqrt(ln(2/delta) / (2 * num_hashes)) by Hoeffding) at
+  // linear cost per shingle. Must equal LshParams::bands * rows.
+  size_t num_hashes = 128;
+  // Shingle length in tokens. k = 1 degenerates to bag-of-words overlap
+  // (word order ignored); larger k makes the sketch order-sensitive and
+  // sharper, at the cost of treating short edits as bigger differences.
+  // Documents shorter than k tokens contribute one whole-document
+  // shingle so they still carry a signature.
+  size_t shingle_k = 3;
+  // Seeds the multiply-shift hash family (SplitMix64 expansion). Two
+  // runs with the same seed draw the same family, so signatures are
+  // reproducible corpus-independently.
+  uint64_t seed = 0x1f05a661u;
+
+  // OK iff the parameters define a usable hash family
+  // (InvalidArgument otherwise; never dies).
+  Status Validate() const;
+};
+
+// One document's MinHash signature: exactly num_hashes 64-bit minima,
+// or empty for a document with no tokens.
+using MinHashSignature = std::vector<uint64_t>;
+
+// The hash family: num_hashes (a, b) pairs for the multiply-shift
+// h_j(x) = a_j * x + b_j over uint64 (a_j forced odd so the map is a
+// bijection on Z/2^64 and the minimum is well distributed). Drawn once
+// and shared by every signature computation in a run.
+class MinHashFamily {
+ public:
+  // CHECK-fails on invalid params — callers validate first (the coarse
+  // backend and CLI both call MinHashParams::Validate and surface the
+  // Status; reaching here with bad params is a programming error).
+  explicit MinHashFamily(const MinHashParams& params);
+
+  const MinHashParams& params() const { return params_; }
+  size_t num_hashes() const { return params_.num_hashes; }
+
+  // The document's signature: per hash j, the minimum of h_j over the
+  // k-shingle hashes of `tokens`. Empty input yields an empty
+  // signature. Pure and thread-safe (the family is immutable).
+  MinHashSignature Signature(const std::vector<TokenId>& tokens) const;
+
+ private:
+  MinHashParams params_;
+  std::vector<uint64_t> mul_;  // a_j (odd)
+  std::vector<uint64_t> add_;  // b_j
+};
+
+// Fraction of agreeing components — the unbiased Jaccard estimate.
+// Signatures must be the same width; two empty signatures estimate 0
+// (an empty document shares nothing).
+double EstimateJaccard(const MinHashSignature& a, const MinHashSignature& b);
+
+// All k-shingle hashes of a token sequence, in document order (shorter
+// documents yield one whole-sequence shingle). Exposed for tests and
+// for exact-Jaccard ground truth in the benches.
+std::vector<uint64_t> ShingleHashes(const std::vector<TokenId>& tokens,
+                                    size_t shingle_k);
+
+}  // namespace infoshield
+
+#endif  // INFOSHIELD_LSH_MINHASH_H_

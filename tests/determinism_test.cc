@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "coarse/coarse_clustering.h"
 #include "core/infoshield.h"
 #include "datagen/trafficking_gen.h"
 #include "io/json_writer.h"
@@ -31,12 +32,14 @@ LabeledAds MakeCorpus(uint64_t seed) {
 
 std::string RunToJson(const Corpus& corpus, size_t num_threads,
                       bool naive_costing = false, size_t scan_threads = 1,
-                      bool serial_coarse = false) {
+                      bool serial_coarse = false,
+                      CoarseBackend backend = CoarseBackend::kTfidfGraph) {
   InfoShieldOptions options;
   options.num_threads = num_threads;
   options.fine.use_naive_costing = naive_costing;
   options.fine.scan_threads = scan_threads;
   options.coarse.use_serial_coarse = serial_coarse;
+  options.coarse.backend = backend;
   InfoShield shield(options);
   InfoShieldResult result = shield.Run(corpus);
   return ResultToJson(result, corpus);
@@ -100,6 +103,27 @@ TEST(DeterminismTest, ScanThreadsDoNotChangeOutput) {
     EXPECT_EQ(sequential, RunToJson(data.corpus, 1, /*naive_costing=*/false,
                                     /*scan_threads=*/scan))
         << "scan_threads=" << scan << " changed the output";
+  }
+}
+
+TEST(DeterminismTest, MinhashLshBackendIsByteIdenticalAcrossThreads) {
+  // The MinHash/LSH coarse backend must honor the same contract as the
+  // tf-idf backend: signatures are pure per-document functions, band
+  // keys replay doc-major through the shared edge accumulator, so the
+  // serial escape hatch and any worker count render to the same bytes.
+  LabeledAds data = MakeCorpus(/*seed=*/42);
+  const std::string serial = RunToJson(data.corpus, /*num_threads=*/1,
+                                       /*naive_costing=*/false,
+                                       /*scan_threads=*/1,
+                                       /*serial_coarse=*/true,
+                                       CoarseBackend::kMinhashLsh);
+  ASSERT_FALSE(serial.empty());
+  for (size_t threads : {1u, 4u, 8u}) {
+    EXPECT_EQ(serial, RunToJson(data.corpus, threads,
+                                /*naive_costing=*/false, /*scan_threads=*/1,
+                                /*serial_coarse=*/false,
+                                CoarseBackend::kMinhashLsh))
+        << "LSH coarse backend diverged at num_threads=" << threads;
   }
 }
 

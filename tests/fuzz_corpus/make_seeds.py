@@ -181,6 +181,40 @@ write("diff_coarse", "min_cluster_three",
       synthetic(0x08, [([1, 3, 5, 7, 9, 11], [[0] * 6, [0] * 6, [0] * 6])],
                 []))
 
+# --- diff_coarse_backend: params + exact-duplicate families ----------
+# Decode order: shingle_k-1, band choice, num_families-1, then per
+# family (len-3, len word ids, extra copies), then num_noise and per
+# noise doc (len-1, len word ids). Families are exact duplicates over
+# disjoint vocabularies, the regime where both backends must agree.
+def backend_corpus(shingle_k, band_choice, families, noise):
+    out = bounded(shingle_k - 1, 3) + bounded(band_choice, 3)
+    out += bounded(len(families) - 1, 3)
+    for words, extra_copies in families:
+        out += bounded(len(words) - 3, 7)
+        for w in words:
+            out += bounded(w, 15)
+        out += bounded(extra_copies, 3)
+    out += bounded(len(noise), 3)
+    for words in noise:
+        out += bounded(len(words) - 1, 7)
+        for w in words:
+            out += bounded(w, 7)
+    return out
+
+write("diff_coarse_backend", "two_families_k3",
+      backend_corpus(3, 0,
+                     [([1, 2, 3, 4, 5, 6], 1), ([7, 8, 9, 10, 11], 2)],
+                     [[1, 2], [3]]))
+write("diff_coarse_backend", "short_docs_rows8",
+      backend_corpus(2, 2, [([0, 1, 2], 0)], [[5, 5, 5, 5]]))
+write("diff_coarse_backend", "unigram_shingles_four_families",
+      backend_corpus(1, 3,
+                     [([3, 3, 4], 3), ([6, 7, 8, 9], 2),
+                      ([10, 11, 12, 13, 14, 15, 0, 1], 0), ([2, 4, 6], 1)],
+                     []))
+write("diff_coarse_backend", "repeated_words_k4",
+      backend_corpus(4, 1, [([5, 5, 5, 5, 5, 5, 5], 3)], [[0], [1, 1]]))
+
 # --- diff_incremental: option byte + families + batch cut points -----
 # After the synthetic corpus, the harness decodes ascending batch cut
 # increments with TakeBounded(docs_remaining); exhausted input implies

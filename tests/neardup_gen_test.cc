@@ -1,0 +1,124 @@
+// Near-duplicate family generator tests: the controllable-Jaccard
+// derivation (datagen/neardup_gen.h) must actually land measured
+// shingle Jaccard on target, and generation must be seed-deterministic
+// — otherwise the LSH recall benches gate on noise.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <iterator>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/neardup_gen.h"
+#include "lsh/minhash.h"
+#include "text/corpus.h"
+
+namespace infoshield {
+namespace {
+
+double ExactJaccard(const std::vector<TokenId>& a,
+                    const std::vector<TokenId>& b, size_t shingle_k) {
+  std::vector<uint64_t> sa = ShingleHashes(a, shingle_k);
+  std::vector<uint64_t> sb = ShingleHashes(b, shingle_k);
+  std::sort(sa.begin(), sa.end());
+  sa.erase(std::unique(sa.begin(), sa.end()), sa.end());
+  std::sort(sb.begin(), sb.end());
+  sb.erase(std::unique(sb.begin(), sb.end()), sb.end());
+  std::vector<uint64_t> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  const size_t uni = sa.size() + sb.size() - inter.size();
+  return uni == 0 ? 0.0 : static_cast<double>(inter.size()) / uni;
+}
+
+TEST(NearDupGenTest, SubstitutionProbMatchesDerivation) {
+  // J = 1 needs no substitutions at all.
+  EXPECT_DOUBLE_EQ(SubstitutionProbForJaccard(1.0, 3), 0.0);
+  // Lower targets need more substitution, longer shingles need less
+  // (each touched token kills up to 2k shared shingles).
+  EXPECT_GT(SubstitutionProbForJaccard(0.5, 3),
+            SubstitutionProbForJaccard(0.9, 3));
+  EXPECT_GT(SubstitutionProbForJaccard(0.8, 1),
+            SubstitutionProbForJaccard(0.8, 5));
+  // Round trip: s = (1-p)^(2k) back through J = s / (2 - s).
+  const double p = SubstitutionProbForJaccard(0.7, 3);
+  const double s = std::pow(1.0 - p, 6.0);
+  EXPECT_NEAR(s / (2.0 - s), 0.7, 1e-12);
+}
+
+TEST(NearDupGenTest, MeasuredJaccardLandsOnTarget) {
+  NearDupGenOptions options;
+  options.num_families = 60;
+  options.family_size_min = 4;
+  options.family_size_max = 6;
+  options.template_tokens = 30;
+  options.target_jaccard = 0.8;
+  options.shingle_k = 3;
+  options.num_noise = 0;
+  const NearDupCorpus data = GenerateNearDupFamilies(options, /*seed=*/71);
+
+  std::map<int64_t, std::vector<size_t>> members;
+  for (size_t d = 0; d < data.corpus.size(); ++d) {
+    ASSERT_GE(data.family[d], 0);
+    members[data.family[d]].push_back(d);
+  }
+  EXPECT_EQ(members.size(), options.num_families);
+
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (const auto& [fam, docs] : members) {
+    for (size_t i = 0; i < docs.size(); ++i) {
+      for (size_t j = i + 1; j < docs.size(); ++j) {
+        sum += ExactJaccard(data.corpus.docs()[docs[i]].tokens,
+                            data.corpus.docs()[docs[j]].tokens,
+                            options.shingle_k);
+        ++pairs;
+      }
+    }
+  }
+  ASSERT_GT(pairs, 500u);
+  // The derivation is an expectation; averaged over >500 pairs the
+  // measured mean must sit close to the dial. (The per-pair variance is
+  // real — that is what the tolerance absorbs.)
+  EXPECT_NEAR(sum / static_cast<double>(pairs), options.target_jaccard, 0.05);
+}
+
+TEST(NearDupGenTest, NoiseDocumentsAreLabeledAndCounted) {
+  NearDupGenOptions options;
+  options.num_families = 3;
+  options.family_size_min = 2;
+  options.family_size_max = 4;
+  options.num_noise = 25;
+  const NearDupCorpus data = GenerateNearDupFamilies(options, /*seed=*/5);
+  ASSERT_EQ(data.corpus.size(), data.family.size());
+  size_t noise = 0;
+  for (int64_t fam : data.family) {
+    if (fam < 0) ++noise;
+  }
+  EXPECT_EQ(noise, options.num_noise);
+}
+
+TEST(NearDupGenTest, SeedDeterministic) {
+  NearDupGenOptions options;
+  options.num_families = 8;
+  options.num_noise = 20;
+  const NearDupCorpus a = GenerateNearDupFamilies(options, /*seed=*/99);
+  const NearDupCorpus b = GenerateNearDupFamilies(options, /*seed=*/99);
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  EXPECT_EQ(a.family, b.family);
+  for (size_t d = 0; d < a.corpus.size(); ++d) {
+    EXPECT_EQ(a.corpus.docs()[d].raw, b.corpus.docs()[d].raw) << "doc " << d;
+  }
+  const NearDupCorpus c = GenerateNearDupFamilies(options, /*seed=*/100);
+  bool any_different = c.corpus.size() != a.corpus.size();
+  for (size_t d = 0; !any_different && d < a.corpus.size(); ++d) {
+    any_different = a.corpus.docs()[d].raw != c.corpus.docs()[d].raw;
+  }
+  EXPECT_TRUE(any_different) << "different seeds produced the same corpus";
+}
+
+}  // namespace
+}  // namespace infoshield

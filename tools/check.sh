@@ -136,7 +136,8 @@ if [[ "$FUZZ" == "1" ]]; then
     step "fuzzing each harness for 60s"
     mkdir -p build-fuzz/artifacts
     for harness in tokenizer csv universal_code pairwise poa \
-                   diff_fine diff_coarse diff_incremental; do
+                   diff_fine diff_coarse diff_coarse_backend \
+                   diff_incremental; do
       step "fuzz_$harness"
       ./build-fuzz/fuzz/fuzz_"$harness" \
         -max_total_time=60 -print_final_stats=1 \

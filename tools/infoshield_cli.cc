@@ -10,7 +10,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <string>
 
+#include "coarse/coarse_clustering.h"
 #include "core/infoshield.h"
 #include "core/ranking.h"
 #include "core/slot_analysis.h"
@@ -30,7 +32,18 @@ int Main(int argc, char** argv) {
       .AddString("separator", "comma", "field separator: comma | tab")
       .AddString("html", "", "write an HTML cluster report to this path")
       .AddString("json", "", "write a JSON result dump to this path")
+      .AddString("coarse-backend", "tfidf",
+                 "coarse candidate generator: tfidf (paper-faithful "
+                 "doc-phrase graph) | minhash-lsh (shingled MinHash + "
+                 "banded LSH, DESIGN.md §16)")
       .AddInt("max-ngram", 5, "max phrase length for coarse tf-idf")
+      .AddInt("lsh-hashes", 128,
+              "MinHash signature width (minhash-lsh backend)")
+      .AddInt("lsh-bands", 32,
+              "LSH bands; bands * rows must equal lsh-hashes")
+      .AddInt("lsh-rows", 4, "signature rows per LSH band")
+      .AddInt("shingle-k", 3,
+              "tokens per MinHash shingle (minhash-lsh backend)")
       .AddInt("min-cluster-size", 2,
               "smallest coarse component kept (2 = drop singletons)")
       .AddInt("max-docs-per-template", 10,
@@ -75,6 +88,31 @@ int Main(int argc, char** argv) {
   options.coarse.min_cluster_size =
       static_cast<size_t>(flags.GetInt("min-cluster-size"));
   options.num_threads = static_cast<size_t>(flags.GetInt("threads"));
+
+  const std::string backend = flags.GetString("coarse-backend");
+  if (backend == "minhash-lsh") {
+    options.coarse.backend = CoarseBackend::kMinhashLsh;
+  } else if (backend != "tfidf") {
+    std::fprintf(stderr,
+                 "error: unknown --coarse-backend '%s' (tfidf | "
+                 "minhash-lsh)\n",
+                 backend.c_str());
+    return 2;
+  }
+  options.coarse.minhash.num_hashes =
+      static_cast<size_t>(flags.GetInt("lsh-hashes"));
+  options.coarse.minhash.shingle_k =
+      static_cast<size_t>(flags.GetInt("shingle-k"));
+  options.coarse.lsh.bands = static_cast<size_t>(flags.GetInt("lsh-bands"));
+  options.coarse.lsh.rows = static_cast<size_t>(flags.GetInt("lsh-rows"));
+  if (options.coarse.backend == CoarseBackend::kMinhashLsh) {
+    const Status lsh_status =
+        options.coarse.lsh.Validate(options.coarse.minhash);
+    if (!lsh_status.ok()) {
+      std::fprintf(stderr, "error: %s\n", lsh_status.ToString().c_str());
+      return 2;
+    }
+  }
 
   WallTimer timer;
   InfoShield shield(options);
