@@ -10,13 +10,21 @@
 // super-linear phase cannot hide inside the total. A final section
 // sweeps the worker count at a fixed N to show how the parallel coarse
 // and fine paths share the same quasi-linear shape per thread.
+//
+// Usage: bench_fig2_scalability [output.json]
+//   Prints the tables as before and writes the sweep rows, the thread
+//   sweep, and the linear-fit metrics into the shared BENCH_*.json
+//   envelope (schema "infoshield-bench-fig2/1", default
+//   ./BENCH_fig2.json).
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/infoshield.h"
 #include "datagen/twitter_gen.h"
+#include "io/json_writer.h"
 #include "util/timer.h"
 
 namespace {
@@ -30,8 +38,9 @@ infoshield::LabeledTweets MakeTweets(size_t target, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace infoshield;
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_fig2.json";
   bench::PrintHeader(
       "Fig. 2: runtime vs. #tweets (expect linear; paper: 3x/400)");
 
@@ -39,6 +48,11 @@ int main() {
   const std::vector<size_t> sizes = {1000, 2000,  4000,  8000,
                                      16000, 32000, 64000, 128000};
   const int kTrials = 3;
+
+  bench::BenchJson bench_json("infoshield-bench-fig2/1");
+  JsonWriter& w = bench_json.writer();
+  w.Key("trials").Int(kTrials);
+  w.Key("sweep").BeginArray();
 
   std::vector<double> xs;
   std::vector<double> ys;
@@ -70,9 +84,20 @@ int main() {
                 target, actual_n, coarse_s, total_index / kTrials,
                 total_top / kTrials, total_graph / kTrials, fine_s,
                 coarse_s + fine_s);
+    w.BeginObject();
+    w.Key("target_tweets").Int(static_cast<int64_t>(target));
+    w.Key("documents").Int(static_cast<int64_t>(actual_n));
+    w.Key("coarse_seconds").Double(coarse_s);
+    w.Key("index_seconds").Double(total_index / kTrials);
+    w.Key("top_phrase_seconds").Double(total_top / kTrials);
+    w.Key("graph_seconds").Double(total_graph / kTrials);
+    w.Key("fine_seconds").Double(fine_s);
+    w.Key("total_seconds").Double(coarse_s + fine_s);
+    w.EndObject();
     xs.push_back(static_cast<double>(actual_n));
     ys.push_back(coarse_s + fine_s);
   }
+  w.EndArray();
 
   bench::LinearFit fit = bench::FitLine(xs, ys);
   std::printf(
@@ -91,6 +116,8 @@ int main() {
               kSweepTarget);
   std::printf("%-8s %-10s %-8s %-8s %-8s %-10s %-10s\n", "threads",
               "coarse_s", "idx_s", "top_s", "graph_s", "fine_s", "total_s");
+  w.Key("thread_sweep_tweets").Int(static_cast<int64_t>(kSweepTarget));
+  w.Key("thread_sweep").BeginArray();
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     double total_coarse = 0;
     double total_fine = 0;
@@ -114,6 +141,22 @@ int main() {
                 total_top / kTrials, total_graph / kTrials,
                 total_fine / kTrials,
                 (total_coarse + total_fine) / kTrials);
+    w.BeginObject();
+    w.Key("threads").Int(static_cast<int64_t>(threads));
+    w.Key("coarse_seconds").Double(total_coarse / kTrials);
+    w.Key("index_seconds").Double(total_index / kTrials);
+    w.Key("top_phrase_seconds").Double(total_top / kTrials);
+    w.Key("graph_seconds").Double(total_graph / kTrials);
+    w.Key("fine_seconds").Double(total_fine / kTrials);
+    w.Key("total_seconds").Double((total_coarse + total_fine) / kTrials);
+    w.EndObject();
   }
-  return 0;
+  w.EndArray();
+
+  bench_json.Metrics({
+      {"fit_slope_s_per_doc", fit.slope},
+      {"fit_intercept_s", fit.intercept},
+      {"fit_r_squared", fit.r_squared},
+  });
+  return bench_json.Finish(out_path);
 }

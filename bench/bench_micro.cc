@@ -7,10 +7,21 @@
 //   * union-find: the coarse-stage clustering backbone
 //   * consensus search: dichotomous (Algorithm 2) vs. exhaustive — the
 //     ablation for DESIGN.md decision #1.
+//
+// Usage: bench_micro [output.json] [--benchmark_* flags]
+//   Prints the usual google-benchmark console table, then writes every
+//   run (including the BigO/RMS complexity rows) into the shared
+//   BENCH_*.json envelope (schema "infoshield-bench-micro/1", default
+//   ./BENCH_micro.json) so the microbenchmark trends ride the same
+//   artifact pipeline as bench_{fine,coarse,incremental,lsh,fig2}.
 
 #include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "io/json_writer.h"
 
 #include "baselines/hdbscan.h"
 #include "baselines/template_matching.h"
@@ -277,5 +288,72 @@ void BM_Hdbscan(benchmark::State& state) {
 }
 BENCHMARK(BM_Hdbscan)->RangeMultiplier(2)->Range(64, 512)->Complexity();
 
+// Prints the familiar console table and keeps a copy of every run so
+// main() can replay them into the BENCH_micro.json envelope.
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) captured_.push_back(run);
+  }
+  const std::vector<Run>& captured() const { return captured_; }
+
+ private:
+  std::vector<Run> captured_;
+};
+
 }  // namespace
 }  // namespace infoshield
+
+int main(int argc, char** argv) {
+  using namespace infoshield;
+  // The output path is the first non-flag argument; everything else
+  // (--benchmark_filter, --benchmark_min_time, ...) belongs to
+  // google-benchmark, so pull ours out before Initialize sees it.
+  std::string out_path = "BENCH_micro.json";
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] != '-') {
+      out_path = argv[i];
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  CaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  bench::BenchJson bench_json("infoshield-bench-micro/1");
+  JsonWriter& w = bench_json.writer();
+  w.Key("benchmarks").BeginArray();
+  int64_t measured = 0;
+  for (const auto& run : reporter.captured()) {
+    if (run.error_occurred) continue;
+    // Aggregate rows (the BigO fit and its RMS) report accumulated
+    // values with iterations == 0; per-iteration division only applies
+    // to the measured rows.
+    const double iters =
+        run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+    w.BeginObject();
+    w.Key("name").String(run.benchmark_name());
+    w.Key("run_type").String(
+        run.run_type == benchmark::BenchmarkReporter::Run::RT_Aggregate
+            ? "aggregate"
+            : "iteration");
+    w.Key("iterations").Int(static_cast<int64_t>(run.iterations));
+    w.Key("real_time_s").Double(run.real_accumulated_time / iters);
+    w.Key("cpu_time_s").Double(run.cpu_accumulated_time / iters);
+    w.EndObject();
+    if (run.run_type != benchmark::BenchmarkReporter::Run::RT_Aggregate) {
+      ++measured;
+    }
+  }
+  w.EndArray();
+  bench_json.Metrics({
+      {"measured_runs", static_cast<double>(measured)},
+  });
+  return bench_json.Finish(out_path);
+}

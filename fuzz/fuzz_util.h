@@ -73,6 +73,9 @@ class FuzzInput {
   }
 
  private:
+  // analyzer: borrows(data_) -- libFuzzer owns the input buffer for the
+  // whole LLVMFuzzerTestOneInput call; FuzzInput is a stack-local cursor
+  // over it and never outlives the callback.
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;

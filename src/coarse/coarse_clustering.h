@@ -175,6 +175,9 @@ class CoarseEdgeAccumulator {
 
  private:
   const size_t max_phrase_degree_;
+  // analyzer: borrows(uf_) -- rebound per shard via Reset(); the
+  // UnionFind lives in CoarseClustering::Run's frame, which strictly
+  // encloses every accumulator that points at it.
   UnionFind* uf_;
   std::unordered_map<PhraseHash, DocId> anchor_;
   std::unordered_map<PhraseHash, uint32_t> degree_;

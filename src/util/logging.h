@@ -34,6 +34,8 @@ class LogMessage {
   std::ostream& stream() { return stream_; }
 
  private:
+  // analyzer: borrows(file_) -- always a __FILE__ string literal from
+  // the LOG macros: static storage duration, outlives every message.
   const char* file_;
   int line_;
   LogSeverity severity_;

@@ -10,12 +10,14 @@ Usage (normally via `cmake --build build --target analyze` or
              [--frontend auto|clang|internal] [--checks a,b,...]
              [--baseline FILE | --no-baseline] [--write-baseline]
              [--dot-out FILE] [--race-report FILE]
+             [--lifetime-report FILE]
              [--cache-dir DIR] [--cache-cap N] [--quiet]
 
 Checks: guarded-ref-escape, lock-order-cycle, hot-loop-alloc,
 unordered-iter, discarded-status (DESIGN.md §13); race-infer,
 missing-guarded-by, blocking-under-lock, unordered-output-flow
-(interprocedural lockset inference, DESIGN.md §14).
+(interprocedural lockset inference, DESIGN.md §14); dangling-view,
+iter-invalidation, view-escape (lifetime pass, DESIGN.md §17).
 
 Suppression: `// analyzer: allow(<check>[, ...]) -- <reason>` on the
 finding line or in the unbroken //-comment run directly above it — the
@@ -31,7 +33,6 @@ Exit status is capped at 1 (a raw count would wrap modulo 256).
 """
 
 import argparse
-import collections
 import json
 import os
 import sys
@@ -41,17 +42,20 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import callgraph as callgraph_mod                            # noqa: E402
 import checks as checks_mod                                  # noqa: E402
 import dataflow as dataflow_mod                              # noqa: E402
+import lifetimes as lifetimes_mod                            # noqa: E402
 import lockgraph                                             # noqa: E402
 import locksets                                              # noqa: E402
 import parser as parser_mod                                  # noqa: E402
 import raceinfer                                             # noqa: E402
+import ratchet                                               # noqa: E402
 from model import Finding, comment_run_covers                # noqa: E402
 
 SKIP_DIR_NAMES = {"fixtures", "lint_fixtures", "corpus", "third_party",
                   "__pycache__"}
 
 WHOLE_PROGRAM_CHECKS = ["lock-order-cycle", "race-infer",
-                        "missing-guarded-by", "blocking-under-lock"]
+                        "missing-guarded-by", "blocking-under-lock",
+                        "dangling-view", "iter-invalidation"]
 
 ALL_CHECKS = sorted(list(checks_mod.PER_TU_CHECKS) + WHOLE_PROGRAM_CHECKS)
 
@@ -143,24 +147,9 @@ def apply_suppressions(findings, tus_by_path):
     return active, suppressed
 
 
-def check_baseline(active, baseline):
-    """Returns (new_findings, stale_keys, baselined). Counts may only
-    shrink: above-baseline counts surface the newest findings; below-
-    baseline counts demand the baseline file itself be shrunk."""
-    counts = collections.Counter(f"{f.path}:{f.check}" for f in active)
-    new = []
-    baselined = []
-    per_key = collections.defaultdict(list)
-    for f in active:
-        per_key[f"{f.path}:{f.check}"].append(f)
-    for key, fs in sorted(per_key.items()):
-        allowed = baseline.get(key, 0)
-        fs_sorted = sorted(fs, key=lambda f: f.line)
-        baselined.extend(fs_sorted[:allowed])
-        new.extend(fs_sorted[allowed:])
-    stale = sorted(key for key, allowed in baseline.items()
-                   if counts.get(key, 0) < allowed)
-    return new, stale, baselined
+# Shrink-only baseline semantics live in ratchet.py (shared helper);
+# this alias keeps the historical import path working.
+check_baseline = ratchet.check
 
 
 def main():
@@ -186,6 +175,9 @@ def main():
     ap.add_argument("--race-report", default="",
                     help="write the race-inference report as JSON "
                          "(schema: infoshield-race-report/1)")
+    ap.add_argument("--lifetime-report", default="",
+                    help="write the lifetime-pass report as JSON "
+                         "(schema: infoshield-lifetime-report/1)")
     ap.add_argument("--cache-dir", default="",
                     help="AST-dump cache directory (clang frontend)")
     ap.add_argument("--cache-cap", type=int, default=512,
@@ -229,6 +221,8 @@ def main():
     race_findings, race_report = raceinfer.infer(walks, cg, tus, ctx)
     findings.extend(race_findings)
     findings.extend(dataflow_mod.check_blocking_under_lock(walks, ctx))
+    lt_findings, lifetime_report = lifetimes_mod.run(tus, ctx, cg)
+    findings.extend(lt_findings)
     if selected:
         findings = [f for f in findings
                     if f.check in selected or f.check == "allow-syntax"]
@@ -256,30 +250,37 @@ def main():
                   f"{len(race_report['thread_roots'])} thread root(s)) "
                   f"-> {args.race_report}")
 
+    if args.lifetime_report:
+        os.makedirs(os.path.dirname(os.path.abspath(args.lifetime_report)),
+                    exist_ok=True)
+        with open(args.lifetime_report, "w", encoding="utf-8") as f:
+            json.dump(lifetime_report, f, indent=2, sort_keys=False)
+            f.write("\n")
+        if not args.quiet:
+            s = lifetime_report["summary"]
+            print(f"analyze: lifetime report "
+                  f"({s.get('field_borrows', 0)} borrows / "
+                  f"{s.get('field_unannotated', 0)} unannotated view "
+                  f"field(s), {len(lifetime_report['tus'])} TU(s) with "
+                  f"view inventory) -> {args.lifetime_report}")
+
     active, suppressed = apply_suppressions(findings, tus_by_path)
     if selected:
         active = [f for f in active
                   if f.check in selected or f.check == "allow-syntax"]
 
     baseline = {}
-    if not args.no_baseline and os.path.exists(args.baseline):
-        with open(args.baseline, encoding="utf-8") as f:
-            baseline = json.load(f)
-    if selected:
-        baseline = {k: v for k, v in baseline.items()
-                    if k.rsplit(":", 1)[-1] in selected}
+    if not args.no_baseline:
+        baseline = ratchet.filter_to_checks(ratchet.load(args.baseline),
+                                            selected)
 
     if args.write_baseline:
-        counts = collections.Counter(f"{f.path}:{f.check}" for f in active)
-        with open(args.baseline, "w", encoding="utf-8") as f:
-            json.dump(dict(sorted(counts.items())), f, indent=2,
-                      sort_keys=True)
-            f.write("\n")
-        print(f"analyze: wrote baseline with {sum(counts.values())} "
+        total = ratchet.write(args.baseline, active)
+        print(f"analyze: wrote baseline with {total} "
               f"finding(s) to {args.baseline}")
         return 0
 
-    new, stale, baselined = check_baseline(active, baseline)
+    new, stale, baselined = ratchet.check(active, baseline)
 
     for f in sorted(new, key=lambda f: (f.path, f.line, f.check)):
         print(f"{f.path}:{f.line}: [{f.check}] {f.message}")

@@ -20,7 +20,8 @@ import re
 
 from cpputil import (Scope, chain_root, extract_calls, find_balanced,
                      is_heap_container, is_map_like, is_string,
-                     is_unordered, split_top_level, type_head)
+                     is_unordered, split_top_level, top_level_assign,
+                     type_head)
 from model import (Block, ExprStmt, Finding, If, Loop, Return, VarDecl,
                    comment_run_covers, iter_stmts)
 
@@ -131,25 +132,8 @@ def _alias_of_guarded(text, guarded_names):
     return None
 
 
-def _top_level_assign(text):
-    """Position of a plain top-level `=` (not ==, <=, +=, ...), or -1."""
-    depth = 0
-    angle = 0
-    for i, c in enumerate(text):
-        if c in "([{":
-            depth += 1
-        elif c in ")]}":
-            depth -= 1
-        elif c == "<":
-            angle += 1
-        elif c == ">":
-            angle = max(0, angle - 1)
-        elif c == "=" and depth == 0 and angle == 0:
-            prev = text[i - 1] if i else ""
-            nxt = text[i + 1] if i + 1 < len(text) else ""
-            if prev not in "=!<>+-*/%&|^" and nxt != "=":
-                return i
-    return -1
+# Shared with the lifetime pass; kept importable under the old name.
+_top_level_assign = top_level_assign
 
 
 def check_guarded_ref_escape(tu, ctx):
@@ -385,6 +369,7 @@ def _scan_discard(text, line, tu, ctx, findings, fn, via=""):
 # invoked separately by the driver (see lockgraph.py / raceinfer.py /
 # dataflow.py).
 import dataflow                                              # noqa: E402
+import lifetimes                                             # noqa: E402
 
 PER_TU_CHECKS = {
     "guarded-ref-escape": check_guarded_ref_escape,
@@ -392,4 +377,5 @@ PER_TU_CHECKS = {
     "unordered-iter": check_unordered_iter,
     "discarded-status": check_discarded_status,
     "unordered-output-flow": dataflow.check_unordered_output_flow,
+    "view-escape": lifetimes.check_view_escape,
 }

@@ -27,6 +27,19 @@ CONTAINER_HEADS = ("std::vector", "std::string", "std::unordered_map",
                    "std::deque", "std::queue", "std::priority_queue",
                    "std::list", "std::stringstream", "std::ostringstream")
 
+# Non-owning view types: the object does not own the bytes it exposes
+# (DESIGN.md §17). Iterators are views too, matched by name suffix.
+VIEW_HEADS = ("std::string_view", "std::span")
+
+# Container entry points that may invalidate live iterators/references
+# into the container (grow, shrink, rehash, or reseat storage).
+CONTAINER_MUTATORS = {"push_back", "emplace_back", "pop_back",
+                      "push_front", "emplace_front", "pop_front",
+                      "insert", "emplace", "emplace_hint", "erase",
+                      "clear", "resize", "reserve", "assign",
+                      "shrink_to_fit", "swap", "push", "pop", "append",
+                      "rehash", "merge", "extract"}
+
 
 def find_balanced(text, open_pos, open_ch="(", close_ch=")"):
     depth = 0
@@ -136,6 +149,103 @@ def element_type(type_text):
     return ""
 
 
+def dealias(type_text, aliases, depth=0):
+    """Chases `using Name = Type;` aliases through the head of a type:
+    "Views" -> "std::vector<std::string_view>". Qualifiers and &/* are
+    re-applied so "const Views&" dealiases to
+    "const std::vector<std::string_view>&"."""
+    if not type_text or not aliases or depth > 4:
+        return type_text
+    head = type_head(type_text)
+    target = aliases.get(head) or aliases.get(head.split("::")[-1])
+    if target is None:
+        return type_text
+    suffix = ""
+    stripped = type_text.rstrip()
+    while stripped and stripped[-1] in "&*":
+        suffix = stripped[-1] + suffix
+        stripped = stripped[:-1].rstrip()
+    prefix = "const " if re.search(r"\bconst\b", type_text) and \
+        "const" not in target else ""
+    return dealias(prefix + target + suffix, aliases, depth + 1)
+
+
+def is_view(type_text):
+    """True for non-owning view types: string_view, span, iterators.
+    Callers dealias first (Scope does so automatically)."""
+    head = type_head(type_text or "")
+    if head in VIEW_HEADS:
+        return True
+    # type_head cuts at '<', losing member suffixes like
+    # `std::vector<int>::iterator` — check the full bare type too.
+    return head.endswith("iterator") or \
+        bare_type(type_text or "").endswith("iterator")
+
+
+def is_owning(type_text):
+    """True when the (dealiased) type owns heap storage that a view can
+    dangle into: the std containers plus std::pair/tuple/array/optional
+    of them. User types are deliberately excluded — miss toward
+    silence."""
+    head = type_head(type_text or "")
+    if head in CONTAINER_HEADS:
+        return True
+    if head in ("std::pair", "std::tuple", "std::array", "std::optional"):
+        return any(is_owning(a) for a in template_args(bare_type(type_text)))
+    return False
+
+
+def std_method_return(obj_type, method):
+    """Return types of the std methods the lifetime checks care about;
+    "" when unknown. `substr` on std::string returns a *temporary*
+    std::string — the distinction the dangling-view check turns on."""
+    head = type_head(obj_type or "")
+    if head == "std::string":
+        if method == "substr":
+            return "std::string"
+        if method in ("data", "c_str"):
+            return "const char*"
+    elif head == "std::string_view":
+        if method == "substr":
+            return "std::string_view"
+        if method == "data":
+            return "const char*"
+    if head in CONTAINER_HEADS or head in VIEW_HEADS:
+        if method in ("begin", "end", "cbegin", "cend", "rbegin", "rend"):
+            return f"{head}::iterator"
+        if method in ("front", "back"):
+            elem = element_type(obj_type)
+            return elem + "&" if elem else ""
+        if method == "data":
+            elem = element_type(obj_type)
+            return elem + "*" if elem else ""
+        if method == "at":
+            elem = element_type(obj_type)
+            return elem + "&" if elem else ""
+    return ""
+
+
+def is_mutating_method(obj_type, method, ctx):
+    """True when calling `method` on an object of (dealiased) `obj_type`
+    may invalidate iterators/references into it: the std container
+    mutators, or any non-const method of a known user class. Unknown
+    types and methods answer False — miss toward silence."""
+    head = type_head(obj_type or "")
+    if not head:
+        return False
+    if head.startswith("std::"):
+        return head in CONTAINER_HEADS and method in CONTAINER_MUTATORS
+    cls = ctx.class_of_type(obj_type)
+    if cls is None:
+        return False
+    decls = [m for m in cls.methods if m.name == method]
+    if not decls:
+        return False
+    return not any(
+        any(a.split("(")[0].strip() == "const" for a in m.annotations)
+        for m in decls)
+
+
 class Scope:
     """Name -> type lookup for one function body: parameters, local
     declarations (flattened — good enough for the repo's unique local
@@ -180,14 +290,14 @@ class Scope:
             init = self.inits.get(name, "")
             return self.resolve(init, depth + 1) if init else ""
         if t:
-            return t
+            return dealias(t, self.tu.aliases)
         if self.owner is not None:
             f = self.owner.fields.get(name)
             if f is not None:
-                return f.type_text
+                return dealias(f.type_text, self.tu.aliases)
         t = self.tu.globals.get(name, "")
         if t:
-            return t
+            return dealias(t, self.tu.aliases)
         return ""
 
     def resolve(self, expr, depth=0):
@@ -209,7 +319,8 @@ class Scope:
         if cur == "" and i < len(e) and e[i:].lstrip().startswith("("):
             fns = self.ctx.functions_named(root)
             rets = {f.return_type for f in fns if f.return_type}
-            cur = rets.pop() if len(rets) == 1 else ""
+            cur = dealias(rets.pop(), self.tu.aliases) \
+                if len(rets) == 1 else ""
             close = find_balanced(e, e.find("(", i))
             if close < 0:
                 return ""
@@ -233,7 +344,9 @@ class Scope:
                 if close < 0:
                     return ""
                 if pending_member is not None:
-                    cur = self.ctx.method_return(cur, pending_member)
+                    cur = self.ctx.method_return(cur, pending_member) or \
+                        std_method_return(cur, pending_member)
+                    cur = dealias(cur, self.tu.aliases)
                     pending_member = None
                 i = close + 1
                 continue
@@ -253,11 +366,45 @@ class Scope:
         return cur or ""
 
     def _member_type(self, cur_type, member):
+        # Element types pulled out of templated containers (e.g. `Row`
+        # from `std::vector<Row>`) have not been dealiased yet.
+        cur_type = dealias(cur_type or "", self.tu.aliases)
+        head = type_head(cur_type)
+        if head in ("std::pair", "std::tuple"):
+            args = template_args(bare_type(cur_type))
+            if member == "first" and args:
+                return args[0]
+            if member == "second" and len(args) > 1:
+                return args[1]
+            return ""
         cls = self.ctx.class_of_type(cur_type)
         if cls is None:
             return ""
         f = cls.fields.get(member)
-        return f.type_text if f is not None else ""
+        if f is None:
+            return ""
+        return dealias(f.type_text, self.tu.aliases)
+
+
+def top_level_assign(text):
+    """Position of a plain top-level `=` (not ==, <=, +=, ...), or -1."""
+    depth = 0
+    angle = 0
+    for i, c in enumerate(text):
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            depth -= 1
+        elif c == "<":
+            angle += 1
+        elif c == ">":
+            angle = max(0, angle - 1)
+        elif c == "=" and depth == 0 and angle == 0:
+            prev = text[i - 1] if i else ""
+            nxt = text[i + 1] if i + 1 < len(text) else ""
+            if prev not in "=!<>+-*/%&|^" and nxt != "=":
+                return i
+    return -1
 
 
 def chain_root(expr):

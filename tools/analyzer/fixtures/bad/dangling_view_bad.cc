@@ -1,0 +1,44 @@
+// Fixture: views escaping their storage — returns of locals,
+// temporaries, and by-value parameters, and a view field pointing at a
+// dead frame. Each marked line is one dangling-view finding.
+#include <string>
+#include <string_view>
+
+std::string MakeName();
+
+// A view of a local returned: the buffer dies with the frame.
+std::string_view LocalView() {
+  std::string buf = MakeName();
+  return buf;
+}
+
+// A reference to a local returned.
+const std::string& LocalRef() {
+  std::string tmp = MakeName();
+  return tmp;
+}
+
+// A view of a by-value parameter returned: the copy dies on return.
+std::string_view ParamView(std::string owned) {
+  return owned;
+}
+
+// A view local bound to a temporary: dead at the semicolon.
+int TemporaryView() {
+  std::string_view v = MakeName();
+  return static_cast<int>(v.size());
+}
+
+// A view of a frame-local stored into a field that outlives it.
+class Cache {
+ public:
+  void Fill() {
+    std::string local = MakeName();
+    view_ = local;
+  }
+
+ private:
+  // analyzer: borrows(view_) -- fixture: contract present so only the
+  // dangling store in Fill() is reported, not the field itself.
+  std::string_view view_;
+};

@@ -1,0 +1,49 @@
+// Fixture: iterators and references into containers that are mutated
+// while live — directly, through a range-for over the same container,
+// via map operator[], and through a mutating helper one call away.
+#include <map>
+#include <vector>
+
+// Helper for the interprocedural leg: mutates its by-ref argument.
+void Grow(std::vector<int>& v) {
+  v.push_back(1);
+}
+
+int StraightLine() {
+  std::vector<int> v(4, 0);
+  auto it = v.begin();
+  v.push_back(5);
+  return *it;
+}
+
+int RefBind() {
+  std::vector<int> v(4, 0);
+  int& front = v[0];
+  v.push_back(5);
+  return front;
+}
+
+int RangeFor() {
+  std::vector<int> v(4, 0);
+  int total = 0;
+  for (int x : v) {
+    v.push_back(x);
+    total += x;
+  }
+  return total;
+}
+
+int ThroughCall() {
+  std::vector<int> v(4, 0);
+  auto it = v.begin();
+  Grow(v);
+  return *it;
+}
+
+int MapBracket() {
+  std::map<int, int> m;
+  m[1] = 2;
+  auto it = m.begin();
+  m[3] = 4;
+  return it->second;
+}

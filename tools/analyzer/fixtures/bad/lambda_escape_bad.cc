@@ -1,0 +1,25 @@
+// Fixture: reference-capturing lambdas escaping the frame they
+// capture — returned (through std::function and auto) and stored into
+// a field. Expected: 3 dangling-view findings.
+#include <functional>
+
+std::function<int()> CountedReader() {
+  int count = 0;
+  return [&count]() { return count; };
+}
+
+auto MakeAdder() {
+  int base = 5;
+  return [&base](int x) { return base + x; };
+}
+
+class Scheduler {
+ public:
+  void Arm() {
+    int ticks = 0;
+    callback_ = [&ticks]() { return ticks; };
+  }
+
+ private:
+  std::function<int()> callback_;
+};

@@ -1,0 +1,32 @@
+// Fixture: view fields with missing, contradictory, malformed, or
+// unreasoned lifetime contracts.
+#include <string_view>
+
+// Two view fields with no contract at all.
+class Unannotated {
+ private:
+  std::string_view name_;
+  const int* data_;
+};
+
+// owns() on a view is a contradiction: a view cannot own its storage.
+class OwnsView {
+ private:
+  // analyzer: owns(label_)
+  std::string_view label_;
+};
+
+// borrows() without a reason: the why IS the contract.
+class NoReason {
+ private:
+  // analyzer: borrows(src_)
+  const char* src_;
+};
+
+// A contract naming a member that does not exist.
+class BadName {
+ private:
+  // analyzer: borrows(missing_)
+  // analyzer: borrows(ptr_) -- fixture: reason present, field known.
+  const char* ptr_;
+};

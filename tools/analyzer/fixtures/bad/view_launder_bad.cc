@@ -1,0 +1,23 @@
+// Fixture: a helper that forwards views of its parameter launders
+// frame-local storage through one call level. The helper itself is
+// correct; both dangling returns are at the callers, which is where
+// the interprocedural borrow summaries must place them.
+#include <string>
+#include <string_view>
+
+// Fine on its own: the returned view borrows the caller's string.
+std::string_view Trim(const std::string& s) {
+  std::string_view v = s;
+  return v;
+}
+
+// Launders a local through Trim: dangling at this return.
+std::string_view TrimmedLocal() {
+  std::string local = "abc";
+  return Trim(local);
+}
+
+// Launders a by-value parameter through Trim: same story.
+std::string_view TrimmedParam(std::string by_value) {
+  return Trim(by_value);
+}

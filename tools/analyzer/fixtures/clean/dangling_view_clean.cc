@@ -1,0 +1,45 @@
+// Fixture: views that borrow storage which outlives them — parameters,
+// fields, globals, statics — plus in-frame view use. All silent.
+#include <string>
+#include <string_view>
+
+std::string g_name = "global";
+
+// A subview of a view parameter borrows the caller's storage.
+std::string_view StripPrefix(std::string_view s) {
+  return s.substr(1);
+}
+
+// A reference parameter's storage belongs to the caller.
+std::string_view Whole(const std::string& s) {
+  return s;
+}
+
+// Static locals have program lifetime.
+const std::string& Fallback() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+// Globals outlive every frame.
+std::string_view GlobalView() {
+  return g_name;
+}
+
+// A view of a field lives as long as the object: the standard
+// accessor contract.
+class Holder {
+ public:
+  std::string_view name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// Binding a view to an owning local and using it inside the frame is
+// fine; only escapes are flagged.
+int LocalUse() {
+  std::string s = "abc";
+  std::string_view v = s;
+  return static_cast<int>(v.size());
+}

@@ -1,0 +1,49 @@
+// Fixture: live-iterator discipline — erase-refresh loops, element
+// copies, mutation after last use, reseated iterators, and range-for
+// over one container while growing another. All silent.
+#include <vector>
+
+int EraseRefresh() {
+  std::vector<int> v(4, 0);
+  auto it = v.begin();
+  while (it != v.end()) {
+    if (*it == 0) {
+      it = v.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return static_cast<int>(v.size());
+}
+
+int CopyElement() {
+  std::vector<int> v(4, 7);
+  int first = v.front();
+  v.push_back(1);
+  return first;
+}
+
+int MutateAfterLastUse() {
+  std::vector<int> v(4, 7);
+  auto it = v.begin();
+  int out = *it;
+  v.push_back(1);
+  return out;
+}
+
+int Reseat() {
+  std::vector<int> v(4, 7);
+  auto it = v.begin();
+  v.push_back(1);
+  it = v.begin();
+  return *it;
+}
+
+int GrowThenScan(const std::vector<int>& src) {
+  std::vector<int> dst;
+  dst.reserve(src.size());
+  for (int x : src) {
+    dst.push_back(x);
+  }
+  return static_cast<int>(dst.size());
+}

@@ -1,0 +1,26 @@
+// Fixture: lambdas used within the rules — value captures may escape
+// the frame, reference captures stay inside it. All silent.
+#include <functional>
+#include <vector>
+
+std::function<int()> Constant() {
+  int count = 42;
+  return [count]() { return count; };
+}
+
+int SumWith(const std::vector<int>& v) {
+  int total = 0;
+  auto add = [&total](int x) { total += x; };
+  for (int x : v) add(x);
+  return total;
+}
+
+class Dispatcher {
+ public:
+  void Set(int base) {
+    handler_ = [base](int x) { return base + x; };
+  }
+
+ private:
+  std::function<int(int)> handler_;
+};

@@ -1,0 +1,31 @@
+// Fixture: the contract language used correctly — a reasoned borrows()
+// on every view field, owns() documenting owning storage. All silent.
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+class Slice {
+ private:
+  // analyzer: borrows(data_) -- fixture: the host vector is owned by
+  // the caller and outlives every Slice by construction.
+  const int* data_;
+  std::size_t size_;
+};
+
+class Arena {
+ private:
+  // analyzer: owns(block_)
+  std::vector<char> block_;
+  // analyzer: borrows(cursor_) -- fixture: points into block_ above,
+  // which lives exactly as long as this object.
+  const char* cursor_;
+};
+
+class Label {
+ private:
+  // analyzer: borrows(text_) -- fixture: aliases the immortal string
+  // table.
+  std::string_view text_;
+  // analyzer: borrows(alt_) -- fixture: same table as text_.
+  std::string_view alt_;
+};

@@ -1,0 +1,32 @@
+// Fixture: the interprocedural borrow summaries in the benign
+// direction — helpers forwarding caller storage stay transparent when
+// the storage outlives the view.
+#include <string>
+#include <string_view>
+
+std::string g_text = "text";
+
+std::string_view Trim(const std::string& s) {
+  std::string_view v = s;
+  return v;
+}
+
+// Borrows a global through the helper: fine.
+std::string_view TrimmedGlobal() {
+  return Trim(g_text);
+}
+
+// Borrows a field through the helper: lives as long as the object.
+class Doc {
+ public:
+  std::string_view Title() const { return Trim(title_); }
+
+ private:
+  std::string title_;
+};
+
+// Borrows the caller's storage through the helper: the summary
+// propagates borrows(s) outward instead of flagging here.
+std::string_view Trimmed(const std::string& s) {
+  return Trim(s);
+}

@@ -169,10 +169,17 @@ class TU:
         self.functions = []         # FunctionDecl at namespace scope
         self.globals = {}           # name -> type_text (namespace-scope vars)
         self.global_guards = {}     # global var name -> GUARDED_BY arg
+        self.aliases = {}           # `using Name = Type;` -> Name: Type
         # Comment-derived line maps (1-based), shared by both frontends:
         self.hot_lines = set()      # lines whose comment says analyzer: hot
         self.allow = {}             # line -> set of allowed check names
         self.determinism_lines = set()
+        # Lifetime contracts (DESIGN.md §17): line -> set of member names
+        # declared as owning / borrowing storage. A borrows() without a
+        # `-- reason` lands its line in borrows_noreason instead.
+        self.owns = {}
+        self.borrows = {}
+        self.borrows_noreason = set()
         self.frontend = "internal"  # or "clang"
         self.raw_lines = []         # unstripped source, for comment geometry
 
@@ -235,17 +242,24 @@ def iter_local_classes(block):
 
 
 ANNOT_COMMENT_RE = re.compile(
-    r"analyzer:\s*(hot\b|allow\(\s*([\w\-, ]+?)\s*\)(\s*--\s*(.*))?)")
+    r"analyzer:\s*(?:(?P<hot>hot\b)"
+    r"|allow\(\s*(?P<allow>[\w\-, ]+?)\s*\)(?:\s*--\s*(?P<reason>.*))?"
+    r"|owns\(\s*(?P<owns>[\w, ]+?)\s*\)"
+    r"|borrows\(\s*(?P<borrows>[\w, ]+?)\s*\)"
+    r"(?:\s*--\s*(?P<borrow_reason>.*))?)")
 
 
 def scan_annotation_comments(raw_text, tu):
-    """Populates tu.hot_lines / tu.allow / tu.determinism_lines from the
-    comments of raw (unstripped) source text. Shared by both frontends so
-    suppression semantics cannot drift between them.
+    """Populates tu.hot_lines / tu.allow / tu.determinism_lines and the
+    lifetime-contract maps (tu.owns / tu.borrows) from the comments of
+    raw (unstripped) source text. Shared by both frontends so suppression
+    and contract semantics cannot drift between them.
 
     Syntax:
       // analyzer: hot                      (function annotation)
       // analyzer: allow(<check>[, ...]) -- <reason>
+      // analyzer: owns(<field>)            (field owns its storage)
+      // analyzer: borrows(<member>) -- <why the owner outlives it>
       // determinism: <why order cannot leak>   (unordered-iter only;
                                                  carried over from lint.py)
     """
@@ -258,11 +272,24 @@ def scan_annotation_comments(raw_text, tu):
         m = ANNOT_COMMENT_RE.search(comment)
         if not m:
             continue
-        if m.group(1).startswith("hot"):
+        if m.group("hot"):
             tu.hot_lines.add(i)
+        elif m.group("owns"):
+            names = {n.strip() for n in m.group("owns").split(",")
+                     if n.strip()}
+            tu.owns.setdefault(i, set()).update(names)
+        elif m.group("borrows"):
+            names = {n.strip() for n in m.group("borrows").split(",")
+                     if n.strip()}
+            tu.borrows.setdefault(i, set()).update(names)
+            if not (m.group("borrow_reason") or "").strip():
+                # A borrows() without a reason is reported by the
+                # view-escape check: the why is the contract.
+                tu.borrows_noreason.add(i)
         else:
-            checks = {c.strip() for c in m.group(2).split(",") if c.strip()}
-            reason = (m.group(4) or "").strip()
+            checks = {c.strip() for c in m.group("allow").split(",")
+                      if c.strip()}
+            reason = (m.group("reason") or "").strip()
             if not reason:
                 # An allow without a reason is itself a finding; mark it
                 # with the reserved pseudo-check so the driver reports it.
@@ -290,6 +317,20 @@ def _comment_part(line):
             return line[i + 2:]
         i += 1
     return None
+
+
+def contract_names_for(line, line_map, raw_lines):
+    """Union of the member names annotated on `line` itself or in the
+    unbroken //-comment run directly above it — the same geometry as
+    allow() — from a {line: set(names)} map (tu.owns / tu.borrows)."""
+    out = set()
+    out |= line_map.get(line, set())
+    j = line - 1
+    while j >= 1 and j <= len(raw_lines) and \
+            raw_lines[j - 1].lstrip().startswith("//"):
+        out |= line_map.get(j, set())
+        j -= 1
+    return out
 
 
 def comment_run_covers(line, marker_lines, raw_lines):

@@ -41,6 +41,12 @@ ANNOTATION_RE = re.compile(
     r"ASSERT_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS|const|override|noexcept)"
     r"\b(\s*\([^)]*\))?")
 
+# `using Name = Type;` at any scope. Alias names are unique across the
+# repo's disciplined subset, so a flat per-TU map suffices; the resolver
+# (cpputil.dealias) chases chains like `using Views = SlotList;`.
+USING_ALIAS_RE = re.compile(
+    r"\busing\s+([A-Za-z_]\w*)\s*=\s*([^;=]+?)\s*;")
+
 VAR_DECL_RE = re.compile(
     r"^(?:(?:const|static|constexpr|mutable|inline|volatile)\s+)*"
     r"(?P<type>[A-Za-z_][\w]*(?:::[A-Za-z_]\w*)*(?:\s*<.*>)?"
@@ -180,6 +186,10 @@ class Parser:
         self.cur = _Cursor(self.text)
         self.tu = TU(path)
         scan_annotation_comments(raw_text, self.tu)
+        # Type aliases feed the resolver of BOTH frontends: the clang
+        # lowerer wraps this parser, so the scan happens exactly once.
+        for m in USING_ALIAS_RE.finditer(self.text):
+            self.tu.aliases.setdefault(m.group(1), m.group(2).strip())
 
     def parse(self):
         self.parse_decl_region(0, len(self.text), class_ctx=None)
@@ -259,7 +269,10 @@ class Parser:
     def classify_body_segment(self, head, seg_start, body_open, body_close,
                               class_ctx):
         head_clean = ACCESS_LABEL_RE.sub("", head).strip()
-        line = self.cur.line_of(seg_start)
+        blanked = ACCESS_LABEL_RE.sub(lambda m: " " * len(m.group(0)),
+                                      head)
+        lead_ws = len(blanked) - len(blanked.lstrip())
+        line = self.cur.line_of(seg_start + lead_ws)
         if head_clean.startswith("namespace"):
             self.parse_decl_region(body_open + 1, body_close, class_ctx)
             return
@@ -296,7 +309,14 @@ class Parser:
         head_clean = ACCESS_LABEL_RE.sub("", head).strip()
         if not head_clean:
             return
-        line = self.cur.line_of(seg_start)
+        # Line of the declaration itself, not of the segment start: the
+        # segment begins right after the previous ';' and may open with
+        # whitespace, blanked comments, or an access label — the
+        # contract/suppression comment geometry anchors on the decl.
+        blanked = ACCESS_LABEL_RE.sub(lambda m: " " * len(m.group(0)),
+                                      head)
+        lead_ws = len(blanked) - len(blanked.lstrip())
+        line = self.cur.line_of(seg_start + lead_ws)
         first = re.match(r"[A-Za-z_~]\w*", head_clean)
         first_word = first.group(0) if first else ""
         if first_word in ("using", "typedef", "friend", "namespace",
@@ -693,7 +713,13 @@ class Parser:
                 # real decls have a type token with no '.' and the name
                 # directly follows the (possibly templated) type.
                 if "." not in m.group("type"):
-                    return VarDecl(line, m.group("name"), m.group("type"),
+                    type_text = m.group("type")
+                    if re.match(r"(?:(?:const|constexpr|inline|volatile|"
+                                r"mutable)\s+)*static\b", s_flat):
+                        # Keep the storage class: the lifetime pass
+                        # treats static locals as program-lifetime.
+                        type_text = "static " + type_text
+                    return VarDecl(line, m.group("name"), type_text,
                                    rest, children)
         return ExprStmt(line, s, children)
 

@@ -1,0 +1,66 @@
+"""Shrink-only baseline ratchet, shared by the analyzer driver and any
+future gate that wants grandfathered-findings semantics.
+
+A baseline maps "<path>:<check>" to a finding count. The contract:
+
+  * counts may only shrink — a count above baseline surfaces the newest
+    findings (sorted by line, the first `allowed` are grandfathered);
+  * a count below baseline is also a failure ("stale" entries) until
+    the baseline file is re-shrunk with --write-baseline, so fixed debt
+    cannot silently regrow to its old ceiling.
+
+analyze.py delegates here; tools/analyzer_selftest.py exercises the
+semantics both through the CLI and directly against these functions.
+"""
+
+import collections
+import json
+import os
+
+
+def load(path):
+    """Baseline dict from `path`; {} when the file does not exist."""
+    if not path or not os.path.exists(path):
+        return {}
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def filter_to_checks(baseline, selected):
+    """Restricts a baseline to the selected check names (a --checks
+    subset run must not report the rest of the baseline as stale)."""
+    if not selected:
+        return dict(baseline)
+    return {k: v for k, v in baseline.items()
+            if k.rsplit(":", 1)[-1] in selected}
+
+
+def check(active, baseline):
+    """Returns (new_findings, stale_keys, baselined). Counts may only
+    shrink: above-baseline counts surface the newest findings; below-
+    baseline counts demand the baseline file itself be shrunk."""
+    counts = collections.Counter(f"{f.path}:{f.check}" for f in active)
+    new = []
+    baselined = []
+    per_key = collections.defaultdict(list)
+    for f in active:
+        per_key[f"{f.path}:{f.check}"].append(f)
+    for key, fs in sorted(per_key.items()):
+        allowed = baseline.get(key, 0)
+        fs_sorted = sorted(fs, key=lambda f: f.line)
+        baselined.extend(fs_sorted[:allowed])
+        new.extend(fs_sorted[allowed:])
+    stale = sorted(key for key, allowed in baseline.items()
+                   if counts.get(key, 0) < allowed)
+    return new, stale, baselined
+
+
+def write(path, active):
+    """Rewrites the baseline to the current counts; returns the total
+    grandfathered count."""
+    counts = collections.Counter(f"{f.path}:{f.check}" for f in active)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(dict(sorted(counts.items())), f, indent=2,
+                  sort_keys=True)
+        f.write("\n")
+    return sum(counts.values())

@@ -22,6 +22,18 @@ and over the real tree, asserting:
    sorted sinks) stay silent, --checks filters to exactly the race
    legs, and — when a clang driver exists — the seeded races are
    caught under clang lowering too;
+ * the lifetime pass (DESIGN.md §17): seeded dangling views —
+   including one laundered through a helper's borrow summary —
+   iterator invalidations, and contract violations all fire;
+   lifetime_report.json carries the schema tag, per-function borrow
+   verdicts, and the per-field contract inventory; the clean
+   counterparts (param/field/global/static borrows, erase-refresh
+   loops, reasoned borrows() contracts) stay silent; and — when a
+   clang driver exists — the seeded dangling views are caught under
+   clang lowering too;
+ * the shrink-only ratchet helper (tools/analyzer/ratchet.py) at the
+   unit level: grandfather counts, stale detection, check filtering,
+   and the load/write round-trip;
  * AST-dump cache eviction: stale keys pruned, stray .tmp files
    cleaned, live entries LRU-capped;
  * the real tree has zero unsuppressed findings, its lock-order
@@ -66,6 +78,11 @@ EXPECTED = {
     ("missing_guard_bad.cc", "missing-guarded-by"): 1,
     ("blocking_bad.cc", "blocking-under-lock"): 3,
     ("output_flow_bad.cc", "unordered-output-flow"): 2,
+    ("dangling_view_bad.cc", "dangling-view"): 5,
+    ("view_launder_bad.cc", "dangling-view"): 2,
+    ("lambda_escape_bad.cc", "dangling-view"): 3,
+    ("iter_invalid_bad.cc", "iter-invalidation"): 5,
+    ("view_escape_bad.cc", "view-escape"): 6,
 }
 
 # The four seeded races by field, as they must appear in the race
@@ -176,6 +193,58 @@ def main():
                "race report: completeness should count the unannotated "
                "shared fields of the bad tree")
 
+    # --- lifetime pass: report schema, verdicts, contract inventory ---
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = os.path.join(tmp, "lifetime_report.json")
+        proc, findings = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad", "--no-baseline",
+             "--lifetime-report", report_path,
+             "--checks", "dangling-view,iter-invalidation,view-escape"])
+        expect(proc.returncode == 1,
+               f"--checks lifetimes leg: expected exit 1, got "
+               f"{proc.returncode}")
+        lifetime_checks = {"dangling-view", "iter-invalidation",
+                           "view-escape", "allow-syntax"}
+        expect(all(check in lifetime_checks for (_f, check) in findings),
+               f"--checks lifetime filter leaked other checks: "
+               f"{dict(findings)}")
+        want = sum(n for (_f, c), n in EXPECTED.items()
+                   if c in lifetime_checks)
+        expect(sum(findings.values()) == want,
+               f"--checks lifetimes leg: expected {want} findings, got "
+               f"{sum(findings.values())}")
+        with open(report_path, encoding="utf-8") as f:
+            report = json.load(f)
+        expect(report.get("schema") == "infoshield-lifetime-report/1",
+               f"lifetime report schema: got {report.get('schema')!r}")
+        launder = report["tus"].get("bad/view_launder_bad.cc", {})
+        verdicts = {e["function"]: e["verdict"]
+                    for e in launder.get("view_returning_functions", [])}
+        expect(verdicts.get("Trim") == "borrows-params",
+               "lifetime report: Trim should summarize as borrows-params, "
+               f"got {verdicts.get('Trim')!r}")
+        expect(verdicts.get("TrimmedLocal") == "dangling",
+               "lifetime report: TrimmedLocal should be dangling, got "
+               f"{verdicts.get('TrimmedLocal')!r}")
+        contracts = {e["field"]: e["contract"]
+                     for e in report["tus"].get(
+                         "bad/view_escape_bad.cc", {}).get(
+                         "view_fields", [])}
+        expect(contracts.get("Unannotated::name_") == "unannotated" and
+               contracts.get("OwnsView::label_") == "owns" and
+               contracts.get("BadName::ptr_") == "borrows",
+               f"lifetime report: contract inventory wrong: {contracts}")
+
+    # --- clean fixtures under the lifetime checks: FP guards hold -----
+    proc, findings = run_analyze(
+        ["--repo-root", FIXTURES, "--roots", "clean", "--no-baseline",
+         "--checks", "dangling-view,iter-invalidation,view-escape"])
+    expect(proc.returncode == 0 and not findings,
+           "clean tree under lifetime checks: expected silence (param/"
+           "field/global/static borrows, erase-refresh, element copies, "
+           "reasoned contracts), got "
+           f"{proc.returncode} / {dict(findings)}")
+
     # --- clean fixtures under the race checks: FP guards hold ---------
     proc, findings = run_analyze(
         ["--repo-root", FIXTURES, "--roots", "clean", "--no-baseline",
@@ -192,7 +261,7 @@ def main():
     import clang_frontend
     if clang_frontend.find_clang() is None:
         print("analyzer_selftest: note: no clang++ driver found; "
-              "skipping the clang-frontend race leg")
+              "skipping the clang-frontend race and lifetime legs")
     else:
         proc, findings = run_analyze(
             ["--repo-root", FIXTURES, "--roots", "bad", "--no-baseline",
@@ -203,6 +272,18 @@ def main():
                              "missing-guarded-by")) == 1,
                "clang frontend: seeded races must be caught under clang "
                f"lowering too, got {dict(findings)}")
+        proc, findings = run_analyze(
+            ["--repo-root", FIXTURES, "--roots", "bad", "--no-baseline",
+             "--checks", "dangling-view"],
+            frontend="clang")
+        expect(findings.get(("dangling_view_bad.cc",
+                             "dangling-view")) == 5 and
+               findings.get(("view_launder_bad.cc",
+                             "dangling-view")) == 2 and
+               findings.get(("lambda_escape_bad.cc",
+                             "dangling-view")) == 3,
+               "clang frontend: seeded dangling views must be caught "
+               f"under clang lowering too, got {dict(findings)}")
 
     # --- cache eviction: stale prune + LRU cap ------------------------
     with tempfile.TemporaryDirectory() as tmp:
@@ -228,6 +309,32 @@ def main():
         expect(left == [f"live{i}{suffix}" for i in range(2, 6)],
                f"evict_cache: expected the 4 newest live entries, got "
                f"{left}")
+
+    # --- ratchet helper: shrink-only semantics at the unit level ------
+    import ratchet
+    from model import Finding
+    acts = [Finding("a.cc", line, "x", "m") for line in (1, 5, 9)]
+    new, stale, base = ratchet.check(acts, {"a.cc:x": 2})
+    expect([f.line for f in new] == [9] and not stale and
+           [f.line for f in base] == [1, 5],
+           "ratchet.check: the newest finding above baseline should "
+           f"escape, got new={[f.line for f in new]} stale={stale}")
+    new, stale, base = ratchet.check(acts[:1], {"a.cc:x": 2})
+    expect(stale == ["a.cc:x"] and not new,
+           f"ratchet.check: below-baseline count must be stale, got "
+           f"{stale} / {[f.line for f in new]}")
+    expect(ratchet.filter_to_checks(
+               {"a.cc:x": 1, "b.cc:y": 2}, {"y"}) == {"b.cc:y": 2} and
+           ratchet.filter_to_checks({"a.cc:x": 1}, set()) == {"a.cc:x": 1},
+           "ratchet.filter_to_checks: subset filtering regressed")
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "b.json")
+        expect(ratchet.load(path) == {},
+               "ratchet.load: a missing baseline should read as empty")
+        total = ratchet.write(path, acts)
+        expect(total == 3 and ratchet.load(path) == {"a.cc:x": 3},
+               f"ratchet write/load round-trip failed: {total} / "
+               f"{ratchet.load(path)}")
 
     # --- baseline semantics -------------------------------------------
     with tempfile.TemporaryDirectory() as tmp:
@@ -281,9 +388,11 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         dot = os.path.join(tmp, "lock_order.dot")
         report_path = os.path.join(tmp, "race_report.json")
+        lifetime_path = os.path.join(tmp, "lifetime_report.json")
         proc, findings = run_analyze(
             ["--repo-root", REPO_ROOT, "--roots", "src", "tools", "fuzz",
-             "--dot-out", dot, "--race-report", report_path])
+             "--dot-out", dot, "--race-report", report_path,
+             "--lifetime-report", lifetime_path])
         expect(proc.returncode == 0,
                f"real tree: expected exit 0, got {proc.returncode}:\n"
                f"{proc.stdout}")
@@ -303,6 +412,17 @@ def main():
         expect(report["summary"].get("annotated", 0) >= 10,
                "real tree: expected the annotated shared-state surface "
                f"in the report, got {report['summary']}")
+        with open(lifetime_path, encoding="utf-8") as f:
+            lifetime = json.load(f)
+        expect(lifetime.get("schema") == "infoshield-lifetime-report/1",
+               "real tree: lifetime report should carry the schema tag, "
+               f"got {lifetime.get('schema')!r}")
+        lsum = lifetime.get("summary", {})
+        expect(lsum.get("field_borrows", 0) >= 3 and
+               lsum.get("field_unannotated", 0) == 0 and
+               lsum.get("field_owns", 0) == 0,
+               "real tree: every view field must carry a reasoned "
+               f"borrows() contract, got {lsum}")
 
     if failures:
         for f in failures:

@@ -19,9 +19,11 @@
 #                           escapes, lock-order cycles, hot-loop
 #                           allocations, unordered-iteration and
 #                           discarded-Status checks, the interprocedural
-#                           race-inference checks, the lock-order dot
-#                           graph, and build/race_report.json. Also part
-#                           of every full and --fast run.
+#                           race-inference and lifetime checks, the
+#                           lock-order dot graph,
+#                           build/race_report.json, and
+#                           build/lifetime_report.json. Also part of
+#                           every full and --fast run.
 #   tools/check.sh --races  the race-inference legs only (race-infer,
 #                           missing-guarded-by, blocking-under-lock,
 #                           unordered-output-flow) + race_report.json —
@@ -29,6 +31,16 @@
 #                           and thread-safety gates, for states TSA
 #                           cannot see (unannotated fields, cross-call
 #                           locksets).
+#   tools/check.sh --lifetimes
+#                           the interprocedural lifetime legs only
+#                           (dangling-view, iter-invalidation,
+#                           view-escape) + build/lifetime_report.json —
+#                           view types bound to dying storage, live
+#                           iterators across container mutations, and
+#                           the owns()/borrows() contract language on
+#                           view fields (DESIGN.md §17). Also part of
+#                           every full and --fast run via the analyzer
+#                           stage.
 #   tools/check.sh --fuzz   fuzz smoke only: builds the libFuzzer
 #                           harnesses under clang + ASan/UBSan, replays
 #                           the seed corpora, then fuzzes each harness
@@ -55,6 +67,7 @@ FAST=0
 FUZZ=0
 ANALYZE_ONLY=0
 RACES_ONLY=0
+LIFETIMES_ONLY=0
 INCREMENTAL_ONLY=0
 for arg in "$@"; do
   case "$arg" in
@@ -62,9 +75,10 @@ for arg in "$@"; do
     --fuzz) FUZZ=1 ;;
     --analyze) ANALYZE_ONLY=1 ;;
     --races) RACES_ONLY=1 ;;
+    --lifetimes) LIFETIMES_ONLY=1 ;;
     --incremental) INCREMENTAL_ONLY=1 ;;
     -h|--help)
-      sed -n '2,45p' "$0" | sed 's/^# \{0,1\}//'
+      sed -n '2,59p' "$0" | sed 's/^# \{0,1\}//'
       exit 0
       ;;
     *)
@@ -85,17 +99,18 @@ export TSAN_OPTIONS="suppressions=$SUPP_DIR/tsan.supp:halt_on_error=1:second_dea
 
 step() { printf '\n=== %s ===\n' "$*"; }
 
-# The AST-grounded analyzer (DESIGN.md §13 + §14): nine checks over
+# The AST-grounded analyzer (DESIGN.md §13, §14, §17): every check over
 # every TU in src/, tools/, and fuzz/, the allow()/baseline ratchet,
-# the lock-order graph, and the race-inference report. Uses clang ASTs
+# the lock-order graph, and the race/lifetime reports. Uses clang ASTs
 # when clang++ is installed, the built-in frontend otherwise.
 run_analyzer() {
-  step "AST analyzer (tools/analyzer: 9 checks + lock-order graph + race report)"
+  step "AST analyzer (tools/analyzer: all checks + lock-order graph + race/lifetime reports)"
   mkdir -p build
   python3 tools/analyzer/analyze.py \
     --cache-dir "$ROOT/.analyzer-cache" \
     --dot-out "$ROOT/build/lock_order.dot" \
-    --race-report "$ROOT/build/race_report.json"
+    --race-report "$ROOT/build/race_report.json" \
+    --lifetime-report "$ROOT/build/lifetime_report.json"
 }
 
 # --races: only the interprocedural lockset legs (DESIGN.md §14). The
@@ -115,8 +130,25 @@ if [[ "$ANALYZE_ONLY" == "1" ]]; then
   exit 0
 fi
 
+# --lifetimes: only the interprocedural lifetime legs (DESIGN.md §17).
+# The baseline is filtered to the same checks, so lifetime findings
+# gate here without retesting the §13/§14 checks.
+run_lifetimes() {
+  step "lifetime analysis (dangling-view, iter-invalidation, view-escape)"
+  mkdir -p build
+  python3 tools/analyzer/analyze.py \
+    --cache-dir "$ROOT/.analyzer-cache" \
+    --checks dangling-view,iter-invalidation,view-escape \
+    --lifetime-report "$ROOT/build/lifetime_report.json"
+}
+
 if [[ "$RACES_ONLY" == "1" ]]; then
   run_races
+  exit 0
+fi
+
+if [[ "$LIFETIMES_ONLY" == "1" ]]; then
+  run_lifetimes
   exit 0
 fi
 

@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Unit self-test for the analyzer's type-resolution layer
+(tools/analyzer/cpputil.py), focused on the view-type paths the
+lifetime pass leans on:
+
+ * `using` aliases chased through dealias — including alias-of-alias
+   chains and aliases that resolve to view types;
+ * `const auto&` / `auto` deduction through initializer expressions;
+ * nested `std::pair<std::string_view, ...>` member access (.first /
+   .second) and range-for element bindings over pair containers;
+ * view/owning classification (is_view, is_owning) and the std method
+   tables (std_method_return, is_mutating_method) that drive both the
+   dangling-view classifier and the iterator-invalidation check.
+
+Everything parses one synthetic TU through the internal frontend and
+resolves expressions with cpputil.Scope — the same code path both
+frontends share. Registered as the `cpputil_selftest` ctest by
+tools/CMakeLists.txt.
+"""
+
+import os
+import sys
+
+TOOLS_DIR = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(TOOLS_DIR, "analyzer"))
+
+import checks as checks_mod                                  # noqa: E402
+import parser as parser_mod                                  # noqa: E402
+from cpputil import (Scope, dealias, is_mutating_method, is_owning,  # noqa: E402
+                     is_view, std_method_return)
+
+SRC = """
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+using NameView = std::string_view;
+using ViewAlias = NameView;
+using Row = std::pair<std::string_view, int>;
+using Table = std::vector<Row>;
+
+class Registry {
+ public:
+  void Add(Row row) { rows_.push_back(row); }
+  const Table& rows() const { return rows_; }
+
+ private:
+  Table rows_;
+};
+
+int Walk(const Registry& reg, const std::string& key) {
+  NameView direct = key;
+  ViewAlias chained = direct;
+  const auto& rows = reg.rows();
+  int total = 0;
+  for (const auto& row : rows) {
+    auto first = row.first;
+    const auto& second = row.second;
+    total += static_cast<int>(first.size()) + second;
+  }
+  Table local_table;
+  auto copy = key;
+  return total + static_cast<int>(chained.size()) +
+         static_cast<int>(local_table.size()) +
+         static_cast<int>(copy.size());
+}
+"""
+
+
+def main():
+    failures = []
+
+    def expect(ok, what):
+        if not ok:
+            failures.append(what)
+
+    tu = parser_mod.Parser("cpputil_fixture.cc", SRC).parse()
+    tu.raw_lines = SRC.splitlines()
+    ctx = checks_mod.Context([tu])
+    walk = next(f for f in tu.all_functions() if f.name == "Walk")
+    scope = Scope(ctx, tu, walk, None)
+
+    # --- using-alias chains feed the resolver --------------------------
+    expect(tu.aliases.get("NameView") == "std::string_view",
+           f"alias scan: NameView -> {tu.aliases.get('NameView')!r}")
+    expect(dealias("NameView", tu.aliases) == "std::string_view",
+           "dealias: single-hop alias should land on std::string_view")
+    expect(dealias("ViewAlias", tu.aliases) == "std::string_view",
+           "dealias: alias-of-alias (ViewAlias -> NameView) should chase")
+    expect(dealias("const ViewAlias&", tu.aliases) ==
+           "const std::string_view&",
+           "dealias: const/& decoration must survive the chase, got "
+           f"{dealias('const ViewAlias&', tu.aliases)!r}")
+    expect(scope.type_of_name("direct") == "std::string_view",
+           f"scope: NameView local resolves to view, got "
+           f"{scope.type_of_name('direct')!r}")
+
+    # --- auto / const auto& deduction ----------------------------------
+    expect(scope.type_of_name("rows") == "const Table&" or
+           "vector" in scope.type_of_name("rows"),
+           "scope: `const auto& rows = reg.rows()` should deduce the "
+           f"Table return, got {scope.type_of_name('rows')!r}")
+    expect(scope.type_of_name("copy") == "const std::string&" or
+           "string" in scope.type_of_name("copy"),
+           f"scope: `auto copy = key` should deduce through the param, "
+           f"got {scope.type_of_name('copy')!r}")
+
+    # --- nested pair<string_view, ...> members -------------------------
+    expect(scope.resolve("row.first") == "std::string_view",
+           "resolve: pair<string_view,int>.first through a range-for "
+           f"element, got {scope.resolve('row.first')!r}")
+    expect(scope.resolve("row.second") == "int",
+           f"resolve: pair .second should be int, got "
+           f"{scope.resolve('row.second')!r}")
+    expect(scope.resolve("first") == "std::string_view",
+           "resolve: `auto first = row.first` should deduce the view, "
+           f"got {scope.resolve('first')!r}")
+
+    # --- view / owning classification ----------------------------------
+    expect(is_view("std::string_view") and is_view("std::span<int>") and
+           is_view("std::vector<int>::iterator") and
+           is_view(dealias("ViewAlias", tu.aliases)),
+           "is_view: string_view, span, iterators, and dealiased "
+           "aliases are views")
+    expect(not is_view("std::string") and not is_view("int"),
+           "is_view: owning types are not views")
+    expect(is_owning("std::string") and is_owning("std::vector<int>") and
+           is_owning("std::pair<std::string, int>") and
+           is_owning("std::optional<std::string>"),
+           "is_owning: containers and owning-composites are owning")
+    expect(not is_owning("std::pair<std::string_view, int>"),
+           "is_owning: a pair of trivial/view types owns nothing")
+
+    # --- std method tables ---------------------------------------------
+    expect(std_method_return("std::string", "substr") == "std::string" and
+           std_method_return("std::string_view", "substr") ==
+           "std::string_view",
+           "std_method_return: substr owns on string, borrows on view")
+    expect("iterator" in std_method_return("std::vector<int>", "begin"),
+           "std_method_return: begin() yields an iterator type")
+    expect(is_mutating_method("std::vector<int>", "push_back", ctx) and
+           is_mutating_method("std::map<int, int>", "erase", ctx),
+           "is_mutating_method: container mutators are mutating")
+    expect(not is_mutating_method("std::vector<int>", "size", ctx) and
+           not is_mutating_method("UnknownType", "frobnicate", ctx),
+           "is_mutating_method: const methods and unknown receivers "
+           "must stay silent (miss toward silence)")
+    expect(is_mutating_method("Registry", "Add", ctx),
+           "is_mutating_method: a user method without a const "
+           "annotation is mutating")
+
+    if failures:
+        for f in failures:
+            print(f"cpputil_selftest: FAIL: {f}")
+        return 1
+    print("cpputil_selftest: alias chasing, auto deduction, pair views, "
+          "and the std method tables behaved as expected")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
